@@ -1,0 +1,122 @@
+/// Abl. C — primitive batching: running B traversals as one matrix-level
+/// recurrence (mxm) vs B independent vector-level loops (vxm per source).
+/// Both flavours for BFS and for SSSP, on both backends.
+///
+/// Paper-shape expectation: batching is a wash (or a small loss) on the
+/// sequential backend — same work, slightly worse locality — but a clear
+/// win on the GPU backend, where per-level kernel-launch overhead is paid
+/// once per batch instead of once per source.
+
+#include "bench_common.hpp"
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/sssp.hpp"
+
+namespace {
+
+constexpr grb::IndexType kBatch = 16;
+
+grb::IndexArrayType batch_sources(grb::IndexType n) {
+  grb::IndexArrayType s;
+  for (grb::IndexType i = 0; i < kBatch; ++i) s.push_back((i * 37) % n);
+  return s;
+}
+
+template <typename Tag>
+void bfs_looped(const grb::Matrix<double, Tag>& a,
+                const grb::IndexArrayType& sources) {
+  grb::Vector<grb::IndexType, Tag> levels(a.nrows());
+  for (grb::IndexType s : sources) algorithms::bfs_level(a, s, levels);
+}
+
+template <typename Tag>
+void bfs_batched(const grb::Matrix<double, Tag>& a,
+                 const grb::IndexArrayType& sources) {
+  grb::Matrix<grb::IndexType, Tag> levels(sources.size(), a.nrows());
+  algorithms::batch_bfs_level(a, sources, levels);
+}
+
+void BM_bfs_seq_looped(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     16);
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  const auto sources = batch_sources(a.nrows());
+  for (auto _ : state) bfs_looped(a, sources);
+  benchx::annotate(state, a.nrows(), a.nvals());
+}
+
+void BM_bfs_seq_batched(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     16);
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  const auto sources = batch_sources(a.nrows());
+  for (auto _ : state) bfs_batched(a, sources);
+  benchx::annotate(state, a.nrows(), a.nvals());
+}
+
+void BM_bfs_gpu_looped(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     16);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  const auto sources = batch_sources(a.nrows());
+  benchx::run_simulated(state, [&] { bfs_looped(a, sources); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+}
+
+void BM_bfs_gpu_batched(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     16);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  const auto sources = batch_sources(a.nrows());
+  benchx::run_simulated(state, [&] { bfs_batched(a, sources); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+}
+
+void BM_sssp_gpu_looped(benchmark::State& state) {
+  auto g = gbtl_graph::with_random_weights(
+      benchx::rmat_graph(static_cast<unsigned>(state.range(0)), 16), 1.0,
+      255.0, 5);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  const auto sources = batch_sources(a.nrows());
+  benchx::run_simulated(state, [&] {
+    grb::Vector<double, grb::GpuSim> dist(a.nrows());
+    for (grb::IndexType s : sources) algorithms::sssp(a, s, dist);
+  });
+  benchx::annotate(state, a.nrows(), a.nvals());
+}
+
+void BM_sssp_gpu_batched(benchmark::State& state) {
+  auto g = gbtl_graph::with_random_weights(
+      benchx::rmat_graph(static_cast<unsigned>(state.range(0)), 16), 1.0,
+      255.0, 5);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  const auto sources = batch_sources(a.nrows());
+  benchx::run_simulated(state, [&] {
+    grb::Matrix<double, grb::GpuSim> dists(sources.size(), a.nrows());
+    algorithms::batch_sssp(a, sources, dists);
+  });
+  benchx::annotate(state, a.nrows(), a.nvals());
+}
+
+}  // namespace
+
+BENCHMARK(BM_bfs_seq_looped)->DenseRange(8, 11, 1)->Iterations(1);
+BENCHMARK(BM_bfs_seq_batched)->DenseRange(8, 11, 1)->Iterations(1);
+BENCHMARK(BM_bfs_gpu_looped)
+    ->DenseRange(8, 11, 1)
+    ->Iterations(1)
+    ->UseManualTime();
+BENCHMARK(BM_bfs_gpu_batched)
+    ->DenseRange(8, 11, 1)
+    ->Iterations(1)
+    ->UseManualTime();
+BENCHMARK(BM_sssp_gpu_looped)
+    ->DenseRange(8, 10, 1)
+    ->Iterations(1)
+    ->UseManualTime();
+BENCHMARK(BM_sssp_gpu_batched)
+    ->DenseRange(8, 10, 1)
+    ->Iterations(1)
+    ->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+#pragma once
+
+/// @file bench_common.hpp
+/// Shared machinery for the experiment benches.
+///
+/// Timing convention (documented in DESIGN.md): the sequential backend is
+/// measured in host wall time; the GPU backend reports *simulated device
+/// time* via google-benchmark's manual-time mode, so every figure compares
+/// "CPU wall seconds" against "modeled device seconds" exactly as the paper
+/// compared CPU runs against CUDA-event timings.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "gbtl/gbtl.hpp"
+#include "gpu_sim/context.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_matrix.hpp"
+
+namespace benchx {
+
+/// R-MAT evaluation graph (Graph500 parameters), deduplicated and loop-free,
+/// cached across benchmark registrations.
+inline const gbtl_graph::EdgeList& rmat_graph(unsigned scale,
+                                              gbtl_graph::Index edgefactor) {
+  static std::map<std::pair<unsigned, gbtl_graph::Index>,
+                  gbtl_graph::EdgeList>
+      cache;
+  auto key = std::make_pair(scale, edgefactor);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto g = gbtl_graph::deduplicate(gbtl_graph::remove_self_loops(
+        gbtl_graph::rmat(scale, edgefactor, /*seed=*/20160501 + scale)));
+    it = cache.emplace(key, std::move(g)).first;
+  }
+  return it->second;
+}
+
+/// Symmetrized variant (triangle counting, MIS, components).
+inline const gbtl_graph::EdgeList& rmat_graph_sym(
+    unsigned scale, gbtl_graph::Index edgefactor) {
+  static std::map<std::pair<unsigned, gbtl_graph::Index>,
+                  gbtl_graph::EdgeList>
+      cache;
+  auto key = std::make_pair(scale, edgefactor);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, gbtl_graph::symmetrize(rmat_graph(scale,
+                                                              edgefactor)))
+             .first;
+  }
+  return it->second;
+}
+
+/// Run @p work once per iteration, reporting the *simulated device clock*
+/// delta as the iteration time. Use with ->UseManualTime().
+template <typename Fn>
+void run_simulated(benchmark::State& state, Fn&& work) {
+  auto& dev = gpu_sim::device();
+  for (auto _ : state) {
+    const double t0 = dev.simulated_time_s();
+    work();
+    state.SetIterationTime(dev.simulated_time_s() - t0);
+  }
+}
+
+/// Standard per-benchmark counters so every table row carries its workload.
+inline void annotate(benchmark::State& state, grb::IndexType vertices,
+                     grb::IndexType edges) {
+  state.counters["vertices"] =
+      benchmark::Counter(static_cast<double>(vertices));
+  state.counters["edges"] = benchmark::Counter(static_cast<double>(edges));
+}
+
+/// Traversed-edges-per-second counter (BFS/SSSP tables report MTEPS).
+inline void report_teps(benchmark::State& state, grb::IndexType edges) {
+  state.counters["TEPS"] = benchmark::Counter(
+      static_cast<double>(edges), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace benchx

@@ -1,0 +1,49 @@
+/// Fig. 1 — mxv (SpMV over plus-times) vs graph scale, sequential backend
+/// (wall time) against GPU backend (simulated device time, data resident).
+///
+/// Paper-shape expectation: the GPU loses at small scales (launch overhead
+/// dominates the handful of microseconds of useful work) and wins by one to
+/// two orders of magnitude once the matrix no longer fits in the picture of
+/// a single CPU core's cache-friendly sweep.
+
+#include "bench_common.hpp"
+
+namespace {
+
+void BM_mxv_sequential(benchmark::State& state) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 16);
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  grb::Vector<double, grb::Sequential> u(
+      std::vector<double>(a.ncols(), 1.0), 0.0);
+  grb::Vector<double, grb::Sequential> w(a.nrows());
+  for (auto _ : state) {
+    grb::mxv(w, grb::NoMask{}, grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, a, u, grb::Replace);
+    benchmark::DoNotOptimize(w);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+}
+
+void BM_mxv_gpu(benchmark::State& state) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 16);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<double, grb::GpuSim> u(std::vector<double>(a.ncols(), 1.0),
+                                     0.0);
+  grb::Vector<double, grb::GpuSim> w(a.nrows());
+  benchx::run_simulated(state, [&] {
+    grb::mxv(w, grb::NoMask{}, grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, a, u, grb::Replace);
+  });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+}
+
+}  // namespace
+
+BENCHMARK(BM_mxv_sequential)->DenseRange(8, 16, 2)->Iterations(3);
+BENCHMARK(BM_mxv_gpu)->DenseRange(8, 16, 2)->Iterations(3)->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/// Fig. 3 — PageRank per-iteration time vs scale per backend (d = 0.85).
+/// Measures a fixed 10 iterations (tol = 0) so rows are comparable, and
+/// reports time/iteration.
+
+#include "bench_common.hpp"
+
+#include "algorithms/pagerank.hpp"
+
+namespace {
+
+constexpr grb::IndexType kIters = 10;
+
+void BM_pagerank_sequential(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     16);
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  grb::Vector<double, grb::Sequential> rank(a.nrows());
+  for (auto _ : state) {
+    algorithms::pagerank(a, rank, 0.85, /*tol=*/0.0, kIters);
+    benchmark::DoNotOptimize(rank);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  state.counters["iters"] = benchmark::Counter(static_cast<double>(kIters));
+}
+
+void BM_pagerank_gpu(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     16);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<double, grb::GpuSim> rank(a.nrows());
+  benchx::run_simulated(
+      state, [&] { algorithms::pagerank(a, rank, 0.85, 0.0, kIters); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  state.counters["iters"] = benchmark::Counter(static_cast<double>(kIters));
+}
+
+}  // namespace
+
+BENCHMARK(BM_pagerank_sequential)->DenseRange(8, 13, 1)->Iterations(1);
+BENCHMARK(BM_pagerank_gpu)
+    ->DenseRange(8, 13, 1)
+    ->Iterations(1)
+    ->UseManualTime();
+
+BENCHMARK_MAIN();

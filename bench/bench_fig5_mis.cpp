@@ -1,0 +1,55 @@
+/// Fig. 5 — Luby maximal independent set vs graph size per backend, on
+/// Erdős–Rényi graphs with average degree 16 (uniform degrees keep round
+/// counts comparable across sizes).
+
+#include "bench_common.hpp"
+
+#include "algorithms/mis.hpp"
+
+namespace {
+
+const gbtl_graph::EdgeList& er_graph(unsigned log_n) {
+  static std::map<unsigned, gbtl_graph::EdgeList> cache;
+  auto it = cache.find(log_n);
+  if (it == cache.end()) {
+    const gbtl_graph::Index n = gbtl_graph::Index{1} << log_n;
+    auto g = gbtl_graph::symmetrize(gbtl_graph::remove_self_loops(
+        gbtl_graph::erdos_renyi(n, 8 * n, 1000 + log_n)));
+    it = cache.emplace(log_n, std::move(g)).first;
+  }
+  return it->second;
+}
+
+void BM_mis_sequential(benchmark::State& state) {
+  const auto& g = er_graph(static_cast<unsigned>(state.range(0)));
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  grb::Vector<bool, grb::Sequential> iset(a.nrows());
+  grb::IndexType rounds = 0;
+  for (auto _ : state) {
+    rounds = algorithms::mis(a, iset, 42);
+    benchmark::DoNotOptimize(iset);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  state.counters["rounds"] = benchmark::Counter(static_cast<double>(rounds));
+  state.counters["set_size"] =
+      benchmark::Counter(static_cast<double>(iset.nvals()));
+}
+
+void BM_mis_gpu(benchmark::State& state) {
+  const auto& g = er_graph(static_cast<unsigned>(state.range(0)));
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<bool, grb::GpuSim> iset(a.nrows());
+  grb::IndexType rounds = 0;
+  benchx::run_simulated(state, [&] { rounds = algorithms::mis(a, iset, 42); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  state.counters["rounds"] = benchmark::Counter(static_cast<double>(rounds));
+  state.counters["set_size"] =
+      benchmark::Counter(static_cast<double>(iset.nvals()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_mis_sequential)->DenseRange(10, 14, 1)->Iterations(1);
+BENCHMARK(BM_mis_gpu)->DenseRange(10, 14, 1)->Iterations(1)->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+/// Table 1 companion — per-primitive microbenchmarks: every GraphBLAS
+/// operation timed on one fixed R-MAT graph (scale 12, ef 16) for both
+/// backends. The workshop-paper style "primitive performance" table that
+/// grounds the algorithm-level results.
+
+#include "bench_common.hpp"
+
+namespace {
+
+constexpr unsigned kScale = 12;
+
+template <typename Tag>
+struct Fixture {
+  grb::Matrix<double, Tag> a;
+  grb::Vector<double, Tag> u;
+
+  Fixture()
+      : a(gbtl_graph::to_matrix<double, Tag>(benchx::rmat_graph(kScale, 16))),
+        u(std::vector<double>(a.ncols(), 1.0), 0.0) {}
+};
+
+template <typename Tag>
+Fixture<Tag>& fixture() {
+  static Fixture<Tag> f;
+  return f;
+}
+
+// Each case is a callable on the fixture; registered twice (seq wall time,
+// gpu simulated time).
+template <typename Tag, typename Fn>
+void run_case(benchmark::State& state, Fn&& fn) {
+  auto& f = fixture<Tag>();
+  if constexpr (std::is_same_v<Tag, grb::GpuSim>) {
+    benchx::run_simulated(state, [&] { fn(f); });
+  } else {
+    for (auto _ : state) fn(f);
+  }
+  benchx::annotate(state, f.a.nrows(), f.a.nvals());
+}
+
+// Variadic so commas inside the body (template argument lists) survive
+// preprocessing.
+#define GBTL_OP_BENCH(name, ...)                                        \
+  void BM_##name##_seq(benchmark::State& state) {                       \
+    run_case<grb::Sequential>(state, [](auto& f) { __VA_ARGS__ });      \
+  }                                                                      \
+  void BM_##name##_gpu(benchmark::State& state) {                       \
+    run_case<grb::GpuSim>(state, [](auto& f) { __VA_ARGS__ });          \
+  }                                                                      \
+  BENCHMARK(BM_##name##_seq)->Iterations(2);                             \
+  BENCHMARK(BM_##name##_gpu)->Iterations(2)->UseManualTime();
+
+using grb::NoAccumulate;
+using grb::NoMask;
+
+GBTL_OP_BENCH(op_mxv, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Vector<double, Tag> w(f.a.nrows());
+  grb::mxv(w, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           f.a, f.u, grb::Replace);
+  benchmark::DoNotOptimize(w);
+})
+
+GBTL_OP_BENCH(op_vxm, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Vector<double, Tag> w(f.a.ncols());
+  grb::vxm(w, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           f.u, f.a, grb::Replace);
+  benchmark::DoNotOptimize(w);
+})
+
+GBTL_OP_BENCH(op_ewise_add_mat, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Matrix<double, Tag> c(f.a.nrows(), f.a.ncols());
+  grb::eWiseAdd(c, NoMask{}, NoAccumulate{}, grb::Plus<double>{}, f.a, f.a);
+  benchmark::DoNotOptimize(c);
+})
+
+GBTL_OP_BENCH(op_ewise_mult_mat, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Matrix<double, Tag> c(f.a.nrows(), f.a.ncols());
+  grb::eWiseMult(c, NoMask{}, NoAccumulate{}, grb::Times<double>{}, f.a,
+                 f.a);
+  benchmark::DoNotOptimize(c);
+})
+
+GBTL_OP_BENCH(op_apply_mat, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Matrix<double, Tag> c(f.a.nrows(), f.a.ncols());
+  grb::apply(c, NoMask{}, NoAccumulate{}, grb::AdditiveInverse<double>{},
+             f.a);
+  benchmark::DoNotOptimize(c);
+})
+
+GBTL_OP_BENCH(op_reduce_rows, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Vector<double, Tag> w(f.a.nrows());
+  grb::reduce(w, NoMask{}, NoAccumulate{}, grb::PlusMonoid<double>{}, f.a);
+  benchmark::DoNotOptimize(w);
+})
+
+GBTL_OP_BENCH(op_reduce_scalar, {
+  double s = 0;
+  grb::reduce(s, NoAccumulate{}, grb::PlusMonoid<double>{}, f.a);
+  benchmark::DoNotOptimize(s);
+})
+
+GBTL_OP_BENCH(op_transpose, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Matrix<double, Tag> c(f.a.ncols(), f.a.nrows());
+  grb::transpose(c, NoMask{}, NoAccumulate{}, f.a);
+  benchmark::DoNotOptimize(c);
+})
+
+GBTL_OP_BENCH(op_extract_subgraph, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  const auto half = grb::all_indices(f.a.nrows() / 2);
+  grb::Matrix<double, Tag> c(half.size(), half.size());
+  grb::extract(c, NoMask{}, NoAccumulate{}, f.a, half, half);
+  benchmark::DoNotOptimize(c);
+})
+
+GBTL_OP_BENCH(op_select_lower, {
+  using Tag = typename std::decay_t<decltype(f.a)>::BackendTag;
+  grb::Matrix<double, Tag> c(f.a.nrows(), f.a.ncols());
+  grb::select(c, NoMask{}, NoAccumulate{},
+              [](grb::IndexType i, grb::IndexType j, double) { return j < i; },
+              f.a, grb::Replace);
+  benchmark::DoNotOptimize(c);
+})
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/// Table 2 — BFS traversal time and TEPS per backend on R-MAT graphs
+/// (Graph500-style rows: scale, vertices, edges, time, TEPS).
+
+#include "bench_common.hpp"
+
+#include "algorithms/bfs.hpp"
+
+namespace {
+
+void BM_bfs_sequential(benchmark::State& state) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 16);
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  grb::Vector<grb::IndexType, grb::Sequential> levels(a.nrows());
+  for (auto _ : state) {
+    algorithms::bfs_level(a, 0, levels);
+    benchmark::DoNotOptimize(levels);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+  state.counters["reached"] =
+      benchmark::Counter(static_cast<double>(levels.nvals()));
+}
+
+void BM_bfs_gpu(benchmark::State& state) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 16);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<grb::IndexType, grb::GpuSim> levels(a.nrows());
+  benchx::run_simulated(state, [&] { algorithms::bfs_level(a, 0, levels); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+  state.counters["reached"] =
+      benchmark::Counter(static_cast<double>(levels.nvals()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_bfs_sequential)->DenseRange(8, 14, 2)->Iterations(1);
+BENCHMARK(BM_bfs_gpu)->DenseRange(8, 14, 2)->Iterations(1)->UseManualTime();
+
+BENCHMARK_MAIN();

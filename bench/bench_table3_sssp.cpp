@@ -1,0 +1,53 @@
+/// Table 3 — SSSP (Bellman-Ford over min-plus) per backend on weighted
+/// R-MAT graphs with uniform random weights in [1, 255] (the paper-era
+/// delta-stepping benchmark convention).
+
+#include "bench_common.hpp"
+
+#include "algorithms/sssp.hpp"
+
+namespace {
+
+const gbtl_graph::EdgeList& weighted_rmat(unsigned scale) {
+  static std::map<unsigned, gbtl_graph::EdgeList> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    it = cache.emplace(scale, gbtl_graph::with_random_weights(
+                                  benchx::rmat_graph(scale, 16), 1.0, 255.0,
+                                  scale))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_sssp_sequential(benchmark::State& state) {
+  const auto& g = weighted_rmat(static_cast<unsigned>(state.range(0)));
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  grb::Vector<double, grb::Sequential> dist(a.nrows());
+  grb::IndexType rounds = 0;
+  for (auto _ : state) {
+    rounds = algorithms::sssp(a, 0, dist);
+    benchmark::DoNotOptimize(dist);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+  state.counters["rounds"] = benchmark::Counter(static_cast<double>(rounds));
+}
+
+void BM_sssp_gpu(benchmark::State& state) {
+  const auto& g = weighted_rmat(static_cast<unsigned>(state.range(0)));
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<double, grb::GpuSim> dist(a.nrows());
+  grb::IndexType rounds = 0;
+  benchx::run_simulated(state, [&] { rounds = algorithms::sssp(a, 0, dist); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+  state.counters["rounds"] = benchmark::Counter(static_cast<double>(rounds));
+}
+
+}  // namespace
+
+BENCHMARK(BM_sssp_sequential)->DenseRange(8, 13, 1)->Iterations(1);
+BENCHMARK(BM_sssp_gpu)->DenseRange(8, 13, 1)->Iterations(1)->UseManualTime();
+
+BENCHMARK_MAIN();

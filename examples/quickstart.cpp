@@ -1,0 +1,71 @@
+/// Quickstart: build a small graph, run one GraphBLAS primitive and one
+/// algorithm on BOTH backends, and show the simulated-device accounting —
+/// a five-minute tour of the whole library.
+
+#include <cstdio>
+
+#include "algorithms/algorithms.hpp"
+#include "gbtl/gbtl.hpp"
+#include "gpu_sim/context.hpp"
+
+namespace {
+
+template <typename Tag>
+void demo(const char* name) {
+  // A tiny directed graph:
+  //   0 -> 1 -> 2 -> 3
+  //    \------------^
+  grb::Matrix<double, Tag> graph(4, 4);
+  graph.build({0, 1, 2, 0}, {1, 2, 3, 3}, {1.0, 1.0, 1.0, 5.0});
+
+  std::printf("=== backend: %s ===\n", name);
+  std::printf("graph: %llu vertices, %llu edges\n",
+              static_cast<unsigned long long>(graph.nrows()),
+              static_cast<unsigned long long>(graph.nvals()));
+
+  // One primitive: out-degrees via row reduction.
+  grb::Vector<double, Tag> degree(4);
+  grb::reduce(degree, grb::NoMask{}, grb::NoAccumulate{},
+              grb::PlusMonoid<double>{},
+              grb::Matrix<double, Tag>(graph));
+  std::printf("weighted out-degree of vertex 0: %.1f\n",
+              degree.extractElement(0));
+
+  // One algorithm: BFS levels from vertex 0.
+  grb::Vector<grb::IndexType, Tag> levels(4);
+  algorithms::bfs_level(graph, 0, levels);
+  for (grb::IndexType v = 0; v < 4; ++v)
+    std::printf("  vertex %llu: BFS level %llu\n",
+                static_cast<unsigned long long>(v),
+                static_cast<unsigned long long>(levels.extractElement(v)));
+
+  // And shortest paths, which respect the weights (0->3 direct costs 5,
+  // the hop path costs 3).
+  grb::Vector<double, Tag> dist(4);
+  algorithms::sssp(graph, 0, dist);
+  std::printf("shortest 0->3 distance: %.1f\n", dist.extractElement(3));
+}
+
+}  // namespace
+
+int main() {
+  demo<grb::Sequential>("sequential (CPU reference)");
+
+  gpu_sim::device().reset_stats();
+  demo<grb::GpuSim>("gpu-sim (simulated CUDA backend)");
+
+  const auto stats = gpu_sim::device().stats();
+  std::printf("\nsimulated device activity for the GpuSim run:\n");
+  std::printf("  kernel launches:  %llu\n",
+              static_cast<unsigned long long>(stats.kernel_launches));
+  std::printf("  H2D transfers:    %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(stats.h2d_transfers),
+              static_cast<unsigned long long>(stats.h2d_bytes));
+  std::printf("  D2H transfers:    %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(stats.d2h_transfers),
+              static_cast<unsigned long long>(stats.d2h_bytes));
+  std::printf("  simulated time:   %.3f us kernels + %.3f us transfers\n",
+              stats.simulated_kernel_time_s * 1e6,
+              stats.simulated_transfer_time_s * 1e6);
+  return 0;
+}

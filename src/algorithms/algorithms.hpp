@@ -1,0 +1,22 @@
+#pragma once
+
+/// @file algorithms.hpp
+/// Umbrella header for the GraphBLAS-based algorithm library — every
+/// algorithm is written once against the frontend and runs unchanged on any
+/// backend (pass grb::Sequential or grb::GpuSim objects).
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/coloring.hpp"
+#include "algorithms/connected_components.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/ktruss.hpp"
+#include "algorithms/maxflow.hpp"
+#include "algorithms/metrics.hpp"
+#include "algorithms/mis.hpp"
+#include "algorithms/mst.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/scc.hpp"
+#include "algorithms/similarity.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/topological.hpp"
+#include "algorithms/triangle_count.hpp"

@@ -1,0 +1,97 @@
+#pragma once
+
+/// @file ktruss.hpp
+/// k-truss: the maximal subgraph in which every edge participates in at
+/// least k-2 triangles. The GraphBLAS formulation (McMillan's classic) is a
+/// fixed point of one masked SpGEMM per round: support(i,j) = |N(i)∩N(j)|
+/// restricted to current edges — exactly C<E> = E·E — followed by a select
+/// on the support threshold.
+
+#include "gbtl/gbtl.hpp"
+
+namespace algorithms {
+
+struct KtrussResult {
+  /// Surviving edges (directed count; symmetric input stays symmetric).
+  grb::IndexType edges = 0;
+  /// SpGEMM rounds until the fixed point.
+  grb::IndexType rounds = 0;
+};
+
+/// Compute the k-truss of an undirected (symmetric, loop-free) graph.
+/// @param graph  input adjacency; values ignored beyond structure.
+/// @param truss  output: adjacency of the k-truss, entries hold each
+///               edge's triangle support.
+template <typename T, typename Tag>
+KtrussResult ktruss(const grb::Matrix<T, Tag>& graph, grb::IndexType k,
+                    grb::Matrix<grb::IndexType, Tag>& truss) {
+  using grb::IndexType;
+  const IndexType n = graph.nrows();
+  if (graph.ncols() != n)
+    throw grb::DimensionException("ktruss: graph must be square");
+  if (truss.nrows() != n || truss.ncols() != n)
+    throw grb::DimensionException("ktruss: output shape mismatch");
+  if (k < 2) throw grb::InvalidValueException("ktruss: k must be >= 2");
+
+  // E: pattern with 1-values.
+  grb::Matrix<IndexType, Tag> E(n, n);
+  grb::apply(E, grb::NoMask{}, grb::NoAccumulate{},
+             [](const T&) { return IndexType{1}; }, graph);
+
+  const IndexType min_support = k - 2;
+  KtrussResult result;
+  grb::Matrix<IndexType, Tag> support(n, n);
+
+  for (;;) {
+    ++result.rounds;
+    // support<E> = E*E : common-neighbour count per surviving edge.
+    grb::mxm(support, grb::structure(E), grb::NoAccumulate{},
+             grb::ArithmeticSemiring<IndexType>{}, E, E, grb::Replace);
+    // Edges of E with no wedge at all never appear in `support`; they have
+    // support 0 and survive only if min_support == 0.
+    const IndexType before = E.nvals();
+    grb::Matrix<IndexType, Tag> kept(n, n);
+    grb::select(kept, grb::NoMask{}, grb::NoAccumulate{},
+                [min_support](IndexType, IndexType, IndexType s) {
+                  return s >= min_support;
+                },
+                support, grb::Replace);
+    if (min_support == 0) {
+      // Everything survives; support matrix may miss 0-support edges, so
+      // merge them back as zeros.
+      grb::Matrix<IndexType, Tag> zeros(n, n);
+      grb::apply(zeros, grb::NoMask{}, grb::NoAccumulate{},
+                 [](IndexType) { return IndexType{0}; }, E);
+      grb::eWiseAdd(kept, grb::NoMask{}, grb::NoAccumulate{},
+                    grb::Max<IndexType>{}, kept, zeros, grb::Replace);
+    }
+    const IndexType after = kept.nvals();
+    // Rebuild E as the pattern of kept edges.
+    grb::apply(E, grb::NoMask{}, grb::NoAccumulate{},
+               [](IndexType) { return IndexType{1}; }, kept, grb::Replace);
+    if (after == before) {
+      truss = std::move(kept);
+      result.edges = after;
+      return result;
+    }
+    if (after == 0) {
+      truss.clear();
+      result.edges = 0;
+      return result;
+    }
+  }
+}
+
+/// Largest k for which the k-truss is non-empty (the graph's trussness).
+template <typename T, typename Tag>
+grb::IndexType max_truss(const grb::Matrix<T, Tag>& graph) {
+  grb::Matrix<grb::IndexType, Tag> t(graph.nrows(), graph.ncols());
+  grb::IndexType k = 2;
+  while (true) {
+    auto r = ktruss(graph, k + 1, t);
+    if (r.edges == 0) return k;
+    ++k;
+  }
+}
+
+}  // namespace algorithms

@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file maxflow.hpp
+/// Edmonds-Karp maximum flow: repeated BFS (GraphBLAS parent-BFS over the
+/// positive-capacity residual pattern) + host-side augmenting-path walk.
+/// The per-augmentation residual update is two rank-1 structural edits.
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "gbtl/gbtl.hpp"
+#include "algorithms/bfs.hpp"
+
+namespace algorithms {
+
+/// Maximum s->t flow in a directed capacity graph (positive capacities).
+/// @returns the flow value.
+template <typename T, typename Tag>
+T maxflow(const grb::Matrix<T, Tag>& capacities, grb::IndexType source,
+          grb::IndexType sink) {
+  using grb::IndexType;
+  const IndexType n = capacities.nrows();
+  if (capacities.ncols() != n)
+    throw grb::DimensionException("maxflow: graph must be square");
+  if (source >= n || sink >= n)
+    throw grb::IndexOutOfBoundsException("maxflow: source/sink");
+  if (source == sink)
+    throw grb::InvalidValueException("maxflow: source == sink");
+
+  grb::Matrix<T, Tag> residual = capacities;
+  grb::Vector<IndexType, Tag> parents(n);
+  T flow{0};
+
+  for (;;) {
+    // Residual pattern with strictly positive capacity.
+    grb::Matrix<T, Tag> pattern(n, n);
+    grb::select(pattern, grb::NoMask{}, grb::NoAccumulate{},
+                [](IndexType, IndexType, const T& c) { return c > T{0}; },
+                residual, grb::Replace);
+
+    bfs_parent(pattern, source, parents);
+    if (!parents.hasElement(sink)) break;  // no augmenting path left
+
+    // Walk sink -> source collecting the bottleneck.
+    std::vector<IndexType> path;  // vertices, sink first
+    T bottleneck = std::numeric_limits<T>::max();
+    IndexType v = sink;
+    path.push_back(v);
+    while (v != source) {
+      const IndexType p = parents.extractElement(v);
+      bottleneck = std::min(bottleneck, residual.extractElement(p, v));
+      v = p;
+      path.push_back(v);
+    }
+
+    // Augment along the path (path is sink..source).
+    for (std::size_t k = path.size() - 1; k > 0; --k) {
+      const IndexType u = path[k];
+      const IndexType w = path[k - 1];
+      const T forward = residual.extractElement(u, w) - bottleneck;
+      if (forward > T{0})
+        residual.setElement(u, w, forward);
+      else
+        residual.removeElement(u, w);
+      const T backward =
+          residual.hasElement(w, u) ? residual.extractElement(w, u) : T{0};
+      residual.setElement(w, u, backward + bottleneck);
+    }
+    flow += bottleneck;
+  }
+  return flow;
+}
+
+}  // namespace algorithms

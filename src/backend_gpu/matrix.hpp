@@ -1,0 +1,299 @@
+#pragma once
+
+/// @file backend_gpu/matrix.hpp
+/// GPU-backend sparse matrix: CSR resident in simulated device memory
+/// (row_offsets / col_indices / values), the format the paper's CUDA
+/// backend standardized on (see the format ablation, Abl. A). Structure
+/// mutations (setElement / removeElement) round-trip through the host with
+/// fully accounted transfers — exactly the cost a real CUDA backend pays,
+/// which is why GraphBLAS algorithms batch their construction via build().
+
+#include <algorithm>
+#include <vector>
+
+#include "gbtl/types.hpp"
+#include "gpu_sim/algorithms.hpp"
+#include "gpu_sim/context.hpp"
+#include "gpu_sim/device_vector.hpp"
+
+namespace grb::gpu_backend {
+
+template <typename T>
+class Matrix {
+ public:
+  using ScalarType = T;
+
+  /// Host-side COO snapshot used by the build/mutation paths and the
+  /// host-fallback operations.
+  struct HostCoo {
+    IndexArrayType rows;
+    IndexArrayType cols;
+    std::vector<T> vals;
+  };
+
+  Matrix() = default;
+  Matrix(IndexType nrows, IndexType ncols, gpu_sim::Context& ctx = gpu_sim::device())
+      : nrows_(nrows),
+        ncols_(ncols),
+        ctx_(&ctx),
+        row_offsets_(nrows + 1, ctx),
+        col_indices_(ctx),
+        values_(ctx) {
+    if (nrows == 0 || ncols == 0)
+      throw InvalidValueException("matrix dimensions must be positive");
+    gpu_sim::fill(row_offsets_, IndexType{0});
+  }
+
+  Matrix(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  IndexType nrows() const { return nrows_; }
+  IndexType ncols() const { return ncols_; }
+  IndexType nvals() const { return col_indices_.size(); }
+  gpu_sim::Context& context() const { return *ctx_; }
+
+  void clear() {
+    gpu_sim::fill(row_offsets_, IndexType{0});
+    col_indices_.clear();
+    values_.clear();
+  }
+
+  /// GrB_Matrix_resize: a device pipeline — flag in-bounds entries, compact
+  /// keys+values, rebuild CSR under the new column stride.
+  void resize(IndexType nrows, IndexType ncols) {
+    if (nrows == 0 || ncols == 0)
+      throw InvalidValueException("resize: dimensions must be positive");
+    const IndexType nnz = nvals();
+    const IndexType old_ncols = ncols_;
+
+    // Old flattened keys (computed against the old stride).
+    gpu_sim::device_vector<IndexType> keys(nnz, *ctx_);
+    {
+      const IndexType* offs = row_offsets_.data();
+      const IndexType* cols = col_indices_.data();
+      IndexType* out = keys.data();
+      const IndexType n = nrows_;
+      ctx_->launch_n(n,
+                     gpu_sim::LaunchStats{nnz + n,
+                                          (n + nnz) * sizeof(IndexType),
+                                          nnz * sizeof(IndexType)},
+                     [=](std::size_t i) {
+                       for (IndexType k = offs[i]; k < offs[i + 1]; ++k)
+                         out[k] = static_cast<IndexType>(i) * old_ncols +
+                                  cols[k];
+                     });
+    }
+    // In-bounds flags + re-keyed coordinates under the new stride.
+    gpu_sim::device_vector<std::uint8_t> flags(nnz, *ctx_);
+    gpu_sim::device_vector<IndexType> new_keys(nnz, *ctx_);
+    {
+      const IndexType* k = keys.data();
+      std::uint8_t* f = flags.data();
+      IndexType* nk = new_keys.data();
+      ctx_->launch_n(nnz,
+                     gpu_sim::LaunchStats{3 * nnz,
+                                          nnz * sizeof(IndexType),
+                                          nnz * (sizeof(IndexType) + 1)},
+                     [=](std::size_t p) {
+                       const IndexType r = k[p] / old_ncols;
+                       const IndexType c = k[p] % old_ncols;
+                       const bool keep = r < nrows && c < ncols;
+                       f[p] = keep ? 1 : 0;
+                       nk[p] = keep ? r * ncols + c : 0;
+                     });
+    }
+    gpu_sim::device_vector<IndexType> kept_keys(*ctx_);
+    gpu_sim::device_vector<T> kept_vals(*ctx_);
+    gpu_sim::copy_flagged(new_keys, flags, kept_keys);
+    gpu_sim::copy_flagged(values_, flags, kept_vals);
+
+    nrows_ = nrows;
+    ncols_ = ncols;
+    row_offsets_ = gpu_sim::device_vector<IndexType>(nrows + 1, *ctx_);
+    load_from_sorted_keys(kept_keys, kept_vals);
+  }
+
+  /// Build from host coordinate arrays: upload, radix sort by (row, col),
+  /// collapse duplicates with @p dup, then derive CSR offsets with a
+  /// vectorized lower_bound — the CUSP construction pipeline.
+  template <typename VIt, typename DupOp>
+  void build(const IndexArrayType& row_idx, const IndexArrayType& col_idx,
+             VIt values_begin, IndexType n, DupOp dup) {
+    if (row_idx.size() < n || col_idx.size() < n)
+      throw InvalidValueException("build: index arrays shorter than n");
+    std::vector<IndexType> keys(n);
+    std::vector<T> vals(n);
+    for (IndexType k = 0; k < n; ++k) {
+      if (row_idx[k] >= nrows_ || col_idx[k] >= ncols_)
+        throw IndexOutOfBoundsException("build: tuple outside matrix shape");
+      keys[k] = row_idx[k] * ncols_ + col_idx[k];
+      vals[k] = *(values_begin + static_cast<std::ptrdiff_t>(k));
+    }
+    gpu_sim::device_vector<IndexType> d_keys(keys, *ctx_);
+    gpu_sim::device_vector<T> d_vals(vals, *ctx_);
+    gpu_sim::sort_by_key(d_keys, d_vals);
+    gpu_sim::device_vector<IndexType> u_keys(*ctx_);
+    gpu_sim::device_vector<T> u_vals(*ctx_);
+    gpu_sim::reduce_by_key(d_keys, d_vals, u_keys, u_vals, dup);
+    load_from_sorted_keys(u_keys, u_vals);
+  }
+
+  /// Row-major sorted tuple dump (one accounted D2H per component).
+  void extract_tuples(IndexArrayType& row_idx, IndexArrayType& col_idx,
+                      std::vector<T>& values) const {
+    const auto offs = row_offsets_.to_host();
+    const auto cols = col_indices_.to_host();
+    values = values_.to_host();
+    row_idx.clear();
+    col_idx.clear();
+    row_idx.reserve(cols.size());
+    col_idx.assign(cols.begin(), cols.end());
+    for (IndexType i = 0; i < nrows_; ++i)
+      for (IndexType k = offs[i]; k < offs[i + 1]; ++k) row_idx.push_back(i);
+  }
+
+  HostCoo to_host_coo() const {
+    HostCoo coo;
+    extract_tuples(coo.rows, coo.cols, coo.vals);
+    return coo;
+  }
+
+  /// Replace contents from host COO (need not be sorted or deduplicated —
+  /// last duplicate wins, matching setElement-style mutation semantics).
+  void from_host_coo(const HostCoo& coo) {
+    build(coo.rows, coo.cols, coo.vals.begin(),
+          static_cast<IndexType>(coo.vals.size()),
+          [](const T&, const T& b) { return b; });
+  }
+
+  bool has_element(IndexType i, IndexType j) const {
+    bounds_check(i, j);
+    return find_position(i, j) != kNotFound;
+  }
+
+  T get_element(IndexType i, IndexType j) const {
+    bounds_check(i, j);
+    const IndexType pos = find_position(i, j);
+    if (pos == kNotFound) throw NoValueException("matrix getElement");
+    T out;
+    ctx_->copy_d2h(&out, values_.data() + pos, sizeof(T));
+    return out;
+  }
+
+  void set_element(IndexType i, IndexType j, const T& v) {
+    bounds_check(i, j);
+    const IndexType pos = find_position(i, j);
+    if (pos != kNotFound) {
+      ctx_->copy_h2d(values_.data() + pos, &v, sizeof(T));
+      return;
+    }
+    HostCoo coo = to_host_coo();
+    coo.rows.push_back(i);
+    coo.cols.push_back(j);
+    coo.vals.push_back(v);
+    from_host_coo(coo);
+  }
+
+  void remove_element(IndexType i, IndexType j) {
+    bounds_check(i, j);
+    if (find_position(i, j) == kNotFound) return;
+    HostCoo coo = to_host_coo();
+    HostCoo out;
+    for (IndexType k = 0; k < coo.rows.size(); ++k) {
+      if (coo.rows[k] == i && coo.cols[k] == j) continue;
+      out.rows.push_back(coo.rows[k]);
+      out.cols.push_back(coo.cols[k]);
+      out.vals.push_back(coo.vals[k]);
+    }
+    from_host_coo(out);
+  }
+
+  // --- Device-side access for the operation pipelines --------------------
+  const gpu_sim::device_vector<IndexType>& row_offsets() const {
+    return row_offsets_;
+  }
+  const gpu_sim::device_vector<IndexType>& col_indices() const {
+    return col_indices_;
+  }
+  const gpu_sim::device_vector<T>& values() const { return values_; }
+
+  /// Adopt device CSR arrays produced by an operation pipeline.
+  void adopt(gpu_sim::device_vector<IndexType>&& row_offsets,
+             gpu_sim::device_vector<IndexType>&& col_indices,
+             gpu_sim::device_vector<T>&& values) {
+    row_offsets_ = std::move(row_offsets);
+    col_indices_ = std::move(col_indices);
+    values_ = std::move(values);
+  }
+
+  /// Adopt flattened (row*ncols+col)-sorted key/value arrays.
+  void load_from_sorted_keys(const gpu_sim::device_vector<IndexType>& keys,
+                             const gpu_sim::device_vector<T>& vals) {
+    const IndexType n = keys.size();
+    col_indices_.resize(n);
+    values_ = vals;
+    // Split keys into (row, col) and derive row offsets.
+    gpu_sim::device_vector<IndexType> rows(n, *ctx_);
+    {
+      const IndexType* k = keys.data();
+      IndexType* r = rows.data();
+      IndexType* c = col_indices_.data();
+      const IndexType ncols = ncols_;
+      ctx_->launch_n(
+          n,
+          gpu_sim::LaunchStats{2 * n, n * sizeof(IndexType),
+                               2 * n * sizeof(IndexType)},
+          [=](std::size_t t) {
+            r[t] = k[t] / ncols;
+            c[t] = k[t] % ncols;
+          });
+    }
+    gpu_sim::device_vector<IndexType> needles(nrows_ + 1, *ctx_);
+    gpu_sim::sequence(needles, IndexType{0});
+    gpu_sim::lower_bound(rows, needles, row_offsets_);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    if (a.nrows_ != b.nrows_ || a.ncols_ != b.ncols_) return false;
+    IndexArrayType ar, ac, br, bc;
+    std::vector<T> av, bv;
+    a.extract_tuples(ar, ac, av);
+    b.extract_tuples(br, bc, bv);
+    return ar == br && ac == bc && av == bv;
+  }
+
+ private:
+  static constexpr IndexType kNotFound = ~IndexType{0};
+
+  void bounds_check(IndexType i, IndexType j) const {
+    if (i >= nrows_ || j >= ncols_)
+      throw IndexOutOfBoundsException("matrix element access");
+  }
+
+  /// Position of (i, j) in the value array, or kNotFound. Downloads the
+  /// row's slice of column indices (accounted), then binary-searches.
+  IndexType find_position(IndexType i, IndexType j) const {
+    IndexType bounds[2];
+    ctx_->copy_d2h(bounds, row_offsets_.data() + i, 2 * sizeof(IndexType));
+    const IndexType lo = bounds[0], hi = bounds[1];
+    if (lo == hi) return kNotFound;
+    std::vector<IndexType> cols(hi - lo);
+    ctx_->copy_d2h(cols.data(), col_indices_.data() + lo,
+                   (hi - lo) * sizeof(IndexType));
+    auto it = std::lower_bound(cols.begin(), cols.end(), j);
+    if (it != cols.end() && *it == j)
+      return lo + static_cast<IndexType>(it - cols.begin());
+    return kNotFound;
+  }
+
+  IndexType nrows_ = 0;
+  IndexType ncols_ = 0;
+  gpu_sim::Context* ctx_ = nullptr;
+  gpu_sim::device_vector<IndexType> row_offsets_;
+  gpu_sim::device_vector<IndexType> col_indices_;
+  gpu_sim::device_vector<T> values_;
+};
+
+}  // namespace grb::gpu_backend

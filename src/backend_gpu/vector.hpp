@@ -1,0 +1,171 @@
+#pragma once
+
+/// @file backend_gpu/vector.hpp
+/// GPU-backend vector: dense value array + dense presence bitmap, both in
+/// simulated device memory. Dense storage is the standard GPU choice for
+/// GraphBLAS vectors — frontiers flip between sparse and dense across BFS
+/// levels, and a bitmap avoids device-side compaction on every step.
+
+#include <vector>
+
+#include "gbtl/types.hpp"
+#include "gpu_sim/algorithms.hpp"
+#include "gpu_sim/context.hpp"
+#include "gpu_sim/device_vector.hpp"
+
+namespace grb::gpu_backend {
+
+template <typename T>
+class Vector {
+ public:
+  using ScalarType = T;
+
+  Vector() = default;
+  explicit Vector(IndexType size, gpu_sim::Context& ctx = gpu_sim::device())
+      : size_(size), ctx_(&ctx), values_(size, ctx), present_(size, ctx) {
+    if (size == 0)
+      throw InvalidValueException("vector size must be positive");
+    gpu_sim::fill(values_, T{});
+    gpu_sim::fill(present_, std::uint8_t{0});
+  }
+
+  Vector(const Vector&) = default;
+  Vector(Vector&&) noexcept = default;
+  Vector& operator=(const Vector&) = default;
+  Vector& operator=(Vector&&) noexcept = default;
+
+  IndexType size() const { return size_; }
+  gpu_sim::Context& context() const { return *ctx_; }
+
+  IndexType nvals() const {
+    return gpu_sim::count_if(present_,
+                             [](std::uint8_t p) { return p != 0; });
+  }
+
+  void clear() {
+    gpu_sim::fill(values_, T{});
+    gpu_sim::fill(present_, std::uint8_t{0});
+  }
+
+  /// GrB_Vector_resize: grow with empty space / shrink dropping the tail.
+  void resize(IndexType size) {
+    if (size == 0)
+      throw InvalidValueException("resize: size must be positive");
+    const IndexType old = size_;
+    values_.resize(size);
+    present_.resize(size);
+    size_ = size;
+    if (size > old) {
+      // Zero-fill the fresh region (device kernels over the suffix).
+      T* v = values_.data();
+      std::uint8_t* p = present_.data();
+      const IndexType fresh = size - old;
+      ctx_->launch_n(fresh,
+                     gpu_sim::LaunchStats{fresh, 0, fresh * (sizeof(T) + 1)},
+                     [=](std::size_t i) {
+                       v[old + i] = T{};
+                       p[old + i] = 0;
+                     });
+    }
+  }
+
+  template <typename VIt, typename DupOp>
+  void build(const IndexArrayType& indices, VIt values_begin, IndexType n,
+             DupOp dup) {
+    if (indices.size() < n)
+      throw InvalidValueException("build: index array shorter than n");
+    // Assemble on host (dup handling is order-sensitive), then one upload.
+    std::vector<T> vals(size_, T{});
+    std::vector<std::uint8_t> pres(size_, 0);
+    for (IndexType k = 0; k < n; ++k) {
+      const IndexType i = indices[k];
+      if (i >= size_)
+        throw IndexOutOfBoundsException("build: tuple outside vector size");
+      const T v = *(values_begin + static_cast<std::ptrdiff_t>(k));
+      if (pres[i]) {
+        vals[i] = dup(vals[i], v);
+      } else {
+        pres[i] = 1;
+        vals[i] = v;
+      }
+    }
+    values_.copy_from_host(vals);
+    present_.copy_from_host(pres);
+  }
+
+  bool has_element(IndexType i) const {
+    bounds_check(i);
+    std::uint8_t p;
+    ctx_->copy_d2h(&p, present_.data() + i, 1);
+    return p != 0;
+  }
+
+  T get_element(IndexType i) const {
+    bounds_check(i);
+    if (!has_element(i)) throw NoValueException("vector getElement");
+    T v;
+    ctx_->copy_d2h(&v, values_.data() + i, sizeof(T));
+    return v;
+  }
+
+  void set_element(IndexType i, const T& v) {
+    bounds_check(i);
+    const std::uint8_t one = 1;
+    ctx_->copy_h2d(values_.data() + i, &v, sizeof(T));
+    ctx_->copy_h2d(present_.data() + i, &one, 1);
+  }
+
+  void remove_element(IndexType i) {
+    bounds_check(i);
+    const std::uint8_t zero = 0;
+    const T blank{};
+    ctx_->copy_h2d(present_.data() + i, &zero, 1);
+    ctx_->copy_h2d(values_.data() + i, &blank, sizeof(T));
+  }
+
+  void extract_tuples(IndexArrayType& indices, std::vector<T>& values) const {
+    const auto vals = values_.to_host();
+    const auto pres = present_.to_host();
+    indices.clear();
+    values.clear();
+    for (IndexType i = 0; i < size_; ++i) {
+      if (pres[i]) {
+        indices.push_back(i);
+        values.push_back(vals[i]);
+      }
+    }
+  }
+
+  // --- Device-side access for the operation pipelines --------------------
+  gpu_sim::device_vector<T>& values() { return values_; }
+  const gpu_sim::device_vector<T>& values() const { return values_; }
+  gpu_sim::device_vector<std::uint8_t>& present() { return present_; }
+  const gpu_sim::device_vector<std::uint8_t>& present() const {
+    return present_;
+  }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    if (a.size_ != b.size_) return false;
+    const auto av = a.values_.to_host();
+    const auto ap = a.present_.to_host();
+    const auto bv = b.values_.to_host();
+    const auto bp = b.present_.to_host();
+    for (IndexType i = 0; i < a.size_; ++i) {
+      if (ap[i] != bp[i]) return false;
+      if (ap[i] && !(av[i] == bv[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void bounds_check(IndexType i) const {
+    if (i >= size_) throw IndexOutOfBoundsException("vector element access");
+  }
+
+  IndexType size_ = 0;
+  gpu_sim::Context* ctx_ = nullptr;
+  gpu_sim::device_vector<T> values_;
+  gpu_sim::device_vector<std::uint8_t> present_;
+};
+
+}  // namespace grb::gpu_backend

@@ -1,0 +1,182 @@
+#pragma once
+
+/// @file backend_sequential/matrix.hpp
+/// Sequential-backend sparse matrix: list-of-sparse-rows (LIL), each row a
+/// vector of (column, value) pairs sorted by column. This mirrors GBTL's
+/// reference backend — optimized for clarity and for serving as the oracle
+/// the GPU backend is validated against.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "gbtl/types.hpp"
+
+namespace grb::seq_backend {
+
+template <typename T>
+class Matrix {
+ public:
+  using ScalarType = T;
+  /// One stored entry: (column index, value), rows kept column-sorted.
+  using Entry = std::pair<IndexType, T>;
+  using Row = std::vector<Entry>;
+
+  Matrix() = default;
+  Matrix(IndexType nrows, IndexType ncols)
+      : nrows_(nrows), ncols_(ncols), rows_(nrows) {
+    if (nrows == 0 || ncols == 0)
+      throw InvalidValueException("matrix dimensions must be positive");
+  }
+
+  IndexType nrows() const { return nrows_; }
+  IndexType ncols() const { return ncols_; }
+  IndexType nvals() const { return nvals_; }
+
+  void clear() {
+    for (auto& r : rows_) r.clear();
+    nvals_ = 0;
+  }
+
+  /// GrB_Matrix_resize semantics: change shape, dropping entries that fall
+  /// outside the new bounds; growth adds empty space.
+  void resize(IndexType nrows, IndexType ncols) {
+    if (nrows == 0 || ncols == 0)
+      throw InvalidValueException("resize: dimensions must be positive");
+    if (nrows < nrows_) {
+      for (IndexType i = nrows; i < nrows_; ++i) nvals_ -= rows_[i].size();
+    }
+    rows_.resize(nrows);
+    nrows_ = nrows;
+    if (ncols < ncols_) {
+      for (auto& row : rows_) {
+        auto it = std::lower_bound(
+            row.begin(), row.end(), ncols,
+            [](const Entry& e, IndexType col) { return e.first < col; });
+        nvals_ -= static_cast<IndexType>(row.end() - it);
+        row.erase(it, row.end());
+      }
+    }
+    ncols_ = ncols;
+  }
+
+  /// Build from coordinate arrays; duplicates combine via @p dup.
+  template <typename VIt, typename DupOp>
+  void build(const IndexArrayType& row_idx, const IndexArrayType& col_idx,
+             VIt values_begin, IndexType n, DupOp dup) {
+    if (row_idx.size() < n || col_idx.size() < n)
+      throw InvalidValueException("build: index arrays shorter than n");
+    clear();
+    for (IndexType k = 0; k < n; ++k) {
+      const IndexType i = row_idx[k];
+      const IndexType j = col_idx[k];
+      if (i >= nrows_ || j >= ncols_)
+        throw IndexOutOfBoundsException("build: tuple outside matrix shape");
+      const T v = *(values_begin + static_cast<std::ptrdiff_t>(k));
+      auto& row = rows_[i];
+      auto it = std::lower_bound(
+          row.begin(), row.end(), j,
+          [](const Entry& e, IndexType col) { return e.first < col; });
+      if (it != row.end() && it->first == j) {
+        it->second = dup(it->second, v);
+      } else {
+        row.insert(it, Entry{j, v});
+        ++nvals_;
+      }
+    }
+  }
+
+  bool has_element(IndexType i, IndexType j) const {
+    bounds_check(i, j);
+    return find(i, j) != nullptr;
+  }
+
+  T get_element(IndexType i, IndexType j) const {
+    bounds_check(i, j);
+    const T* v = find(i, j);
+    if (v == nullptr) throw NoValueException("matrix getElement");
+    return *v;
+  }
+
+  void set_element(IndexType i, IndexType j, const T& v) {
+    bounds_check(i, j);
+    auto& row = rows_[i];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), j,
+        [](const Entry& e, IndexType col) { return e.first < col; });
+    if (it != row.end() && it->first == j) {
+      it->second = v;
+    } else {
+      row.insert(it, Entry{j, v});
+      ++nvals_;
+    }
+  }
+
+  void remove_element(IndexType i, IndexType j) {
+    bounds_check(i, j);
+    auto& row = rows_[i];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), j,
+        [](const Entry& e, IndexType col) { return e.first < col; });
+    if (it != row.end() && it->first == j) {
+      row.erase(it);
+      --nvals_;
+    }
+  }
+
+  /// Row-major sorted tuple dump (the GrB_Matrix_extractTuples analogue).
+  void extract_tuples(IndexArrayType& row_idx, IndexArrayType& col_idx,
+                      std::vector<T>& values) const {
+    row_idx.clear();
+    col_idx.clear();
+    values.clear();
+    row_idx.reserve(nvals_);
+    col_idx.reserve(nvals_);
+    values.reserve(nvals_);
+    for (IndexType i = 0; i < nrows_; ++i) {
+      for (const auto& [j, v] : rows_[i]) {
+        row_idx.push_back(i);
+        col_idx.push_back(j);
+        values.push_back(v);
+      }
+    }
+  }
+
+  const Row& row(IndexType i) const { return rows_[i]; }
+
+  /// Replace row i wholesale (entries must arrive column-sorted). Keeps
+  /// nvals_ consistent; the workhorse of the operation write-back path.
+  void set_row(IndexType i, Row&& entries) {
+    nvals_ -= rows_[i].size();
+    rows_[i] = std::move(entries);
+    nvals_ += rows_[i].size();
+  }
+
+  /// Pointer to stored value or nullptr — used for mask probing.
+  const T* find(IndexType i, IndexType j) const {
+    const auto& row = rows_[i];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), j,
+        [](const Entry& e, IndexType col) { return e.first < col; });
+    if (it != row.end() && it->first == j) return &it->second;
+    return nullptr;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ &&
+           a.rows_ == b.rows_;
+  }
+
+ private:
+  void bounds_check(IndexType i, IndexType j) const {
+    if (i >= nrows_ || j >= ncols_)
+      throw IndexOutOfBoundsException("matrix element access");
+  }
+
+  IndexType nrows_ = 0;
+  IndexType ncols_ = 0;
+  std::vector<Row> rows_;
+  IndexType nvals_ = 0;
+};
+
+}  // namespace grb::seq_backend

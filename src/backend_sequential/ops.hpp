@@ -1,0 +1,745 @@
+#pragma once
+
+/// @file backend_sequential/ops.hpp
+/// Sequential implementations of every GraphBLAS operation, written for
+/// clarity: these are the semantic oracle the GPU backend is tested against.
+///
+/// Every operation follows the GraphBLAS evaluation pipeline:
+///   1. compute the raw result T̃;
+///   2. Z = accum ? merge(C, T̃, accum) : T̃;
+///   3. write back under mask: allowed positions take Z, disallowed keep C
+///      (Merge) or are deleted (Replace).
+/// Steps 2 & 3 are centralized in write_matrix / write_vector below.
+
+#include <algorithm>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "backend_sequential/matrix.hpp"
+#include "backend_sequential/vector.hpp"
+#include "gbtl/algebra.hpp"
+#include "gbtl/mask.hpp"
+#include "gbtl/types.hpp"
+
+namespace grb::seq_backend {
+
+namespace detail {
+
+template <typename V>
+bool truthy(const V& v) {
+  return static_cast<bool>(v);
+}
+
+/// Does the mask allow writing matrix position (i, j)?
+template <typename MObj>
+bool allows(const MaskDesc<MObj>& m, IndexType i, IndexType j) {
+  if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
+    (void)m, (void)i, (void)j;
+    return true;
+  } else {
+    if (m.mask == nullptr) return true;
+    const auto* v = m.mask->find(i, j);
+    const bool present = (v != nullptr) && (m.structural || truthy(*v));
+    return m.complement ? !present : present;
+  }
+}
+
+/// Does the mask allow writing vector position i?
+template <typename MObj>
+bool allows(const MaskDesc<MObj>& m, IndexType i) {
+  if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
+    (void)m, (void)i;
+    return true;
+  } else {
+    if (m.mask == nullptr) return true;
+    const bool present =
+        m.mask->present_unchecked(i) &&
+        (m.structural || truthy(m.mask->value_unchecked(i)));
+    return m.complement ? !present : present;
+  }
+}
+
+/// Step 2+3 of the pipeline for matrices. @p T holds the computed result.
+template <typename CT, typename TT, typename MObj, typename Accum>
+void write_matrix(Matrix<CT>& C, const Matrix<TT>& T,
+                  const MaskDesc<MObj>& mask, Accum accum, bool replace) {
+  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
+  for (IndexType i = 0; i < C.nrows(); ++i) {
+    const auto& crow = C.row(i);
+    const auto& trow = T.row(i);
+    typename Matrix<CT>::Row out;
+    out.reserve(crow.size() + trow.size());
+    std::size_t ci = 0, ti = 0;
+    while (ci < crow.size() || ti < trow.size()) {
+      IndexType j;
+      bool has_c = false, has_t = false;
+      if (ci < crow.size() && ti < trow.size()) {
+        if (crow[ci].first < trow[ti].first) {
+          j = crow[ci].first;
+          has_c = true;
+        } else if (trow[ti].first < crow[ci].first) {
+          j = trow[ti].first;
+          has_t = true;
+        } else {
+          j = crow[ci].first;
+          has_c = has_t = true;
+        }
+      } else if (ci < crow.size()) {
+        j = crow[ci].first;
+        has_c = true;
+      } else {
+        j = trow[ti].first;
+        has_t = true;
+      }
+
+      const CT* cval = has_c ? &crow[ci].second : nullptr;
+      const TT* tval = has_t ? &trow[ti].second : nullptr;
+      if (has_c) ++ci;
+      if (has_t) ++ti;
+
+      if (allows(mask, i, j)) {
+        if constexpr (kAccum) {
+          if (has_c && has_t)
+            out.emplace_back(j, static_cast<CT>(accum(*cval, static_cast<CT>(
+                                                               *tval))));
+          else if (has_t)
+            out.emplace_back(j, static_cast<CT>(*tval));
+          else
+            out.emplace_back(j, *cval);
+        } else {
+          if (has_t) out.emplace_back(j, static_cast<CT>(*tval));
+          // has_c only: deleted — Z has no value here.
+        }
+      } else {
+        if (has_c && !replace) out.emplace_back(j, *cval);
+      }
+    }
+    C.set_row(i, std::move(out));
+  }
+}
+
+/// Step 2+3 for vectors.
+template <typename WT, typename TT, typename MObj, typename Accum>
+void write_vector(Vector<WT>& w, const Vector<TT>& T,
+                  const MaskDesc<MObj>& mask, Accum accum, bool replace) {
+  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
+  for (IndexType i = 0; i < w.size(); ++i) {
+    const bool has_w = w.present_unchecked(i);
+    const bool has_t = T.present_unchecked(i);
+    if (allows(mask, i)) {
+      if constexpr (kAccum) {
+        if (has_w && has_t)
+          w.set_unchecked(i, static_cast<WT>(accum(
+                                 w.value_unchecked(i),
+                                 static_cast<WT>(T.value_unchecked(i)))));
+        else if (has_t)
+          w.set_unchecked(i, static_cast<WT>(T.value_unchecked(i)));
+        // has_w only: keep.
+      } else {
+        if (has_t)
+          w.set_unchecked(i, static_cast<WT>(T.value_unchecked(i)));
+        else if (has_w)
+          w.erase_unchecked(i);
+      }
+    } else {
+      if (has_w && replace) w.erase_unchecked(i);
+    }
+  }
+}
+
+/// Materialized transpose (helper for TransposeView lowering and the
+/// dot-product mxm path).
+template <typename T>
+Matrix<T> transposed(const Matrix<T>& A) {
+  Matrix<T> At(A.ncols(), A.nrows());
+  for (IndexType i = 0; i < A.nrows(); ++i)
+    for (const auto& [j, v] : A.row(i)) At.set_element(j, i, v);
+  return At;
+}
+
+}  // namespace detail
+
+// ===========================================================================
+// mxm — matrix multiply over a semiring
+// ===========================================================================
+
+/// Unmasked/complement path: Gustavson row-by-row with a dense accumulator.
+/// Non-complemented masked path: dot products evaluated only at mask-allowed
+/// positions (the "masked early exit" the paper's triangle-count relies on).
+template <typename CT, typename MObj, typename Accum, typename SR,
+          typename AT, typename BT>
+void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
+         const Matrix<AT>& A, const Matrix<BT>& B, bool replace) {
+  using ZT = typename SR::result_type;
+  Matrix<ZT> T(C.nrows(), C.ncols());
+
+  constexpr bool kHasMaskObj = !std::is_same_v<MObj, EmptyMaskObj>;
+  bool used_dot_path = false;
+  if constexpr (kHasMaskObj) {
+    if (mask.mask != nullptr && !mask.complement) {
+      // Compute only where the mask allows: T(i,j) = A(i,:) dot B(:,j).
+      const Matrix<BT> Bt = detail::transposed(B);
+      for (IndexType i = 0; i < C.nrows(); ++i) {
+        typename Matrix<ZT>::Row trow;
+        for (const auto& [j, mv] : mask.mask->row(i)) {
+          if (!mask.structural && !detail::truthy(mv)) continue;
+          const auto& arow = A.row(i);
+          const auto& bcol = Bt.row(j);
+          std::size_t ai = 0, bi = 0;
+          ZT acc = sr.zero();
+          bool any = false;
+          while (ai < arow.size() && bi < bcol.size()) {
+            if (arow[ai].first < bcol[bi].first) {
+              ++ai;
+            } else if (bcol[bi].first < arow[ai].first) {
+              ++bi;
+            } else {
+              acc = sr.add(acc, sr.mult(arow[ai].second, bcol[bi].second));
+              any = true;
+              ++ai, ++bi;
+            }
+          }
+          if (any) trow.emplace_back(j, acc);
+        }
+        T.set_row(i, std::move(trow));
+      }
+      used_dot_path = true;
+    }
+  }
+
+  if (!used_dot_path) {
+    // Gustavson: T(i,:) = sum_k A(i,k) * B(k,:).
+    std::vector<ZT> acc(C.ncols(), sr.zero());
+    std::vector<std::uint8_t> occupied(C.ncols(), 0);
+    std::vector<IndexType> touched;
+    for (IndexType i = 0; i < A.nrows(); ++i) {
+      touched.clear();
+      for (const auto& [k, av] : A.row(i)) {
+        for (const auto& [j, bv] : B.row(k)) {
+          const ZT prod = sr.mult(av, bv);
+          if (!occupied[j]) {
+            occupied[j] = 1;
+            acc[j] = prod;
+            touched.push_back(j);
+          } else {
+            acc[j] = sr.add(acc[j], prod);
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      typename Matrix<ZT>::Row trow;
+      trow.reserve(touched.size());
+      for (IndexType j : touched) {
+        trow.emplace_back(j, acc[j]);
+        occupied[j] = 0;
+      }
+      T.set_row(i, std::move(trow));
+    }
+  }
+
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+// ===========================================================================
+// mxv / vxm
+// ===========================================================================
+
+template <typename WT, typename MObj, typename Accum, typename SR,
+          typename AT, typename UT>
+void mxv(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
+         const Matrix<AT>& A, const Vector<UT>& u, bool replace) {
+  using ZT = typename SR::result_type;
+  Vector<ZT> T(w.size());
+  for (IndexType i = 0; i < A.nrows(); ++i) {
+    ZT acc = sr.zero();
+    bool any = false;
+    for (const auto& [k, av] : A.row(i)) {
+      if (u.present_unchecked(k)) {
+        acc = sr.add(acc, sr.mult(av, u.value_unchecked(k)));
+        any = true;
+      }
+    }
+    if (any) T.set_unchecked(i, acc);
+  }
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+template <typename WT, typename MObj, typename Accum, typename SR,
+          typename UT, typename AT>
+void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
+         const Vector<UT>& u, const Matrix<AT>& A, bool replace) {
+  using ZT = typename SR::result_type;
+  Vector<ZT> T(w.size());
+  std::vector<std::uint8_t> occupied(w.size(), 0);
+  for (IndexType k = 0; k < A.nrows(); ++k) {
+    if (!u.present_unchecked(k)) continue;
+    const UT uv = u.value_unchecked(k);
+    for (const auto& [j, av] : A.row(k)) {
+      const ZT prod = sr.mult(uv, av);
+      if (!occupied[j]) {
+        occupied[j] = 1;
+        T.set_unchecked(j, prod);
+      } else {
+        T.set_unchecked(j, sr.add(T.value_unchecked(j), prod));
+      }
+    }
+  }
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+// ===========================================================================
+// eWiseAdd / eWiseMult
+// ===========================================================================
+
+template <typename WT, typename MObj, typename Accum, typename Op,
+          typename UT, typename VT>
+void ewise_add_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                   Op op, const Vector<UT>& u, const Vector<VT>& v,
+                   bool replace) {
+  using ZT = std::common_type_t<UT, VT>;
+  Vector<ZT> T(w.size());
+  for (IndexType i = 0; i < w.size(); ++i) {
+    const bool hu = u.present_unchecked(i), hv = v.present_unchecked(i);
+    if (hu && hv)
+      T.set_unchecked(i, static_cast<ZT>(op(
+                             static_cast<ZT>(u.value_unchecked(i)),
+                             static_cast<ZT>(v.value_unchecked(i)))));
+    else if (hu)
+      T.set_unchecked(i, static_cast<ZT>(u.value_unchecked(i)));
+    else if (hv)
+      T.set_unchecked(i, static_cast<ZT>(v.value_unchecked(i)));
+  }
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+template <typename WT, typename MObj, typename Accum, typename Op,
+          typename UT, typename VT>
+void ewise_mult_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                    Op op, const Vector<UT>& u, const Vector<VT>& v,
+                    bool replace) {
+  using ZT = std::common_type_t<UT, VT>;
+  Vector<ZT> T(w.size());
+  for (IndexType i = 0; i < w.size(); ++i) {
+    if (u.present_unchecked(i) && v.present_unchecked(i))
+      T.set_unchecked(i, static_cast<ZT>(op(
+                             static_cast<ZT>(u.value_unchecked(i)),
+                             static_cast<ZT>(v.value_unchecked(i)))));
+  }
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+template <typename CT, typename MObj, typename Accum, typename Op,
+          typename AT, typename BT>
+void ewise_add_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+                   Op op, const Matrix<AT>& A, const Matrix<BT>& B,
+                   bool replace) {
+  using ZT = std::common_type_t<AT, BT>;
+  Matrix<ZT> T(C.nrows(), C.ncols());
+  for (IndexType i = 0; i < C.nrows(); ++i) {
+    const auto& ar = A.row(i);
+    const auto& br = B.row(i);
+    typename Matrix<ZT>::Row out;
+    out.reserve(ar.size() + br.size());
+    std::size_t ai = 0, bi = 0;
+    while (ai < ar.size() || bi < br.size()) {
+      if (bi >= br.size() || (ai < ar.size() && ar[ai].first < br[bi].first)) {
+        out.emplace_back(ar[ai].first, static_cast<ZT>(ar[ai].second));
+        ++ai;
+      } else if (ai >= ar.size() || br[bi].first < ar[ai].first) {
+        out.emplace_back(br[bi].first, static_cast<ZT>(br[bi].second));
+        ++bi;
+      } else {
+        out.emplace_back(ar[ai].first,
+                         static_cast<ZT>(op(static_cast<ZT>(ar[ai].second),
+                                            static_cast<ZT>(br[bi].second))));
+        ++ai, ++bi;
+      }
+    }
+    T.set_row(i, std::move(out));
+  }
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+template <typename CT, typename MObj, typename Accum, typename Op,
+          typename AT, typename BT>
+void ewise_mult_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+                    Op op, const Matrix<AT>& A, const Matrix<BT>& B,
+                    bool replace) {
+  using ZT = std::common_type_t<AT, BT>;
+  Matrix<ZT> T(C.nrows(), C.ncols());
+  for (IndexType i = 0; i < C.nrows(); ++i) {
+    const auto& ar = A.row(i);
+    const auto& br = B.row(i);
+    typename Matrix<ZT>::Row out;
+    std::size_t ai = 0, bi = 0;
+    while (ai < ar.size() && bi < br.size()) {
+      if (ar[ai].first < br[bi].first) {
+        ++ai;
+      } else if (br[bi].first < ar[ai].first) {
+        ++bi;
+      } else {
+        out.emplace_back(ar[ai].first,
+                         static_cast<ZT>(op(static_cast<ZT>(ar[ai].second),
+                                            static_cast<ZT>(br[bi].second))));
+        ++ai, ++bi;
+      }
+    }
+    T.set_row(i, std::move(out));
+  }
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+// ===========================================================================
+// apply
+// ===========================================================================
+
+template <typename WT, typename MObj, typename Accum, typename UnaryOp,
+          typename UT>
+void apply_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+               UnaryOp f, const Vector<UT>& u, bool replace) {
+  Vector<WT> T(w.size());
+  for (IndexType i = 0; i < u.size(); ++i)
+    if (u.present_unchecked(i))
+      T.set_unchecked(i, static_cast<WT>(f(u.value_unchecked(i))));
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+template <typename CT, typename MObj, typename Accum, typename UnaryOp,
+          typename AT>
+void apply_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+               UnaryOp f, const Matrix<AT>& A, bool replace) {
+  Matrix<CT> T(C.nrows(), C.ncols());
+  for (IndexType i = 0; i < A.nrows(); ++i) {
+    typename Matrix<CT>::Row out;
+    out.reserve(A.row(i).size());
+    for (const auto& [j, v] : A.row(i))
+      out.emplace_back(j, static_cast<CT>(f(v)));
+    T.set_row(i, std::move(out));
+  }
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+/// apply with an index-aware operator: T̃[i] = f(i, u[i]) — the GraphBLAS
+/// IndexUnaryOp extension (used by BFS parent tracking, k-core peeling...).
+template <typename WT, typename MObj, typename Accum, typename IdxOp,
+          typename UT>
+void apply_indexed_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                       IdxOp f, const Vector<UT>& u, bool replace) {
+  Vector<WT> T(w.size());
+  for (IndexType i = 0; i < u.size(); ++i)
+    if (u.present_unchecked(i))
+      T.set_unchecked(i, static_cast<WT>(f(i, u.value_unchecked(i))));
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+/// Matrix form: T̃(i,j) = f(i, j, A(i,j)).
+template <typename CT, typename MObj, typename Accum, typename IdxOp,
+          typename AT>
+void apply_indexed_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+                       IdxOp f, const Matrix<AT>& A, bool replace) {
+  Matrix<CT> T(C.nrows(), C.ncols());
+  for (IndexType i = 0; i < A.nrows(); ++i) {
+    typename Matrix<CT>::Row out;
+    out.reserve(A.row(i).size());
+    for (const auto& [j, v] : A.row(i))
+      out.emplace_back(j, static_cast<CT>(f(i, j, v)));
+    T.set_row(i, std::move(out));
+  }
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+// ===========================================================================
+// reduce
+// ===========================================================================
+
+/// Row-wise reduction of a matrix into a vector.
+template <typename WT, typename MObj, typename Accum, typename Monoid,
+          typename AT>
+void reduce_mat_to_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                       Monoid monoid, const Matrix<AT>& A, bool replace) {
+  using ZT = typename Monoid::result_type;
+  Vector<ZT> T(w.size());
+  for (IndexType i = 0; i < A.nrows(); ++i) {
+    if (A.row(i).empty()) continue;
+    ZT acc = monoid.identity();
+    for (const auto& [j, v] : A.row(i)) acc = monoid(acc, static_cast<ZT>(v));
+    T.set_unchecked(i, acc);
+  }
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+template <typename ST, typename Accum, typename Monoid, typename UT>
+void reduce_vec_to_scalar(ST& s, Accum accum, Monoid monoid,
+                          const Vector<UT>& u) {
+  using ZT = typename Monoid::result_type;
+  ZT acc = monoid.identity();
+  for (IndexType i = 0; i < u.size(); ++i)
+    if (u.present_unchecked(i))
+      acc = monoid(acc, static_cast<ZT>(u.value_unchecked(i)));
+  if constexpr (std::is_same_v<Accum, NoAccumulate>)
+    s = static_cast<ST>(acc);
+  else
+    s = static_cast<ST>(accum(s, static_cast<ST>(acc)));
+}
+
+template <typename ST, typename Accum, typename Monoid, typename AT>
+void reduce_mat_to_scalar(ST& s, Accum accum, Monoid monoid,
+                          const Matrix<AT>& A) {
+  using ZT = typename Monoid::result_type;
+  ZT acc = monoid.identity();
+  for (IndexType i = 0; i < A.nrows(); ++i)
+    for (const auto& [j, v] : A.row(i)) acc = monoid(acc, static_cast<ZT>(v));
+  if constexpr (std::is_same_v<Accum, NoAccumulate>)
+    s = static_cast<ST>(acc);
+  else
+    s = static_cast<ST>(accum(s, static_cast<ST>(acc)));
+}
+
+// ===========================================================================
+// transpose
+// ===========================================================================
+
+template <typename CT, typename MObj, typename Accum, typename AT>
+void transpose_op(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+                  const Matrix<AT>& A, bool replace) {
+  Matrix<AT> T = detail::transposed(A);
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+// ===========================================================================
+// extract
+// ===========================================================================
+
+template <typename WT, typename MObj, typename Accum, typename UT>
+void extract_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                 const Vector<UT>& u, const IndexArrayType& indices,
+                 bool replace) {
+  Vector<UT> T(w.size());
+  for (IndexType k = 0; k < indices.size(); ++k) {
+    const IndexType src = indices[k];
+    if (src >= u.size())
+      throw IndexOutOfBoundsException("extract: source index");
+    if (u.present_unchecked(src))
+      T.set_unchecked(k, u.value_unchecked(src));
+  }
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+template <typename CT, typename MObj, typename Accum, typename AT>
+void extract_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+                 const Matrix<AT>& A, const IndexArrayType& row_indices,
+                 const IndexArrayType& col_indices, bool replace) {
+  Matrix<AT> T(C.nrows(), C.ncols());
+  // Position of each selected source column in the output (a source column
+  // may be selected multiple times).
+  std::vector<std::vector<IndexType>> col_positions(A.ncols());
+  for (IndexType k = 0; k < col_indices.size(); ++k) {
+    if (col_indices[k] >= A.ncols())
+      throw IndexOutOfBoundsException("extract: column index");
+    col_positions[col_indices[k]].push_back(k);
+  }
+  for (IndexType k = 0; k < row_indices.size(); ++k) {
+    const IndexType src = row_indices[k];
+    if (src >= A.nrows())
+      throw IndexOutOfBoundsException("extract: row index");
+    typename Matrix<AT>::Row out;
+    for (const auto& [j, v] : A.row(src))
+      for (IndexType dst_col : col_positions[j]) out.emplace_back(dst_col, v);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    T.set_row(k, std::move(out));
+  }
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+/// Column extract: w = A(row_indices, col).
+template <typename WT, typename MObj, typename Accum, typename AT>
+void extract_col(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                 const Matrix<AT>& A, const IndexArrayType& row_indices,
+                 IndexType col, bool replace) {
+  if (col >= A.ncols())
+    throw IndexOutOfBoundsException("extract: column index");
+  Vector<AT> T(w.size());
+  for (IndexType k = 0; k < row_indices.size(); ++k) {
+    if (row_indices[k] >= A.nrows())
+      throw IndexOutOfBoundsException("extract: row index");
+    const AT* v = A.find(row_indices[k], col);
+    if (v != nullptr) T.set_unchecked(k, *v);
+  }
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+// ===========================================================================
+// assign
+// ===========================================================================
+
+template <typename WT, typename MObj, typename Accum, typename UT>
+void assign_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                const Vector<UT>& u, const IndexArrayType& indices,
+                bool replace) {
+  // Z starts as a copy of w; the subrange is overwritten (or accumulated).
+  Vector<WT> T = w;
+  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
+  for (IndexType k = 0; k < indices.size(); ++k) {
+    const IndexType dst = indices[k];
+    if (dst >= w.size())
+      throw IndexOutOfBoundsException("assign: destination index");
+    if (u.present_unchecked(k)) {
+      const WT uv = static_cast<WT>(u.value_unchecked(k));
+      if (kAccum && T.present_unchecked(dst)) {
+        if constexpr (kAccum)
+          T.set_unchecked(dst, static_cast<WT>(
+                                   accum(T.value_unchecked(dst), uv)));
+      } else {
+        T.set_unchecked(dst, uv);
+      }
+    } else if (!kAccum) {
+      T.erase_unchecked(dst);
+    }
+  }
+  detail::write_vector(w, T, mask, NoAccumulate{}, replace);
+}
+
+template <typename WT, typename MObj, typename Accum>
+void assign_vec_constant(Vector<WT>& w, const MaskDesc<MObj>& mask,
+                         Accum accum, const WT& value,
+                         const IndexArrayType& indices, bool replace) {
+  Vector<WT> T = w;
+  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
+  for (IndexType dst : indices) {
+    if (dst >= w.size())
+      throw IndexOutOfBoundsException("assign: destination index");
+    if (kAccum && T.present_unchecked(dst)) {
+      if constexpr (kAccum)
+        T.set_unchecked(dst,
+                        static_cast<WT>(accum(T.value_unchecked(dst), value)));
+    } else {
+      T.set_unchecked(dst, value);
+    }
+  }
+  detail::write_vector(w, T, mask, NoAccumulate{}, replace);
+}
+
+template <typename CT, typename MObj, typename Accum, typename AT>
+void assign_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+                const Matrix<AT>& A, const IndexArrayType& row_indices,
+                const IndexArrayType& col_indices, bool replace) {
+  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
+  Matrix<CT> T = C;
+  // Without accumulate the assigned subgrid is fully replaced: clear the
+  // targeted positions first.
+  if (!kAccum) {
+    for (IndexType ri : row_indices)
+      for (IndexType ci : col_indices) {
+        if (ri >= C.nrows() || ci >= C.ncols())
+          throw IndexOutOfBoundsException("assign: destination index");
+        T.remove_element(ri, ci);
+      }
+  }
+  for (IndexType ai = 0; ai < row_indices.size(); ++ai) {
+    const IndexType dst_row = row_indices[ai];
+    if (dst_row >= C.nrows())
+      throw IndexOutOfBoundsException("assign: destination row");
+    for (const auto& [aj, v] : A.row(ai)) {
+      if (aj >= col_indices.size()) continue;
+      const IndexType dst_col = col_indices[aj];
+      if (dst_col >= C.ncols())
+        throw IndexOutOfBoundsException("assign: destination column");
+      const CT cv = static_cast<CT>(v);
+      if constexpr (kAccum) {
+        const CT* old = T.find(dst_row, dst_col);
+        if (old != nullptr)
+          T.set_element(dst_row, dst_col, static_cast<CT>(accum(*old, cv)));
+        else
+          T.set_element(dst_row, dst_col, cv);
+      } else {
+        T.set_element(dst_row, dst_col, cv);
+      }
+    }
+  }
+  detail::write_matrix(C, T, mask, NoAccumulate{}, replace);
+}
+
+template <typename CT, typename MObj, typename Accum>
+void assign_mat_constant(Matrix<CT>& C, const MaskDesc<MObj>& mask,
+                         Accum accum, const CT& value,
+                         const IndexArrayType& row_indices,
+                         const IndexArrayType& col_indices, bool replace) {
+  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
+  Matrix<CT> T = C;
+  for (IndexType ri : row_indices) {
+    for (IndexType ci : col_indices) {
+      if (ri >= C.nrows() || ci >= C.ncols())
+        throw IndexOutOfBoundsException("assign: destination index");
+      if constexpr (kAccum) {
+        const CT* old = T.find(ri, ci);
+        if (old != nullptr)
+          T.set_element(ri, ci, static_cast<CT>(accum(*old, value)));
+        else
+          T.set_element(ri, ci, value);
+      } else {
+        T.set_element(ri, ci, value);
+      }
+    }
+  }
+  detail::write_matrix(C, T, mask, NoAccumulate{}, replace);
+}
+
+// ===========================================================================
+// kronecker
+// ===========================================================================
+
+template <typename CT, typename MObj, typename Accum, typename Op,
+          typename AT, typename BT>
+void kronecker(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, Op op,
+               const Matrix<AT>& A, const Matrix<BT>& B, bool replace) {
+  using ZT = std::common_type_t<AT, BT>;
+  Matrix<ZT> T(C.nrows(), C.ncols());
+  for (IndexType ia = 0; ia < A.nrows(); ++ia) {
+    for (IndexType ib = 0; ib < B.nrows(); ++ib) {
+      typename Matrix<ZT>::Row out;
+      for (const auto& [ja, va] : A.row(ia))
+        for (const auto& [jb, vb] : B.row(ib))
+          out.emplace_back(ja * B.ncols() + jb,
+                           static_cast<ZT>(op(static_cast<ZT>(va),
+                                              static_cast<ZT>(vb))));
+      std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.first < b.first;
+      });
+      T.set_row(ia * B.nrows() + ib, std::move(out));
+    }
+  }
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+// ===========================================================================
+// select (GBTL/SuiteSparse extension): keep entries satisfying a predicate
+// ===========================================================================
+
+template <typename CT, typename MObj, typename Accum, typename Pred,
+          typename AT>
+void select_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+                Pred pred, const Matrix<AT>& A, bool replace) {
+  Matrix<AT> T(C.nrows(), C.ncols());
+  for (IndexType i = 0; i < A.nrows(); ++i) {
+    typename Matrix<AT>::Row out;
+    for (const auto& [j, v] : A.row(i))
+      if (pred(i, j, v)) out.emplace_back(j, v);
+    T.set_row(i, std::move(out));
+  }
+  detail::write_matrix(C, T, mask, accum, replace);
+}
+
+template <typename WT, typename MObj, typename Accum, typename Pred,
+          typename UT>
+void select_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
+                Pred pred, const Vector<UT>& u, bool replace) {
+  Vector<UT> T(w.size());
+  for (IndexType i = 0; i < u.size(); ++i)
+    if (u.present_unchecked(i) && pred(i, u.value_unchecked(i)))
+      T.set_unchecked(i, u.value_unchecked(i));
+  detail::write_vector(w, T, mask, accum, replace);
+}
+
+}  // namespace grb::seq_backend

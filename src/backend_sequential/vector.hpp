@@ -1,0 +1,152 @@
+#pragma once
+
+/// @file backend_sequential/vector.hpp
+/// Sequential-backend sparse vector stored densely: a value array plus a
+/// presence bitmap. GraphBLAS vectors flip between sparse and dense over an
+/// algorithm's lifetime (BFS frontiers); dense storage with a bitmap gives
+/// O(1) access at the memory cost the GPU backend pays anyway.
+
+#include <vector>
+
+#include "gbtl/types.hpp"
+
+namespace grb::seq_backend {
+
+template <typename T>
+class Vector {
+ public:
+  using ScalarType = T;
+
+  Vector() = default;
+  explicit Vector(IndexType size)
+      : size_(size), values_(size, T{}), present_(size, 0) {
+    if (size == 0)
+      throw InvalidValueException("vector size must be positive");
+  }
+
+  IndexType size() const { return size_; }
+  IndexType nvals() const { return nvals_; }
+
+  void clear() {
+    std::fill(present_.begin(), present_.end(), 0);
+    std::fill(values_.begin(), values_.end(), T{});
+    nvals_ = 0;
+  }
+
+  /// GrB_Vector_resize semantics.
+  void resize(IndexType size) {
+    if (size == 0)
+      throw InvalidValueException("resize: size must be positive");
+    if (size < size_) {
+      for (IndexType i = size; i < size_; ++i)
+        if (present_[i]) --nvals_;
+    }
+    values_.resize(size, T{});
+    present_.resize(size, 0);
+    size_ = size;
+  }
+
+  template <typename VIt, typename DupOp>
+  void build(const IndexArrayType& indices, VIt values_begin, IndexType n,
+             DupOp dup) {
+    if (indices.size() < n)
+      throw InvalidValueException("build: index array shorter than n");
+    clear();
+    for (IndexType k = 0; k < n; ++k) {
+      const IndexType i = indices[k];
+      if (i >= size_)
+        throw IndexOutOfBoundsException("build: tuple outside vector size");
+      const T v = *(values_begin + static_cast<std::ptrdiff_t>(k));
+      if (present_[i]) {
+        values_[i] = dup(values_[i], v);
+      } else {
+        present_[i] = 1;
+        values_[i] = v;
+        ++nvals_;
+      }
+    }
+  }
+
+  bool has_element(IndexType i) const {
+    bounds_check(i);
+    return present_[i] != 0;
+  }
+
+  T get_element(IndexType i) const {
+    bounds_check(i);
+    if (!present_[i]) throw NoValueException("vector getElement");
+    return values_[i];
+  }
+
+  void set_element(IndexType i, const T& v) {
+    bounds_check(i);
+    if (!present_[i]) {
+      present_[i] = 1;
+      ++nvals_;
+    }
+    values_[i] = v;
+  }
+
+  void remove_element(IndexType i) {
+    bounds_check(i);
+    if (present_[i]) {
+      present_[i] = 0;
+      values_[i] = T{};
+      --nvals_;
+    }
+  }
+
+  void extract_tuples(IndexArrayType& indices, std::vector<T>& values) const {
+    indices.clear();
+    values.clear();
+    indices.reserve(nvals_);
+    values.reserve(nvals_);
+    for (IndexType i = 0; i < size_; ++i) {
+      if (present_[i]) {
+        indices.push_back(i);
+        values.push_back(values_[i]);
+      }
+    }
+  }
+
+  // --- Raw access for the operation implementations ----------------------
+  bool present_unchecked(IndexType i) const { return present_[i] != 0; }
+  /// Returned by value: T may be bool, and std::vector<bool> hands out
+  /// proxies that must not escape by reference.
+  T value_unchecked(IndexType i) const { return values_[i]; }
+  void set_unchecked(IndexType i, const T& v) {
+    if (!present_[i]) {
+      present_[i] = 1;
+      ++nvals_;
+    }
+    values_[i] = v;
+  }
+  void erase_unchecked(IndexType i) {
+    if (present_[i]) {
+      present_[i] = 0;
+      values_[i] = T{};
+      --nvals_;
+    }
+  }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    if (a.size_ != b.size_ || a.nvals_ != b.nvals_) return false;
+    for (IndexType i = 0; i < a.size_; ++i) {
+      if (a.present_[i] != b.present_[i]) return false;
+      if (a.present_[i] && !(a.values_[i] == b.values_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void bounds_check(IndexType i) const {
+    if (i >= size_) throw IndexOutOfBoundsException("vector element access");
+  }
+
+  IndexType size_ = 0;
+  std::vector<T> values_;
+  std::vector<std::uint8_t> present_;
+  IndexType nvals_ = 0;
+};
+
+}  // namespace grb::seq_backend

@@ -1,0 +1,125 @@
+#pragma once
+
+/// @file backend.hpp
+/// Backend selection: maps a backend tag (grb::Sequential / grb::GpuSim) to
+/// its container types and operation entry points. GBTL 1.0 chose the
+/// backend by include-path substitution at configure time; this repo uses a
+/// tag template parameter instead so both backends coexist in one binary —
+/// the equivalence tests and the CPU-vs-GPU benches depend on that.
+
+#include <utility>
+
+#include "backend_gpu/matrix.hpp"
+#include "backend_gpu/ops.hpp"
+#include "backend_gpu/vector.hpp"
+#include "backend_sequential/matrix.hpp"
+#include "backend_sequential/ops.hpp"
+#include "backend_sequential/vector.hpp"
+#include "gbtl/types.hpp"
+
+namespace grb {
+
+template <typename Tag>
+struct backend_traits;
+
+template <>
+struct backend_traits<Sequential> {
+  template <typename T>
+  using matrix_type = seq_backend::Matrix<T>;
+  template <typename T>
+  using vector_type = seq_backend::Vector<T>;
+};
+
+template <>
+struct backend_traits<GpuSim> {
+  template <typename T>
+  using matrix_type = gpu_backend::Matrix<T>;
+  template <typename T>
+  using vector_type = gpu_backend::Vector<T>;
+};
+
+/// Uniform forwarding shims so the frontend can dispatch to either backend
+/// with one spelling. (Plain ADL would risk resolving back into the
+/// frontend's own operation names.)
+template <typename Tag>
+struct backend_ops;
+
+#define GBTL_FORWARD_OP(op_name)                           \
+  template <typename... Args>                              \
+  static decltype(auto) op_name(Args&&... args) {          \
+    return backend_ns::op_name(std::forward<Args>(args)...); \
+  }
+
+template <>
+struct backend_ops<Sequential> {
+  template <typename M>
+  static M transposed(const M& m) {
+    return seq_backend::detail::transposed(m);
+  }
+#define backend_ns seq_backend
+  GBTL_FORWARD_OP(mxm)
+  GBTL_FORWARD_OP(mxv)
+  GBTL_FORWARD_OP(vxm)
+  GBTL_FORWARD_OP(ewise_add_vec)
+  GBTL_FORWARD_OP(ewise_mult_vec)
+  GBTL_FORWARD_OP(ewise_add_mat)
+  GBTL_FORWARD_OP(ewise_mult_mat)
+  GBTL_FORWARD_OP(apply_vec)
+  GBTL_FORWARD_OP(apply_mat)
+  GBTL_FORWARD_OP(apply_indexed_vec)
+  GBTL_FORWARD_OP(apply_indexed_mat)
+  GBTL_FORWARD_OP(reduce_mat_to_vec)
+  GBTL_FORWARD_OP(reduce_vec_to_scalar)
+  GBTL_FORWARD_OP(reduce_mat_to_scalar)
+  GBTL_FORWARD_OP(transpose_op)
+  GBTL_FORWARD_OP(extract_vec)
+  GBTL_FORWARD_OP(extract_mat)
+  GBTL_FORWARD_OP(extract_col)
+  GBTL_FORWARD_OP(assign_vec)
+  GBTL_FORWARD_OP(assign_vec_constant)
+  GBTL_FORWARD_OP(assign_mat)
+  GBTL_FORWARD_OP(assign_mat_constant)
+  GBTL_FORWARD_OP(kronecker)
+  GBTL_FORWARD_OP(select_mat)
+  GBTL_FORWARD_OP(select_vec)
+#undef backend_ns
+};
+
+template <>
+struct backend_ops<GpuSim> {
+  template <typename M>
+  static M transposed(const M& m) {
+    return gpu_backend::transposed(m);
+  }
+#define backend_ns gpu_backend
+  GBTL_FORWARD_OP(mxm)
+  GBTL_FORWARD_OP(mxv)
+  GBTL_FORWARD_OP(vxm)
+  GBTL_FORWARD_OP(ewise_add_vec)
+  GBTL_FORWARD_OP(ewise_mult_vec)
+  GBTL_FORWARD_OP(ewise_add_mat)
+  GBTL_FORWARD_OP(ewise_mult_mat)
+  GBTL_FORWARD_OP(apply_vec)
+  GBTL_FORWARD_OP(apply_mat)
+  GBTL_FORWARD_OP(apply_indexed_vec)
+  GBTL_FORWARD_OP(apply_indexed_mat)
+  GBTL_FORWARD_OP(reduce_mat_to_vec)
+  GBTL_FORWARD_OP(reduce_vec_to_scalar)
+  GBTL_FORWARD_OP(reduce_mat_to_scalar)
+  GBTL_FORWARD_OP(transpose_op)
+  GBTL_FORWARD_OP(extract_vec)
+  GBTL_FORWARD_OP(extract_mat)
+  GBTL_FORWARD_OP(extract_col)
+  GBTL_FORWARD_OP(assign_vec)
+  GBTL_FORWARD_OP(assign_vec_constant)
+  GBTL_FORWARD_OP(assign_mat)
+  GBTL_FORWARD_OP(assign_mat_constant)
+  GBTL_FORWARD_OP(kronecker)
+  GBTL_FORWARD_OP(select_mat)
+  GBTL_FORWARD_OP(select_vec)
+#undef backend_ns
+};
+
+#undef GBTL_FORWARD_OP
+
+}  // namespace grb

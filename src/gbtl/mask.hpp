@@ -1,0 +1,27 @@
+#pragma once
+
+/// @file mask.hpp
+/// Backend-neutral mask descriptor. The frontend lowers whatever the caller
+/// passed — NoMask, a Matrix/Vector, complement(m), structure(m),
+/// complement(structure(m)) — into this one POD that backends interpret.
+/// `mask == nullptr` means unmasked.
+
+namespace grb {
+
+template <typename MaskObj>
+struct MaskDesc {
+  const MaskObj* mask = nullptr;
+  /// Complemented mask: positions *not* allowed by the mask are written.
+  bool complement = false;
+  /// Structural mask: presence alone allows a position (stored falsy
+  /// values still allow); otherwise the stored value must be truthy.
+  bool structural = false;
+
+  bool unmasked() const { return mask == nullptr; }
+};
+
+/// Descriptor used when the caller passed grb::NoMask.
+struct EmptyMaskObj {};
+using NoMaskDesc = MaskDesc<EmptyMaskObj>;
+
+}  // namespace grb

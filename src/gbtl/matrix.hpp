@@ -1,0 +1,104 @@
+#pragma once
+
+/// @file matrix.hpp
+/// The public GraphBLAS matrix. A thin, backend-agnostic shell: all storage
+/// and computation live in the backend object selected by the Tag parameter.
+
+#include <initializer_list>
+#include <vector>
+
+#include "gbtl/algebra.hpp"
+#include "gbtl/backend.hpp"
+#include "gbtl/types.hpp"
+
+namespace grb {
+
+template <typename T, typename Tag = Sequential>
+class Matrix {
+ public:
+  using ScalarType = T;
+  using BackendTag = Tag;
+  using BackendType =
+      typename backend_traits<Tag>::template matrix_type<T>;
+
+  /// An nrows x ncols matrix with no stored values.
+  Matrix(IndexType nrows, IndexType ncols) : impl_(nrows, ncols) {}
+
+  /// Build from a dense row-major initializer; values equal to
+  /// @p implied_zero are not stored. Convenient in tests and examples:
+  ///   Matrix<double> A({{1, 0}, {0, 2}}, 0);
+  Matrix(const std::vector<std::vector<T>>& dense, const T& implied_zero)
+      : impl_(dense.size(), dense.empty() ? 0 : dense.front().size()) {
+    IndexArrayType rows, cols;
+    std::vector<T> vals;
+    for (IndexType i = 0; i < dense.size(); ++i) {
+      if (dense[i].size() != dense.front().size())
+        throw InvalidValueException("ragged dense initializer");
+      for (IndexType j = 0; j < dense[i].size(); ++j) {
+        if (dense[i][j] == implied_zero) continue;
+        rows.push_back(i);
+        cols.push_back(j);
+        vals.push_back(dense[i][j]);
+      }
+    }
+    impl_.build(rows, cols, vals.begin(),
+                static_cast<IndexType>(vals.size()), Second<T>{});
+  }
+
+  IndexType nrows() const { return impl_.nrows(); }
+  IndexType ncols() const { return impl_.ncols(); }
+  IndexType nvals() const { return impl_.nvals(); }
+
+  void clear() { impl_.clear(); }
+
+  /// GrB_Matrix_resize: change shape; entries outside the new bounds are
+  /// dropped, growth adds empty space.
+  void resize(IndexType nrows, IndexType ncols) {
+    impl_.resize(nrows, ncols);
+  }
+
+  /// Populate from coordinate arrays. Duplicate coordinates combine via
+  /// @p dup (default: addition, matching most GraphBLAS example code).
+  template <typename DupOp = Plus<T>>
+  void build(const IndexArrayType& row_indices,
+             const IndexArrayType& col_indices, const std::vector<T>& values,
+             DupOp dup = DupOp{}) {
+    if (row_indices.size() != values.size() ||
+        col_indices.size() != values.size())
+      throw InvalidValueException("build: array length mismatch");
+    impl_.build(row_indices, col_indices, values.begin(),
+                static_cast<IndexType>(values.size()), dup);
+  }
+
+  bool hasElement(IndexType row, IndexType col) const {
+    return impl_.has_element(row, col);
+  }
+  T extractElement(IndexType row, IndexType col) const {
+    return impl_.get_element(row, col);
+  }
+  void setElement(IndexType row, IndexType col, const T& value) {
+    impl_.set_element(row, col, value);
+  }
+  void removeElement(IndexType row, IndexType col) {
+    impl_.remove_element(row, col);
+  }
+
+  /// Dump stored entries, row-major sorted.
+  void extractTuples(IndexArrayType& row_indices, IndexArrayType& col_indices,
+                     std::vector<T>& values) const {
+    impl_.extract_tuples(row_indices, col_indices, values);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.impl_ == b.impl_;
+  }
+
+  /// Backend escape hatch used by the operations layer.
+  BackendType& impl() { return impl_; }
+  const BackendType& impl() const { return impl_; }
+
+ private:
+  BackendType impl_;
+};
+
+}  // namespace grb

@@ -1,0 +1,423 @@
+#pragma once
+
+/// @file operations.hpp
+/// The GraphBLAS operations — the public computational API. Every function
+/// follows the GraphBLAS C++ argument order:
+///
+///   op(output, mask, accumulator, operator/semiring, inputs..., outp)
+///
+/// - `mask`:  NoMask{}, a Matrix/Vector, or complement()/structure() views.
+/// - `accum`: NoAccumulate{} or a binary operator (e.g. Plus<T>{}).
+/// - `outp`:  Merge (default) keeps non-masked output entries, Replace
+///            deletes them.
+///
+/// Matrix operands may be wrapped in transpose(A). The frontend validates
+/// shapes and lowers the call onto the backend selected by the output's tag.
+
+#include "gbtl/algebra.hpp"
+#include "gbtl/backend.hpp"
+#include "gbtl/matrix.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+#include "gbtl/views.hpp"
+
+namespace grb {
+
+// ===========================================================================
+// mxm: C<M,z> = accum(C, A +.* B)
+// ===========================================================================
+
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename SR, typename AMat, typename BMat>
+void mxm(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+         const SR& semiring, const AMat& A, const BMat& B,
+         OutputControl outp = Merge) {
+  detail::check(detail::nrows_of(A) == C.nrows(), "mxm: C.nrows != A.nrows");
+  detail::check(detail::ncols_of(B) == C.ncols(), "mxm: C.ncols != B.ncols");
+  detail::check(detail::ncols_of(A) == detail::nrows_of(B),
+                "mxm: A.ncols != B.nrows");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "mxm: mask shape");
+  auto&& a = detail::lower_operand(A);
+  auto&& b = detail::lower_operand(B);
+  backend_ops<Tag>::mxm(C.impl(), detail::lower_mask(Mask), accum, semiring,
+                        a, b, outp == Replace);
+}
+
+// ===========================================================================
+// mxv: w<m,z> = accum(w, A +.* u)
+// ===========================================================================
+
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename SR, typename AMat, typename UT>
+void mxv(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+         const SR& semiring, const AMat& A, const Vector<UT, Tag>& u,
+         OutputControl outp = Merge) {
+  detail::check(detail::nrows_of(A) == w.size(), "mxv: w.size != A.nrows");
+  detail::check(detail::ncols_of(A) == u.size(), "mxv: u.size != A.ncols");
+  detail::check(detail::mask_size_ok(mask, w.size()), "mxv: mask size");
+  auto&& a = detail::lower_operand(A);
+  backend_ops<Tag>::mxv(w.impl(), detail::lower_mask(mask), accum, semiring,
+                        a, u.impl(), outp == Replace);
+}
+
+// ===========================================================================
+// vxm: w<m,z> = accum(w, u +.* A)
+// ===========================================================================
+
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename SR, typename UT, typename AMat>
+void vxm(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+         const SR& semiring, const Vector<UT, Tag>& u, const AMat& A,
+         OutputControl outp = Merge) {
+  detail::check(detail::ncols_of(A) == w.size(), "vxm: w.size != A.ncols");
+  detail::check(detail::nrows_of(A) == u.size(), "vxm: u.size != A.nrows");
+  detail::check(detail::mask_size_ok(mask, w.size()), "vxm: mask size");
+  auto&& a = detail::lower_operand(A);
+  backend_ops<Tag>::vxm(w.impl(), detail::lower_mask(mask), accum, semiring,
+                        u.impl(), a, outp == Replace);
+}
+
+// ===========================================================================
+// eWiseAdd / eWiseMult
+// ===========================================================================
+
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename Op, typename UT, typename VT>
+void eWiseAdd(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+              const Op& op, const Vector<UT, Tag>& u,
+              const Vector<VT, Tag>& v, OutputControl outp = Merge) {
+  detail::check(u.size() == w.size() && v.size() == w.size(),
+                "eWiseAdd: size mismatch");
+  detail::check(detail::mask_size_ok(mask, w.size()), "eWiseAdd: mask size");
+  backend_ops<Tag>::ewise_add_vec(w.impl(), detail::lower_mask(mask), accum,
+                                  op, u.impl(), v.impl(), outp == Replace);
+}
+
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename Op, typename UT, typename VT>
+void eWiseMult(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+               const Op& op, const Vector<UT, Tag>& u,
+               const Vector<VT, Tag>& v, OutputControl outp = Merge) {
+  detail::check(u.size() == w.size() && v.size() == w.size(),
+                "eWiseMult: size mismatch");
+  detail::check(detail::mask_size_ok(mask, w.size()), "eWiseMult: mask size");
+  backend_ops<Tag>::ewise_mult_vec(w.impl(), detail::lower_mask(mask), accum,
+                                   op, u.impl(), v.impl(), outp == Replace);
+}
+
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename Op, typename AMat, typename BMat>
+void eWiseAdd(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+              const Op& op, const AMat& A, const BMat& B,
+              OutputControl outp = Merge) {
+  detail::check(detail::nrows_of(A) == C.nrows() &&
+                    detail::ncols_of(A) == C.ncols() &&
+                    detail::nrows_of(B) == C.nrows() &&
+                    detail::ncols_of(B) == C.ncols(),
+                "eWiseAdd: shape mismatch");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "eWiseAdd: mask shape");
+  auto&& a = detail::lower_operand(A);
+  auto&& b = detail::lower_operand(B);
+  backend_ops<Tag>::ewise_add_mat(C.impl(), detail::lower_mask(Mask), accum,
+                                  op, a, b, outp == Replace);
+}
+
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename Op, typename AMat, typename BMat>
+void eWiseMult(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+               const Op& op, const AMat& A, const BMat& B,
+               OutputControl outp = Merge) {
+  detail::check(detail::nrows_of(A) == C.nrows() &&
+                    detail::ncols_of(A) == C.ncols() &&
+                    detail::nrows_of(B) == C.nrows() &&
+                    detail::ncols_of(B) == C.ncols(),
+                "eWiseMult: shape mismatch");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "eWiseMult: mask shape");
+  auto&& a = detail::lower_operand(A);
+  auto&& b = detail::lower_operand(B);
+  backend_ops<Tag>::ewise_mult_mat(C.impl(), detail::lower_mask(Mask), accum,
+                                   op, a, b, outp == Replace);
+}
+
+// ===========================================================================
+// apply
+// ===========================================================================
+
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename UnaryOp, typename UT>
+void apply(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+           const UnaryOp& op, const Vector<UT, Tag>& u,
+           OutputControl outp = Merge) {
+  detail::check(u.size() == w.size(), "apply: size mismatch");
+  detail::check(detail::mask_size_ok(mask, w.size()), "apply: mask size");
+  backend_ops<Tag>::apply_vec(w.impl(), detail::lower_mask(mask), accum, op,
+                              u.impl(), outp == Replace);
+}
+
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename UnaryOp, typename AMat>
+void apply(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+           const UnaryOp& op, const AMat& A, OutputControl outp = Merge) {
+  detail::check(detail::nrows_of(A) == C.nrows() &&
+                    detail::ncols_of(A) == C.ncols(),
+                "apply: shape mismatch");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "apply: mask shape");
+  auto&& a = detail::lower_operand(A);
+  backend_ops<Tag>::apply_mat(C.impl(), detail::lower_mask(Mask), accum, op,
+                              a, outp == Replace);
+}
+
+// ===========================================================================
+// applyIndexed (GraphBLAS IndexUnaryOp extension)
+// ===========================================================================
+
+/// w<m,z> = accum(w, f(i, u[i])) — element transform with the position in
+/// hand. Powers parent tracking, peeling, and positional filters.
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename IdxOp, typename UT>
+void applyIndexed(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+                  const IdxOp& op, const Vector<UT, Tag>& u,
+                  OutputControl outp = Merge) {
+  detail::check(u.size() == w.size(), "applyIndexed: size mismatch");
+  detail::check(detail::mask_size_ok(mask, w.size()),
+                "applyIndexed: mask size");
+  backend_ops<Tag>::apply_indexed_vec(w.impl(), detail::lower_mask(mask),
+                                      accum, op, u.impl(), outp == Replace);
+}
+
+/// C<M,z> = accum(C, f(i, j, A(i,j))).
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename IdxOp, typename AT>
+void applyIndexed(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+                  const IdxOp& op, const Matrix<AT, Tag>& A,
+                  OutputControl outp = Merge) {
+  detail::check(A.nrows() == C.nrows() && A.ncols() == C.ncols(),
+                "applyIndexed: shape mismatch");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "applyIndexed: mask shape");
+  backend_ops<Tag>::apply_indexed_mat(C.impl(), detail::lower_mask(Mask),
+                                      accum, op, A.impl(), outp == Replace);
+}
+
+// ===========================================================================
+// reduce
+// ===========================================================================
+
+/// Row-wise reduce: w<m,z> = accum(w, reduce_rows(A)).
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename Monoid, typename AMat>
+void reduce(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+            const Monoid& monoid, const AMat& A, OutputControl outp = Merge) {
+  detail::check(detail::nrows_of(A) == w.size(),
+                "reduce: w.size != A.nrows");
+  detail::check(detail::mask_size_ok(mask, w.size()), "reduce: mask size");
+  auto&& a = detail::lower_operand(A);
+  backend_ops<Tag>::reduce_mat_to_vec(w.impl(), detail::lower_mask(mask),
+                                      accum, monoid, a, outp == Replace);
+}
+
+/// Vector to scalar.
+template <typename ST, typename Accum, typename Monoid, typename UT,
+          typename Tag>
+void reduce(ST& s, const Accum& accum, const Monoid& monoid,
+            const Vector<UT, Tag>& u) {
+  backend_ops<Tag>::reduce_vec_to_scalar(s, accum, monoid, u.impl());
+}
+
+/// Matrix to scalar.
+template <typename ST, typename Accum, typename Monoid, typename AT,
+          typename Tag>
+void reduce(ST& s, const Accum& accum, const Monoid& monoid,
+            const Matrix<AT, Tag>& A) {
+  backend_ops<Tag>::reduce_mat_to_scalar(s, accum, monoid, A.impl());
+}
+
+// ===========================================================================
+// transpose (as an operation; see views.hpp for the input-operand view)
+// ===========================================================================
+
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename AT>
+void transpose(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+               const Matrix<AT, Tag>& A, OutputControl outp = Merge) {
+  detail::check(C.nrows() == A.ncols() && C.ncols() == A.nrows(),
+                "transpose: shape mismatch");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "transpose: mask shape");
+  backend_ops<Tag>::transpose_op(C.impl(), detail::lower_mask(Mask), accum,
+                                 A.impl(), outp == Replace);
+}
+
+// ===========================================================================
+// extract
+// ===========================================================================
+
+/// w = u(indices).
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename UT>
+void extract(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+             const Vector<UT, Tag>& u, const IndexArrayType& indices,
+             OutputControl outp = Merge) {
+  detail::check(indices.size() == w.size(),
+                "extract: w.size != indices.size");
+  detail::check(detail::mask_size_ok(mask, w.size()), "extract: mask size");
+  backend_ops<Tag>::extract_vec(w.impl(), detail::lower_mask(mask), accum,
+                                u.impl(), indices, outp == Replace);
+}
+
+/// C = A(row_indices, col_indices).
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename AT>
+void extract(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+             const Matrix<AT, Tag>& A, const IndexArrayType& row_indices,
+             const IndexArrayType& col_indices, OutputControl outp = Merge) {
+  detail::check(row_indices.size() == C.nrows() &&
+                    col_indices.size() == C.ncols(),
+                "extract: output shape != index set sizes");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "extract: mask shape");
+  backend_ops<Tag>::extract_mat(C.impl(), detail::lower_mask(Mask), accum,
+                                A.impl(), row_indices, col_indices,
+                                outp == Replace);
+}
+
+/// w = A(row_indices, col) — a single-column gather (pass transpose(A) to
+/// gather a row).
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename AMat>
+void extract(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+             const AMat& A, const IndexArrayType& row_indices, IndexType col,
+             OutputControl outp = Merge) {
+  detail::check(row_indices.size() == w.size(),
+                "extract: w.size != row_indices.size");
+  detail::check(detail::mask_size_ok(mask, w.size()), "extract: mask size");
+  auto&& a = detail::lower_operand(A);
+  backend_ops<Tag>::extract_col(w.impl(), detail::lower_mask(mask), accum, a,
+                                row_indices, col, outp == Replace);
+}
+
+// ===========================================================================
+// assign
+// ===========================================================================
+
+/// w(indices) = u.
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename UT>
+void assign(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+            const Vector<UT, Tag>& u, const IndexArrayType& indices,
+            OutputControl outp = Merge) {
+  detail::check(indices.size() == u.size(),
+                "assign: u.size != indices.size");
+  detail::check(detail::mask_size_ok(mask, w.size()), "assign: mask size");
+  backend_ops<Tag>::assign_vec(w.impl(), detail::lower_mask(mask), accum,
+                               u.impl(), indices, outp == Replace);
+}
+
+/// w(indices) = value (scalar broadcast).
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename ValT>
+  requires std::convertible_to<ValT, WT>
+void assign(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+            const ValT& value, const IndexArrayType& indices,
+            OutputControl outp = Merge) {
+  detail::check(detail::mask_size_ok(mask, w.size()), "assign: mask size");
+  backend_ops<Tag>::assign_vec_constant(w.impl(), detail::lower_mask(mask),
+                                        accum, static_cast<WT>(value),
+                                        indices, outp == Replace);
+}
+
+/// C(row_indices, col_indices) = A.
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename AT>
+void assign(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+            const Matrix<AT, Tag>& A, const IndexArrayType& row_indices,
+            const IndexArrayType& col_indices, OutputControl outp = Merge) {
+  detail::check(row_indices.size() == A.nrows() &&
+                    col_indices.size() == A.ncols(),
+                "assign: A shape != index set sizes");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "assign: mask shape");
+  backend_ops<Tag>::assign_mat(C.impl(), detail::lower_mask(Mask), accum,
+                               A.impl(), row_indices, col_indices,
+                               outp == Replace);
+}
+
+/// C(row_indices, col_indices) = value (scalar broadcast).
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename ValT>
+  requires std::convertible_to<ValT, CT>
+void assign(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+            const ValT& value, const IndexArrayType& row_indices,
+            const IndexArrayType& col_indices, OutputControl outp = Merge) {
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "assign: mask shape");
+  backend_ops<Tag>::assign_mat_constant(C.impl(), detail::lower_mask(Mask),
+                                        accum, static_cast<CT>(value),
+                                        row_indices, col_indices,
+                                        outp == Replace);
+}
+
+// ===========================================================================
+// kronecker
+// ===========================================================================
+
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename Op, typename AT, typename BT>
+void kronecker(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+               const Op& op, const Matrix<AT, Tag>& A,
+               const Matrix<BT, Tag>& B, OutputControl outp = Merge) {
+  detail::check(C.nrows() == A.nrows() * B.nrows() &&
+                    C.ncols() == A.ncols() * B.ncols(),
+                "kronecker: shape mismatch");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "kronecker: mask shape");
+  backend_ops<Tag>::kronecker(C.impl(), detail::lower_mask(Mask), accum, op,
+                              A.impl(), B.impl(), outp == Replace);
+}
+
+// ===========================================================================
+// select (GBTL extension) — keep entries satisfying pred(index..., value)
+// ===========================================================================
+
+/// Matrix select: pred(i, j, value) -> bool.
+template <typename CT, typename Tag, typename MaskT, typename Accum,
+          typename Pred, typename AT>
+void select(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
+            const Pred& pred, const Matrix<AT, Tag>& A,
+            OutputControl outp = Merge) {
+  detail::check(C.nrows() == A.nrows() && C.ncols() == A.ncols(),
+                "select: shape mismatch");
+  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                "select: mask shape");
+  backend_ops<Tag>::select_mat(C.impl(), detail::lower_mask(Mask), accum,
+                               pred, A.impl(), outp == Replace);
+}
+
+/// Vector select: pred(i, value) -> bool.
+template <typename WT, typename Tag, typename MaskT, typename Accum,
+          typename Pred, typename UT>
+void select(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
+            const Pred& pred, const Vector<UT, Tag>& u,
+            OutputControl outp = Merge) {
+  detail::check(w.size() == u.size(), "select: size mismatch");
+  detail::check(detail::mask_size_ok(mask, w.size()), "select: mask size");
+  backend_ops<Tag>::select_vec(w.impl(), detail::lower_mask(mask), accum,
+                               pred, u.impl(), outp == Replace);
+}
+
+// ===========================================================================
+// Convenience
+// ===========================================================================
+
+/// [0, 1, ..., n-1] — the "all indices" argument for extract/assign.
+inline IndexArrayType all_indices(IndexType n) {
+  IndexArrayType out(n);
+  for (IndexType i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace grb

@@ -1,0 +1,89 @@
+#pragma once
+
+/// @file types.hpp
+/// Core vocabulary of the GraphBLAS frontend: index types, backend tags,
+/// descriptor enums, and the exception hierarchy mandated by the GraphBLAS
+/// spec (dimension mismatch, out-of-bounds, missing element, ...).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace grb {
+
+/// Row/column index. 64-bit as in the GraphBLAS C API.
+using IndexType = std::uint64_t;
+using IndexArrayType = std::vector<IndexType>;
+
+/// Backend selection tags. A `grb::Matrix<T, Sequential>` and a
+/// `grb::Matrix<T, GpuSim>` expose the same frontend API but own their data
+/// in different places; every operation requires all operands to share one
+/// backend (mixing tags is a compile error by construction).
+struct Sequential {};
+struct GpuSim {};
+
+/// Passed where an accumulator is expected to mean "no accumulation":
+/// the operation's result replaces/merges into the output directly.
+struct NoAccumulate {};
+
+/// Passed where a mask is expected to mean "no mask".
+struct NoMask {};
+
+/// GraphBLAS output-control descriptor: with Merge, output elements outside
+/// the mask are kept; with Replace, they are deleted.
+enum class OutputControl { Merge, Replace };
+inline constexpr OutputControl Merge = OutputControl::Merge;
+inline constexpr OutputControl Replace = OutputControl::Replace;
+
+// --------------------------------------------------------------------------
+// Exceptions (GraphBLAS API errors)
+// --------------------------------------------------------------------------
+
+class GraphBLASError : public std::runtime_error {
+ public:
+  explicit GraphBLASError(const std::string& what_arg)
+      : std::runtime_error("GraphBLAS: " + what_arg) {}
+};
+
+/// Operand shapes are incompatible with the operation.
+class DimensionException : public GraphBLASError {
+ public:
+  explicit DimensionException(const std::string& what_arg)
+      : GraphBLASError("dimension mismatch: " + what_arg) {}
+};
+
+/// An index is outside the object's shape.
+class IndexOutOfBoundsException : public GraphBLASError {
+ public:
+  explicit IndexOutOfBoundsException(const std::string& what_arg)
+      : GraphBLASError("index out of bounds: " + what_arg) {}
+};
+
+/// getElement on a position that holds no stored value.
+class NoValueException : public GraphBLASError {
+ public:
+  explicit NoValueException(const std::string& what_arg)
+      : GraphBLASError("no stored value: " + what_arg) {}
+};
+
+/// Malformed argument (mismatched build arrays, bad probabilities, ...).
+class InvalidValueException : public GraphBLASError {
+ public:
+  explicit InvalidValueException(const std::string& what_arg)
+      : GraphBLASError("invalid value: " + what_arg) {}
+};
+
+// --------------------------------------------------------------------------
+// Internal helpers shared by frontend dimension checks
+// --------------------------------------------------------------------------
+
+namespace detail {
+
+inline void check(bool ok, const char* msg) {
+  if (!ok) throw DimensionException(msg);
+}
+
+}  // namespace detail
+
+}  // namespace grb

@@ -1,0 +1,98 @@
+#pragma once
+
+/// @file utility.hpp
+/// Small conveniences: pretty-printing, identity/diagonal constructors, and
+/// conversion between backends (used by tests and the transfer bench).
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "gbtl/matrix.hpp"
+#include "gbtl/operations.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+
+namespace grb {
+
+/// n x n identity with ones of type T.
+template <typename T, typename Tag = Sequential>
+Matrix<T, Tag> identity(IndexType n) {
+  Matrix<T, Tag> I(n, n);
+  IndexArrayType idx = all_indices(n);
+  std::vector<T> ones(n, T{1});
+  I.build(idx, idx, ones);
+  return I;
+}
+
+/// Square matrix with @p d on the diagonal.
+template <typename T, typename Tag>
+Matrix<T, Tag> diag(const Vector<T, Tag>& d) {
+  Matrix<T, Tag> D(d.size(), d.size());
+  IndexArrayType idx;
+  std::vector<T> vals;
+  d.extractTuples(idx, vals);
+  D.build(idx, idx, vals);
+  return D;
+}
+
+/// Rebuild an object on a different backend (host round-trip).
+template <typename DstTag, typename T, typename SrcTag>
+Matrix<T, DstTag> to_backend(const Matrix<T, SrcTag>& a) {
+  IndexArrayType r, c;
+  std::vector<T> v;
+  a.extractTuples(r, c, v);
+  Matrix<T, DstTag> out(a.nrows(), a.ncols());
+  out.build(r, c, v, Second<T>{});
+  return out;
+}
+
+template <typename DstTag, typename T, typename SrcTag>
+Vector<T, DstTag> to_backend(const Vector<T, SrcTag>& u) {
+  IndexArrayType idx;
+  std::vector<T> v;
+  u.extractTuples(idx, v);
+  Vector<T, DstTag> out(u.size());
+  out.build(idx, v, Second<T>{});
+  return out;
+}
+
+template <typename T, typename Tag>
+std::ostream& print(std::ostream& os, const Matrix<T, Tag>& a) {
+  os << a.nrows() << "x" << a.ncols() << ", " << a.nvals() << " values\n";
+  for (IndexType i = 0; i < a.nrows(); ++i) {
+    os << "  [";
+    for (IndexType j = 0; j < a.ncols(); ++j) {
+      if (j > 0) os << ", ";
+      if (a.hasElement(i, j))
+        os << a.extractElement(i, j);
+      else
+        os << "-";
+    }
+    os << "]\n";
+  }
+  return os;
+}
+
+template <typename T, typename Tag>
+std::ostream& print(std::ostream& os, const Vector<T, Tag>& u) {
+  os << "[";
+  for (IndexType i = 0; i < u.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (u.hasElement(i))
+      os << u.extractElement(i);
+    else
+      os << "-";
+  }
+  os << "]";
+  return os;
+}
+
+template <typename ObjT>
+std::string to_string(const ObjT& obj) {
+  std::ostringstream oss;
+  print(oss, obj);
+  return oss.str();
+}
+
+}  // namespace grb

@@ -1,0 +1,69 @@
+#pragma once
+
+/// @file vector.hpp
+/// The public GraphBLAS vector (see matrix.hpp for the design notes).
+
+#include <vector>
+
+#include "gbtl/algebra.hpp"
+#include "gbtl/backend.hpp"
+#include "gbtl/types.hpp"
+
+namespace grb {
+
+template <typename T, typename Tag = Sequential>
+class Vector {
+ public:
+  using ScalarType = T;
+  using BackendTag = Tag;
+  using BackendType =
+      typename backend_traits<Tag>::template vector_type<T>;
+
+  explicit Vector(IndexType size) : impl_(size) {}
+
+  /// Build from a dense initializer; @p implied_zero values are skipped.
+  Vector(const std::vector<T>& dense, const T& implied_zero)
+      : impl_(dense.size()) {
+    for (IndexType i = 0; i < dense.size(); ++i)
+      if (!(dense[i] == implied_zero)) impl_.set_element(i, dense[i]);
+  }
+
+  IndexType size() const { return impl_.size(); }
+  IndexType nvals() const { return impl_.nvals(); }
+  void clear() { impl_.clear(); }
+
+  /// GrB_Vector_resize: change length; the dropped tail loses its entries.
+  void resize(IndexType size) { impl_.resize(size); }
+
+  template <typename DupOp = Plus<T>>
+  void build(const IndexArrayType& indices, const std::vector<T>& values,
+             DupOp dup = DupOp{}) {
+    if (indices.size() != values.size())
+      throw InvalidValueException("build: array length mismatch");
+    impl_.build(indices, values.begin(),
+                static_cast<IndexType>(values.size()), dup);
+  }
+
+  bool hasElement(IndexType index) const { return impl_.has_element(index); }
+  T extractElement(IndexType index) const { return impl_.get_element(index); }
+  void setElement(IndexType index, const T& value) {
+    impl_.set_element(index, value);
+  }
+  void removeElement(IndexType index) { impl_.remove_element(index); }
+
+  void extractTuples(IndexArrayType& indices, std::vector<T>& values) const {
+    impl_.extract_tuples(indices, values);
+  }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.impl_ == b.impl_;
+  }
+
+  BackendType& impl() { return impl_; }
+  const BackendType& impl() const { return impl_; }
+
+ private:
+  BackendType impl_;
+};
+
+}  // namespace grb

@@ -1,0 +1,191 @@
+#pragma once
+
+/// @file views.hpp
+/// Lightweight, non-owning views used as operation arguments:
+///   - transpose(A)            — use A' as an input operand;
+///   - complement(mask)        — write where the mask is absent/falsy;
+///   - structure(mask)         — mask by structure (presence) only.
+/// Views nest: complement(structure(m)) writes where m has no stored value.
+
+#include "gbtl/matrix.hpp"
+#include "gbtl/mask.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/vector.hpp"
+
+namespace grb {
+
+template <typename MatT>
+struct TransposeView {
+  const MatT* mat;
+};
+
+template <typename Masked>
+struct ComplementView {
+  const Masked* inner;
+};
+
+template <typename Masked>
+struct StructureView {
+  const Masked* inner;
+};
+
+template <typename T, typename Tag>
+TransposeView<Matrix<T, Tag>> transpose(const Matrix<T, Tag>& a) {
+  return {&a};
+}
+
+template <typename T, typename Tag>
+ComplementView<Matrix<T, Tag>> complement(const Matrix<T, Tag>& m) {
+  return {&m};
+}
+template <typename T, typename Tag>
+ComplementView<Vector<T, Tag>> complement(const Vector<T, Tag>& m) {
+  return {&m};
+}
+template <typename Masked>
+ComplementView<StructureView<Masked>> complement(
+    const StructureView<Masked>& m) {
+  return {&m};
+}
+
+template <typename T, typename Tag>
+StructureView<Matrix<T, Tag>> structure(const Matrix<T, Tag>& m) {
+  return {&m};
+}
+template <typename T, typename Tag>
+StructureView<Vector<T, Tag>> structure(const Vector<T, Tag>& m) {
+  return {&m};
+}
+template <typename Masked>
+StructureView<ComplementView<Masked>> structure(
+    const ComplementView<Masked>& m) {
+  return {&m};
+}
+
+namespace detail {
+
+// Forward declarations: these overload sets recurse through nested views,
+// and unqualified lookup inside grb::detail only sees names declared above
+// the definition (ADL associates grb, not grb::detail).
+inline NoMaskDesc lower_mask(const NoMask&);
+template <typename T, typename Tag>
+MaskDesc<typename Matrix<T, Tag>::BackendType> lower_mask(
+    const Matrix<T, Tag>& m);
+template <typename T, typename Tag>
+MaskDesc<typename Vector<T, Tag>::BackendType> lower_mask(
+    const Vector<T, Tag>& m);
+template <typename Masked>
+auto lower_mask(const ComplementView<Masked>& m);
+template <typename Masked>
+auto lower_mask(const StructureView<Masked>& m);
+
+inline bool mask_shape_ok(const NoMask&, IndexType, IndexType);
+template <typename T, typename Tag>
+bool mask_shape_ok(const Matrix<T, Tag>& m, IndexType r, IndexType c);
+template <typename Masked>
+bool mask_shape_ok(const ComplementView<Masked>& m, IndexType r, IndexType c);
+template <typename Masked>
+bool mask_shape_ok(const StructureView<Masked>& m, IndexType r, IndexType c);
+
+inline bool mask_size_ok(const NoMask&, IndexType);
+template <typename T, typename Tag>
+bool mask_size_ok(const Vector<T, Tag>& m, IndexType n);
+template <typename Masked>
+bool mask_size_ok(const ComplementView<Masked>& m, IndexType n);
+template <typename Masked>
+bool mask_size_ok(const StructureView<Masked>& m, IndexType n);
+
+// ---- Mask lowering: frontend mask argument -> backend MaskDesc ----------
+
+inline NoMaskDesc lower_mask(const NoMask&) { return NoMaskDesc{}; }
+
+template <typename T, typename Tag>
+MaskDesc<typename Matrix<T, Tag>::BackendType> lower_mask(
+    const Matrix<T, Tag>& m) {
+  return {&m.impl(), false, false};
+}
+
+template <typename T, typename Tag>
+MaskDesc<typename Vector<T, Tag>::BackendType> lower_mask(
+    const Vector<T, Tag>& m) {
+  return {&m.impl(), false, false};
+}
+
+template <typename Masked>
+auto lower_mask(const ComplementView<Masked>& m) {
+  auto desc = lower_mask(*m.inner);
+  desc.complement = !desc.complement;
+  return desc;
+}
+
+template <typename Masked>
+auto lower_mask(const StructureView<Masked>& m) {
+  auto desc = lower_mask(*m.inner);
+  desc.structural = true;
+  return desc;
+}
+
+// ---- Mask dimension probing ----------------------------------------------
+
+inline bool mask_shape_ok(const NoMask&, IndexType, IndexType) { return true; }
+template <typename T, typename Tag>
+bool mask_shape_ok(const Matrix<T, Tag>& m, IndexType r, IndexType c) {
+  return m.nrows() == r && m.ncols() == c;
+}
+template <typename Masked>
+bool mask_shape_ok(const ComplementView<Masked>& m, IndexType r, IndexType c) {
+  return mask_shape_ok(*m.inner, r, c);
+}
+template <typename Masked>
+bool mask_shape_ok(const StructureView<Masked>& m, IndexType r, IndexType c) {
+  return mask_shape_ok(*m.inner, r, c);
+}
+
+inline bool mask_size_ok(const NoMask&, IndexType) { return true; }
+template <typename T, typename Tag>
+bool mask_size_ok(const Vector<T, Tag>& m, IndexType n) {
+  return m.size() == n;
+}
+template <typename Masked>
+bool mask_size_ok(const ComplementView<Masked>& m, IndexType n) {
+  return mask_size_ok(*m.inner, n);
+}
+template <typename Masked>
+bool mask_size_ok(const StructureView<Masked>& m, IndexType n) {
+  return mask_size_ok(*m.inner, n);
+}
+
+// ---- Matrix-operand lowering (materializes TransposeView) ---------------
+
+template <typename T, typename Tag>
+const typename Matrix<T, Tag>::BackendType& lower_operand(
+    const Matrix<T, Tag>& a) {
+  return a.impl();
+}
+
+template <typename T, typename Tag>
+typename Matrix<T, Tag>::BackendType lower_operand(
+    const TransposeView<Matrix<T, Tag>>& v) {
+  return backend_ops<Tag>::transposed(v.mat->impl());
+}
+
+template <typename T, typename Tag>
+IndexType nrows_of(const Matrix<T, Tag>& a) {
+  return a.nrows();
+}
+template <typename T, typename Tag>
+IndexType ncols_of(const Matrix<T, Tag>& a) {
+  return a.ncols();
+}
+template <typename MatT>
+IndexType nrows_of(const TransposeView<MatT>& v) {
+  return v.mat->ncols();
+}
+template <typename MatT>
+IndexType ncols_of(const TransposeView<MatT>& v) {
+  return v.mat->nrows();
+}
+
+}  // namespace detail
+
+}  // namespace grb

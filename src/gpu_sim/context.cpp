@@ -1,0 +1,141 @@
+#include "gpu_sim/context.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace gpu_sim {
+
+Context::Context(DeviceProperties props, std::size_t worker_count)
+    : props_(props), pool_(worker_count) {}
+
+Context::~Context() = default;
+
+DeviceStats Context::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Context::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t in_use = stats_.bytes_in_use;
+  stats_ = DeviceStats{};
+  stats_.bytes_in_use = in_use;  // live allocations survive a stats reset
+  stats_.peak_bytes_in_use = in_use;
+}
+
+double Context::simulated_time_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.simulated_kernel_time_s + stats_.simulated_transfer_time_s;
+}
+
+void* Context::malloc_bytes(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;  // cudaMalloc(0) returns a unique pointer too
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.bytes_in_use + bytes > props_.total_global_memory) {
+    throw DeviceBadAlloc("requested " + std::to_string(bytes) +
+                         " bytes with " +
+                         std::to_string(stats_.bytes_in_use) +
+                         " in use of " +
+                         std::to_string(props_.total_global_memory));
+  }
+  void* ptr = std::malloc(bytes);
+  if (ptr == nullptr) throw DeviceBadAlloc("host backing store exhausted");
+  allocations_.emplace(ptr, bytes);
+  ++stats_.allocations;
+  stats_.bytes_in_use += bytes;
+  stats_.total_bytes_allocated += bytes;
+  if (stats_.bytes_in_use > stats_.peak_bytes_in_use)
+    stats_.peak_bytes_in_use = stats_.bytes_in_use;
+  return ptr;
+}
+
+void Context::free_bytes(void* ptr) {
+  if (ptr == nullptr) return;  // cudaFree(nullptr) is a no-op
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocations_.find(ptr);
+  if (it == allocations_.end())
+    throw InvalidDevicePointer("free of unknown pointer");
+  stats_.bytes_in_use -= it->second;
+  ++stats_.frees;
+  allocations_.erase(it);
+  std::free(ptr);
+}
+
+std::size_t Context::allocation_size(const void* ptr) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocations_.find(ptr);
+  if (it == allocations_.end())
+    throw InvalidDevicePointer("allocation_size of unknown pointer");
+  return it->second;
+}
+
+void Context::check_device_range(const void* ptr, std::size_t bytes,
+                                 const char* what) const {
+  // Interior pointers are legal (copies from an offset into an allocation);
+  // scan for a containing block.
+  const auto* p = static_cast<const char*>(ptr);
+  for (const auto& [base, size] : allocations_) {
+    const auto* b = static_cast<const char*>(base);
+    if (p >= b && p + bytes <= b + size) return;
+  }
+  throw InvalidDevicePointer(std::string(what) +
+                             ": range not contained in any device allocation");
+}
+
+void Context::copy_h2d(void* dst_device, const void* src_host,
+                       std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_device_range(dst_device, bytes, "copy_h2d dst");
+  std::memcpy(dst_device, src_host, bytes);
+  ++stats_.h2d_transfers;
+  stats_.h2d_bytes += bytes;
+  stats_.simulated_transfer_time_s += modeled_transfer_time(props_, bytes);
+}
+
+void Context::copy_d2h(void* dst_host, const void* src_device,
+                       std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_device_range(src_device, bytes, "copy_d2h src");
+  std::memcpy(dst_host, src_device, bytes);
+  ++stats_.d2h_transfers;
+  stats_.d2h_bytes += bytes;
+  stats_.simulated_transfer_time_s += modeled_transfer_time(props_, bytes);
+}
+
+void Context::copy_d2d(void* dst_device, const void* src_device,
+                       std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_device_range(dst_device, bytes, "copy_d2d dst");
+  check_device_range(src_device, bytes, "copy_d2d src");
+  std::memmove(dst_device, src_device, bytes);
+  ++stats_.d2d_copies;
+  stats_.d2d_bytes += bytes;
+  stats_.simulated_transfer_time_s += modeled_d2d_time(props_, bytes);
+}
+
+void Context::validate_launch(const Dim3& grid, const Dim3& block) const {
+  if (block.count() == 0 || grid.count() == 0)
+    throw InvalidLaunchConfig("zero-sized grid or block");
+  if (block.count() > props_.max_threads_per_block)
+    throw InvalidLaunchConfig("block of " + std::to_string(block.count()) +
+                              " threads exceeds device limit of " +
+                              std::to_string(props_.max_threads_per_block));
+  if (grid.x > props_.max_grid_dim_x)
+    throw InvalidLaunchConfig("grid.x exceeds device limit");
+}
+
+void Context::account_launch(const LaunchStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.kernel_launches;
+  stats_.kernel_ops += stats.ops;
+  stats_.kernel_bytes_read += stats.bytes_read;
+  stats_.kernel_bytes_written += stats.bytes_written;
+  stats_.simulated_kernel_time_s += modeled_kernel_time(props_, stats);
+}
+
+Context& device() {
+  static Context ctx{DeviceProperties{}, /*worker_count=*/1};
+  return ctx;
+}
+
+}  // namespace gpu_sim

@@ -1,0 +1,156 @@
+#pragma once
+
+/// @file context.hpp
+/// The simulated device: memory arena, launch engine, transfer engine, and
+/// simulated clock. Plays the role of the CUDA runtime + one device.
+///
+/// Concurrency model: kernel launches are synchronous from the host's point
+/// of view (they execute functionally before returning) but the *simulated*
+/// clock advances by the modeled duration, so benches report device time the
+/// way `cudaEventElapsedTime` would. Streams serialize on the single
+/// simulated device clock — overlap of independent streams is conservatively
+/// not modeled (GBTL's backend uses a single stream anyway).
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "gpu_sim/device_properties.hpp"
+#include "gpu_sim/error.hpp"
+#include "gpu_sim/stats.hpp"
+#include "gpu_sim/thread_pool.hpp"
+
+namespace gpu_sim {
+
+/// CUDA-style 3-component launch geometry. Graph kernels in this code base
+/// are one-dimensional; y/z exist for API fidelity.
+struct Dim3 {
+  std::size_t x = 1;
+  std::size_t y = 1;
+  std::size_t z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::size_t x_, std::size_t y_ = 1, std::size_t z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+  constexpr std::size_t count() const { return x * y * z; }
+};
+
+/// Per-thread coordinates handed to a simulated kernel body, mirroring
+/// (blockIdx, threadIdx, gridDim, blockDim).
+struct ThreadId {
+  Dim3 block_idx;
+  Dim3 thread_idx;
+  Dim3 grid_dim;
+  Dim3 block_dim;
+
+  /// Flattened global 1-D index (the idiom `blockIdx.x*blockDim.x+threadIdx.x`).
+  std::size_t global_x() const {
+    return block_idx.x * block_dim.x + thread_idx.x;
+  }
+};
+
+class Context {
+ public:
+  explicit Context(DeviceProperties props = DeviceProperties{},
+                   std::size_t worker_count = 1);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  const DeviceProperties& properties() const { return props_; }
+  /// Mutable access so tests/benches can recalibrate the cost model.
+  DeviceProperties& mutable_properties() { return props_; }
+
+  DeviceStats stats() const;
+  void reset_stats();
+
+  /// Current simulated device clock (seconds since context creation /
+  /// last reset).
+  double simulated_time_s() const;
+
+  // --- Memory management (cudaMalloc / cudaFree analogue) ---------------
+  void* malloc_bytes(std::size_t bytes);
+  void free_bytes(void* ptr);
+  /// Size of the allocation that starts at @p ptr; throws if unknown.
+  std::size_t allocation_size(const void* ptr) const;
+
+  // --- Transfers (cudaMemcpy analogue) -----------------------------------
+  void copy_h2d(void* dst_device, const void* src_host, std::size_t bytes);
+  void copy_d2h(void* dst_host, const void* src_device, std::size_t bytes);
+  void copy_d2d(void* dst_device, const void* src_device, std::size_t bytes);
+
+  // --- Kernel launch ------------------------------------------------------
+  /// Launch `kernel(ThreadId)` over a grid x block geometry. @p stats
+  /// declares the useful work for the cost model. Blocks are distributed
+  /// over the worker pool; threads within a block run sequentially (no
+  /// __syncthreads is provided — GBTL kernels are block-synchronization
+  /// free by construction).
+  template <typename Kernel>
+  void launch(Dim3 grid, Dim3 block, const LaunchStats& stats,
+              Kernel&& kernel) {
+    validate_launch(grid, block);
+    const std::function<void(std::size_t)> run_block =
+        [&](std::size_t linear_block) {
+          ThreadId tid;
+          tid.grid_dim = grid;
+          tid.block_dim = block;
+          tid.block_idx = Dim3{linear_block % grid.x,
+                               (linear_block / grid.x) % grid.y,
+                               linear_block / (grid.x * grid.y)};
+          for (std::size_t tz = 0; tz < block.z; ++tz)
+            for (std::size_t ty = 0; ty < block.y; ++ty)
+              for (std::size_t tx = 0; tx < block.x; ++tx) {
+                tid.thread_idx = Dim3{tx, ty, tz};
+                kernel(tid);
+              }
+        };
+    pool_.parallel_for(grid.count(), run_block);
+    account_launch(stats);
+  }
+
+  /// Convenience 1-D launch: runs `body(i)` for i in [0, n) with the
+  /// device's preferred block size. n == 0 still costs a launch (as a real
+  /// early-exit kernel would) unless skip_if_empty.
+  template <typename Body>
+  void launch_n(std::size_t n, const LaunchStats& stats, Body&& body) {
+    const std::size_t block = 256;
+    const std::size_t grid = (n + block - 1) / block;
+    if (n == 0) {
+      account_launch(stats);
+      return;
+    }
+    launch(Dim3{grid}, Dim3{block}, stats, [&](const ThreadId& tid) {
+      const std::size_t i = tid.global_x();
+      if (i < n) body(i);
+    });
+  }
+
+  /// Account a kernel that was executed by library code (e.g. a simulated
+  /// radix sort running through std::sort) rather than element-wise through
+  /// launch(). Advances the clock exactly as launch() would.
+  void account_kernel(const LaunchStats& stats) { account_launch(stats); }
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  void validate_launch(const Dim3& grid, const Dim3& block) const;
+  void account_launch(const LaunchStats& stats);
+  void check_device_range(const void* ptr, std::size_t bytes,
+                          const char* what) const;
+
+  DeviceProperties props_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  DeviceStats stats_;
+  std::unordered_map<const void*, std::size_t> allocations_;
+};
+
+/// Process-wide default device, analogous to CUDA's implicit device 0.
+/// Tests and benches call `device().reset_stats()` between regions.
+Context& device();
+
+}  // namespace gpu_sim

@@ -1,0 +1,154 @@
+#pragma once
+
+/// @file device_vector.hpp
+/// RAII owner of a typed device allocation — the thrust::device_vector
+/// analogue. Element access from host code is deliberately not provided;
+/// data moves via explicit, accounted transfers (`copy_from_host`,
+/// `to_host`) or is touched inside kernels via `data()`.
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "gpu_sim/context.hpp"
+
+namespace gpu_sim {
+
+template <typename T>
+class device_vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device memory only holds trivially copyable types");
+
+ public:
+  using value_type = T;
+
+  device_vector() : device_vector(device()) {}
+  explicit device_vector(Context& ctx) : ctx_(&ctx) {}
+
+  explicit device_vector(std::size_t n, Context& ctx = device())
+      : ctx_(&ctx), size_(n), capacity_(n) {
+    if (n > 0) data_ = static_cast<T*>(ctx_->malloc_bytes(n * sizeof(T)));
+  }
+
+  /// Construct by uploading host data (one accounted H2D transfer).
+  explicit device_vector(const std::vector<T>& host, Context& ctx = device())
+      : device_vector(host.size(), ctx) {
+    upload_from(host);
+  }
+
+  device_vector(const device_vector& other)
+      : device_vector(other.size_, *other.ctx_) {
+    if (size_ > 0) ctx_->copy_d2d(data_, other.data_, bytes());
+  }
+
+  device_vector(device_vector&& other) noexcept
+      : ctx_(other.ctx_),
+        data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  device_vector& operator=(const device_vector& other) {
+    if (this == &other) return *this;
+    device_vector tmp(other);
+    swap(tmp);
+    return *this;
+  }
+
+  device_vector& operator=(device_vector&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    ctx_ = other.ctx_;
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    capacity_ = std::exchange(other.capacity_, 0);
+    return *this;
+  }
+
+  ~device_vector() { release(); }
+
+  Context& context() const { return *ctx_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t bytes() const { return size_ * sizeof(T); }
+
+  /// Device pointer. Host code must only dereference it inside kernel
+  /// bodies (the simulation cannot enforce this, the convention can).
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  /// Resize, preserving the prefix (device-to-device copy when growing past
+  /// capacity, as cudaMalloc+cudaMemcpyD2D would).
+  void resize(std::size_t n) {
+    if (n <= capacity_) {
+      size_ = n;
+      return;
+    }
+    T* fresh = static_cast<T*>(ctx_->malloc_bytes(n * sizeof(T)));
+    if (size_ > 0) ctx_->copy_d2d(fresh, data_, bytes());
+    if (data_ != nullptr) ctx_->free_bytes(data_);
+    data_ = fresh;
+    size_ = n;
+    capacity_ = n;
+  }
+
+  void clear() { size_ = 0; }
+
+  /// Download to host (one accounted D2H transfer).
+  std::vector<T> to_host() const {
+    std::vector<T> out(size_);
+    if (size_ == 0) return out;
+    if constexpr (std::is_same_v<T, bool>) {
+      // std::vector<bool> is bit-packed: stage through a flat buffer.
+      std::vector<unsigned char> staging(size_);
+      ctx_->copy_d2h(staging.data(), data_, bytes());
+      for (std::size_t i = 0; i < size_; ++i) out[i] = staging[i] != 0;
+    } else {
+      ctx_->copy_d2h(out.data(), data_, bytes());
+    }
+    return out;
+  }
+
+  /// Upload from host, resizing as needed (one accounted H2D transfer).
+  void copy_from_host(const std::vector<T>& host) {
+    resize(host.size());
+    upload_from(host);
+  }
+
+  void swap(device_vector& other) noexcept {
+    std::swap(ctx_, other.ctx_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+  }
+
+ private:
+  void upload_from(const std::vector<T>& host) {
+    if (host.empty()) return;
+    if constexpr (std::is_same_v<T, bool>) {
+      std::vector<unsigned char> staging(host.size());
+      for (std::size_t i = 0; i < host.size(); ++i) staging[i] = host[i];
+      ctx_->copy_h2d(data_, staging.data(), bytes());
+    } else {
+      ctx_->copy_h2d(data_, host.data(), bytes());
+    }
+  }
+
+  void release() noexcept {
+    if (data_ != nullptr) {
+      // free_bytes only throws for foreign pointers, which cannot happen
+      // for a pointer we allocated; terminate would be correct if it did.
+      ctx_->free_bytes(data_);
+      data_ = nullptr;
+    }
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  Context* ctx_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace gpu_sim

@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file error.hpp
+/// Error types for the simulated device runtime. Mirrors the role of
+/// cudaError_t checks in real CUDA host code, but as C++ exceptions: every
+/// misuse of the device API (out-of-bounds copy, bad launch configuration,
+/// double free, allocation failure) throws a typed exception instead of
+/// returning a status code.
+
+#include <stdexcept>
+#include <string>
+
+namespace gpu_sim {
+
+/// Base class for every error raised by the simulated device runtime.
+class DeviceError : public std::runtime_error {
+ public:
+  explicit DeviceError(const std::string& what_arg)
+      : std::runtime_error("gpu_sim: " + what_arg) {}
+};
+
+/// Device memory exhausted (the arena enforces a configurable capacity so
+/// out-of-memory behaviour of a real card can be tested).
+class DeviceBadAlloc : public DeviceError {
+ public:
+  explicit DeviceBadAlloc(const std::string& what_arg)
+      : DeviceError("device out of memory: " + what_arg) {}
+};
+
+/// A pointer passed to free/copy was not obtained from the device arena,
+/// or a copy range exceeds the underlying allocation.
+class InvalidDevicePointer : public DeviceError {
+ public:
+  explicit InvalidDevicePointer(const std::string& what_arg)
+      : DeviceError("invalid device pointer: " + what_arg) {}
+};
+
+/// Invalid kernel launch configuration (zero-sized block, block larger than
+/// the device limit, grid larger than the device limit).
+class InvalidLaunchConfig : public DeviceError {
+ public:
+  explicit InvalidLaunchConfig(const std::string& what_arg)
+      : DeviceError("invalid launch configuration: " + what_arg) {}
+};
+
+}  // namespace gpu_sim

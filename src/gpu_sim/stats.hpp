@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file stats.hpp
+/// Cumulative counters of everything the simulated device did. Benches read
+/// these to report simulated kernel time, transfer time and traffic exactly
+/// the way nvprof output backed the paper's figures.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpu_sim {
+
+struct DeviceStats {
+  // Memory manager activity.
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::size_t bytes_in_use = 0;
+  std::size_t peak_bytes_in_use = 0;
+  std::uint64_t total_bytes_allocated = 0;
+
+  // Kernel activity.
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t kernel_ops = 0;
+  std::uint64_t kernel_bytes_read = 0;
+  std::uint64_t kernel_bytes_written = 0;
+  double simulated_kernel_time_s = 0.0;
+
+  // Transfer activity.
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_transfers = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t d2d_copies = 0;
+  std::uint64_t d2d_bytes = 0;
+  double simulated_transfer_time_s = 0.0;
+
+  /// Total simulated device-side time: the number the GPU columns of every
+  /// table/figure report.
+  double simulated_total_time_s() const {
+    return simulated_kernel_time_s + simulated_transfer_time_s;
+  }
+};
+
+/// Difference of two cumulative snapshots — used by benches to attribute
+/// device activity to one timed region.
+inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
+  DeviceStats d;
+  d.allocations = a.allocations - b.allocations;
+  d.frees = a.frees - b.frees;
+  d.bytes_in_use = a.bytes_in_use;  // point-in-time, not differenced
+  d.peak_bytes_in_use = a.peak_bytes_in_use;
+  d.total_bytes_allocated = a.total_bytes_allocated - b.total_bytes_allocated;
+  d.kernel_launches = a.kernel_launches - b.kernel_launches;
+  d.kernel_ops = a.kernel_ops - b.kernel_ops;
+  d.kernel_bytes_read = a.kernel_bytes_read - b.kernel_bytes_read;
+  d.kernel_bytes_written = a.kernel_bytes_written - b.kernel_bytes_written;
+  d.simulated_kernel_time_s =
+      a.simulated_kernel_time_s - b.simulated_kernel_time_s;
+  d.h2d_transfers = a.h2d_transfers - b.h2d_transfers;
+  d.h2d_bytes = a.h2d_bytes - b.h2d_bytes;
+  d.d2h_transfers = a.d2h_transfers - b.d2h_transfers;
+  d.d2h_bytes = a.d2h_bytes - b.d2h_bytes;
+  d.d2d_copies = a.d2d_copies - b.d2d_copies;
+  d.d2d_bytes = a.d2d_bytes - b.d2d_bytes;
+  d.simulated_transfer_time_s =
+      a.simulated_transfer_time_s - b.simulated_transfer_time_s;
+  return d;
+}
+
+}  // namespace gpu_sim

@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file stream.hpp
+/// Streams and events over the simulated clock — the cudaStream_t /
+/// cudaEvent_t analogue used by benches to time device regions.
+///
+/// Because simulated kernels execute synchronously, a Stream is a thin
+/// handle over the context clock: `synchronize()` is a no-op for
+/// correctness but kept for API fidelity, and Event pairs measure elapsed
+/// *simulated* time exactly as cudaEventElapsedTime would measure elapsed
+/// device time.
+
+#include "gpu_sim/context.hpp"
+
+namespace gpu_sim {
+
+class Stream {
+ public:
+  explicit Stream(Context& ctx = device()) : ctx_(&ctx) {}
+
+  Context& context() const { return *ctx_; }
+
+  /// All simulated work is already complete when launch() returns; kept so
+  /// backend code reads like real CUDA host code.
+  void synchronize() const {}
+
+ private:
+  Context* ctx_;
+};
+
+class Event {
+ public:
+  explicit Event(Context& ctx = device()) : ctx_(&ctx) {}
+
+  /// Capture the current simulated device clock.
+  void record(const Stream& stream) {
+    ctx_ = &stream.context();
+    time_s_ = ctx_->simulated_time_s();
+  }
+  void record() { time_s_ = ctx_->simulated_time_s(); }
+
+  double time_s() const { return time_s_; }
+
+  /// Elapsed simulated seconds between two recorded events.
+  friend double elapsed_s(const Event& start, const Event& stop) {
+    return stop.time_s_ - start.time_s_;
+  }
+
+ private:
+  Context* ctx_;
+  double time_s_ = 0.0;
+};
+
+/// RAII timer over a device region: captures the simulated clock and the
+/// delta of kernel/transfer statistics.
+class ScopedDeviceTimer {
+ public:
+  explicit ScopedDeviceTimer(Context& ctx = device())
+      : ctx_(&ctx), start_stats_(ctx.stats()) {}
+
+  double elapsed_simulated_s() const {
+    return ctx_->simulated_time_s() -
+           (start_stats_.simulated_kernel_time_s +
+            start_stats_.simulated_transfer_time_s);
+  }
+
+  DeviceStats delta() const { return ctx_->stats() - start_stats_; }
+
+ private:
+  Context* ctx_;
+  DeviceStats start_stats_;
+};
+
+}  // namespace gpu_sim

@@ -1,0 +1,78 @@
+#include "gpu_sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gpu_sim {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count <= 1) return;  // inline mode
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Split into ~4 chunks per worker so imbalanced bodies still spread out.
+  const std::size_t chunk_target = workers_.size() * 4;
+  const std::size_t chunk = std::max<std::size_t>(1, n / chunk_target);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      pending_.push_back(Task{begin, std::min(begin + chunk, n), &body});
+      ++in_flight_;
+    }
+  }
+  work_ready_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !pending_.empty(); });
+      if (pending_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = pending_.back();
+      pending_.pop_back();
+    }
+    try {
+      for (std::size_t i = task.begin; i < task.end; ++i) (*task.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace gpu_sim

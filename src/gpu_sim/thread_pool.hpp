@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file thread_pool.hpp
+/// Minimal fixed-size worker pool used to execute simulated kernel blocks.
+/// On a single-core host (this container) the pool degenerates to inline
+/// execution; on multi-core hosts kernels genuinely run in parallel, which
+/// keeps the execution model honest (kernels must be data-race free across
+/// blocks, exactly as on a real GPU).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpu_sim {
+
+class ThreadPool {
+ public:
+  /// @param worker_count number of worker threads; 0 or 1 means all work is
+  ///        run inline on the calling thread.
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Run `body(i)` for every i in [0, n), distributing contiguous chunks
+  /// over the workers, and block until all complete. Exceptions thrown by
+  /// the body are rethrown on the calling thread (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> pending_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace gpu_sim

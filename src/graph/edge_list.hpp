@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file edge_list.hpp
+/// Host-side edge-list representation shared by the generators, the Matrix
+/// Market reader, and the examples/benches. This is the neutral exchange
+/// format from which GraphBLAS matrices are `build()`-ed — equivalent to the
+/// (I, J, V) tuple arrays of the GraphBLAS C API.
+
+#include <cstdint>
+#include <vector>
+
+namespace gbtl_graph {
+
+using Index = std::uint64_t;
+
+struct EdgeList {
+  /// Number of vertices; edges reference vertex ids in [0, num_vertices).
+  Index num_vertices = 0;
+  std::vector<Index> src;
+  std::vector<Index> dst;
+  /// Edge weights; empty means the graph is unweighted (pattern-only).
+  std::vector<double> weight;
+
+  Index num_edges() const { return static_cast<Index>(src.size()); }
+  bool weighted() const { return !weight.empty(); }
+};
+
+/// --- Transforms (each returns a new list; inputs stay valid) -------------
+
+/// Add the reverse of every edge (skipping self-loops' duplicates), making
+/// the adjacency structure symmetric. Weights are carried over.
+EdgeList symmetrize(const EdgeList& g);
+
+/// Drop edges with src == dst.
+EdgeList remove_self_loops(const EdgeList& g);
+
+/// Collapse duplicate (src, dst) pairs; duplicate weights combine by
+/// summation (the GraphBLAS build default for dup handling in this repo).
+EdgeList deduplicate(const EdgeList& g);
+
+/// Keep only edges with src > dst (strict lower triangle) — the triangle
+/// counting preprocessing step.
+EdgeList lower_triangle(const EdgeList& g);
+
+/// Assign uniform-random integer weights in [lo, hi] (deterministic seed).
+EdgeList with_random_weights(const EdgeList& g, double lo, double hi,
+                             std::uint64_t seed);
+
+/// Out-degree of every vertex.
+std::vector<Index> out_degrees(const EdgeList& g);
+
+}  // namespace gbtl_graph

@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file generators.hpp
+/// Synthetic graph generators standing in for the paper's testbed inputs.
+/// R-MAT with Graph500 parameters is the primary evaluation workload; the
+/// regular families (grid, path, cycle, star, complete) drive unit tests and
+/// the sparse-format ablation.
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace gbtl_graph {
+
+/// R-MAT / stochastic Kronecker generator (Chakrabarti et al.), the
+/// Graph500 workload. Produces 2^scale vertices and edgefactor * 2^scale
+/// directed edges (duplicates and self-loops included, as the benchmark
+/// specifies). Default partition probabilities are the Graph500 values.
+EdgeList rmat(unsigned scale, Index edgefactor, std::uint64_t seed,
+              double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// G(n, m) Erdős–Rényi: m directed edges drawn uniformly (with replacement).
+EdgeList erdos_renyi(Index n, Index m, std::uint64_t seed);
+
+/// Two-dimensional 4-neighbour grid of rows x cols vertices (directed both
+/// ways, i.e. symmetric) — the road-network stand-in.
+EdgeList grid2d(Index rows, Index cols);
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+EdgeList path(Index n);
+
+/// Directed cycle over n vertices.
+EdgeList cycle(Index n);
+
+/// Star: vertex 0 connected to and from every other vertex.
+EdgeList star(Index n);
+
+/// Complete directed graph without self-loops. Quadratic — tests only.
+EdgeList complete(Index n);
+
+}  // namespace gbtl_graph

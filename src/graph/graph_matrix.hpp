@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file graph_matrix.hpp
+/// Bridge from the host-side EdgeList world (generators, Matrix Market) to
+/// GraphBLAS matrices on either backend.
+
+#include <vector>
+
+#include "gbtl/gbtl.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gbtl_graph {
+
+/// Build an n x n adjacency matrix from an edge list. Unweighted edges get
+/// value 1; duplicate edges collapse (last value wins, so a deduplicated
+/// input round-trips exactly).
+template <typename T, typename Tag>
+grb::Matrix<T, Tag> to_matrix(const EdgeList& g) {
+  grb::Matrix<T, Tag> a(g.num_vertices, g.num_vertices);
+  std::vector<T> vals(g.num_edges());
+  for (Index e = 0; e < g.num_edges(); ++e)
+    vals[e] = g.weighted() ? static_cast<T>(g.weight[e]) : T{1};
+  a.build(g.src, g.dst, vals, grb::Second<T>{});
+  return a;
+}
+
+/// Round-trip back to an edge list (weights preserved).
+template <typename T, typename Tag>
+EdgeList to_edge_list(const grb::Matrix<T, Tag>& a) {
+  EdgeList g;
+  g.num_vertices = a.nrows();
+  std::vector<T> vals;
+  a.extractTuples(g.src, g.dst, vals);
+  g.weight.assign(vals.begin(), vals.end());
+  return g;
+}
+
+}  // namespace gbtl_graph

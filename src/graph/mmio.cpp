@@ -1,0 +1,107 @@
+#include "graph/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace gbtl_graph {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw MatrixMarketError("empty input");
+
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%MatrixMarket")
+    throw MatrixMarketError("missing %%MatrixMarket banner");
+  object = to_lower(object);
+  format = to_lower(format);
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  if (object != "matrix" || format != "coordinate")
+    throw MatrixMarketError("only 'matrix coordinate' is supported");
+  if (field != "pattern" && field != "real" && field != "integer")
+    throw MatrixMarketError("unsupported field '" + field + "'");
+  if (symmetry != "general" && symmetry != "symmetric")
+    throw MatrixMarketError("unsupported symmetry '" + symmetry + "'");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  Index nrows = 0, ncols = 0, nnz = 0;
+  if (!(size_line >> nrows >> ncols >> nnz))
+    throw MatrixMarketError("bad size line");
+
+  EdgeList g;
+  g.num_vertices = std::max(nrows, ncols);
+  const bool pattern = (field == "pattern");
+  const bool symmetric = (symmetry == "symmetric");
+  g.src.reserve(nnz);
+  g.dst.reserve(nnz);
+  if (!pattern) g.weight.reserve(nnz);
+
+  for (Index e = 0; e < nnz; ++e) {
+    if (!std::getline(in, line))
+      throw MatrixMarketError("unexpected end of entries");
+    std::istringstream entry(line);
+    Index r = 0, c = 0;
+    double v = 1.0;
+    if (!(entry >> r >> c)) throw MatrixMarketError("bad entry line");
+    if (!pattern && !(entry >> v))
+      throw MatrixMarketError("missing value in non-pattern entry");
+    if (r == 0 || c == 0 || r > nrows || c > ncols)
+      throw MatrixMarketError("index out of declared bounds");
+    g.src.push_back(r - 1);
+    g.dst.push_back(c - 1);
+    if (!pattern) g.weight.push_back(v);
+    if (symmetric && r != c) {
+      g.src.push_back(c - 1);
+      g.dst.push_back(r - 1);
+      if (!pattern) g.weight.push_back(v);
+    }
+  }
+  return g;
+}
+
+EdgeList read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw MatrixMarketError("cannot open '" + path + "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& g) {
+  const bool pattern = !g.weighted();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "%%MatrixMarket matrix coordinate "
+      << (pattern ? "pattern" : "real") << " general\n";
+  out << g.num_vertices << ' ' << g.num_vertices << ' ' << g.num_edges()
+      << '\n';
+  for (Index e = 0; e < g.num_edges(); ++e) {
+    out << (g.src[e] + 1) << ' ' << (g.dst[e] + 1);
+    if (!pattern) out << ' ' << g.weight[e];
+    out << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const EdgeList& g) {
+  std::ofstream out(path);
+  if (!out) throw MatrixMarketError("cannot open '" + path + "' for writing");
+  write_matrix_market(out, g);
+}
+
+}  // namespace gbtl_graph

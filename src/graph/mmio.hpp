@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file mmio.hpp
+/// Matrix Market (coordinate format) reader/writer so externally published
+/// graphs (SuiteSparse collection etc.) can be fed to the library. Supports
+/// `general` and `symmetric` storage and `pattern` / `real` / `integer`
+/// fields; 1-based indices are converted to the library's 0-based world.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace gbtl_graph {
+
+class MatrixMarketError : public std::runtime_error {
+ public:
+  explicit MatrixMarketError(const std::string& what_arg)
+      : std::runtime_error("MatrixMarket: " + what_arg) {}
+};
+
+/// Parse a Matrix Market stream into an edge list. Symmetric storage is
+/// expanded to both triangles. num_vertices is max(nrows, ncols).
+EdgeList read_matrix_market(std::istream& in);
+EdgeList read_matrix_market_file(const std::string& path);
+
+/// Write in `coordinate general` layout, `real` if weighted else `pattern`.
+void write_matrix_market(std::ostream& out, const EdgeList& g);
+void write_matrix_market_file(const std::string& path, const EdgeList& g);
+
+}  // namespace gbtl_graph

@@ -1,0 +1,169 @@
+/// Algebra tests: operator behaviour, monoid identity/associativity laws
+/// (property-swept over random values), semiring annihilation, and the
+/// compile-time concepts.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "gbtl/algebra.hpp"
+
+namespace {
+
+using grb::IndexType;
+
+TEST(UnaryOps, Basics) {
+  EXPECT_EQ(grb::Identity<int>{}(7), 7);
+  EXPECT_EQ(grb::AdditiveInverse<int>{}(7), -7);
+  EXPECT_DOUBLE_EQ(grb::MultiplicativeInverse<double>{}(4.0), 0.25);
+  EXPECT_EQ(grb::LogicalNot<bool>{}(true), false);
+  EXPECT_EQ(grb::LogicalNot<int>{}(0), 1);
+  EXPECT_EQ(grb::Abs<int>{}(-3), 3);
+  EXPECT_EQ(grb::Abs<int>{}(3), 3);
+}
+
+TEST(UnaryOps, Binders) {
+  grb::BindSecond<double, grb::Times<double>> times2{2.0};
+  EXPECT_DOUBLE_EQ(times2(21.0), 42.0);
+  grb::BindFirst<double, grb::Minus<double>> from10{10.0};
+  EXPECT_DOUBLE_EQ(from10(4.0), 6.0);
+}
+
+TEST(BinaryOps, SelectorsAndComparisons) {
+  EXPECT_EQ(grb::First<int>{}(3, 9), 3);
+  EXPECT_EQ(grb::Second<int>{}(3, 9), 9);
+  EXPECT_EQ(grb::Min<int>{}(3, 9), 3);
+  EXPECT_EQ(grb::Max<int>{}(3, 9), 9);
+  EXPECT_EQ(grb::Equal<int>{}(4, 4), 1);
+  EXPECT_EQ(grb::NotEqual<int>{}(4, 4), 0);
+  EXPECT_EQ(grb::GreaterThan<int>{}(5, 4), 1);
+  EXPECT_EQ(grb::LessThan<int>{}(5, 4), 0);
+  EXPECT_EQ(grb::LogicalXor<int>{}(2, 0), 1);
+  EXPECT_EQ(grb::LogicalXor<int>{}(2, 3), 0);
+}
+
+TEST(Monoids, Identities) {
+  EXPECT_EQ(grb::PlusMonoid<int>{}.identity(), 0);
+  EXPECT_EQ(grb::TimesMonoid<int>{}.identity(), 1);
+  EXPECT_EQ(grb::MinMonoid<int>{}.identity(),
+            std::numeric_limits<int>::max());
+  EXPECT_EQ(grb::MaxMonoid<int>{}.identity(),
+            std::numeric_limits<int>::lowest());
+  EXPECT_EQ(grb::MinMonoid<double>{}.identity(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(grb::MaxMonoid<double>{}.identity(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(grb::LogicalOrMonoid<bool>{}.identity(), false);
+  EXPECT_EQ(grb::LogicalAndMonoid<bool>{}.identity(), true);
+}
+
+/// Property sweep: identity and associativity of every numeric monoid.
+class MonoidLaws : public ::testing::TestWithParam<unsigned> {};
+
+/// Logical monoids/semirings are algebras over {0, 1}: draw from the
+/// boolean domain when `boolean_domain` is set, else from all integers.
+template <typename M>
+void check_monoid_laws(M m, unsigned seed, bool boolean_domain = false) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(boolean_domain ? 0 : -1000,
+                                          boolean_domain ? 1 : 1000);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<typename M::result_type>(pick(rng));
+    const auto b = static_cast<typename M::result_type>(pick(rng));
+    const auto c = static_cast<typename M::result_type>(pick(rng));
+    EXPECT_EQ(m(m.identity(), a), a);
+    EXPECT_EQ(m(a, m.identity()), a);
+    EXPECT_EQ(m(m(a, b), c), m(a, m(b, c)));
+  }
+}
+
+TEST_P(MonoidLaws, PlusMonoid) {
+  check_monoid_laws(grb::PlusMonoid<long long>{}, GetParam());
+}
+TEST_P(MonoidLaws, MinMonoid) {
+  check_monoid_laws(grb::MinMonoid<long long>{}, GetParam());
+}
+TEST_P(MonoidLaws, MaxMonoid) {
+  check_monoid_laws(grb::MaxMonoid<long long>{}, GetParam());
+}
+TEST_P(MonoidLaws, OrMonoid) {
+  check_monoid_laws(grb::LogicalOrMonoid<long long>{}, GetParam(),
+                    /*boolean_domain=*/true);
+}
+TEST_P(MonoidLaws, AndMonoid) {
+  check_monoid_laws(grb::LogicalAndMonoid<long long>{}, GetParam(),
+                    /*boolean_domain=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonoidLaws, ::testing::Values(1u, 2u, 3u));
+
+/// Semiring laws: zero annihilates multiplication and is the additive
+/// identity; distributivity for the arithmetic/tropical cases.
+class SemiringLaws : public ::testing::TestWithParam<unsigned> {};
+
+template <typename SR>
+void check_semiring_laws(SR s, unsigned seed, bool check_distributive,
+                         bool boolean_domain = false) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(boolean_domain ? 0 : -50,
+                                          boolean_domain ? 1 : 50);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<typename SR::result_type>(pick(rng));
+    const auto b = static_cast<typename SR::result_type>(pick(rng));
+    const auto c = static_cast<typename SR::result_type>(pick(rng));
+    EXPECT_EQ(s.add(s.zero(), a), a);
+    EXPECT_EQ(s.add(a, s.zero()), a);
+    if (check_distributive) {
+      EXPECT_EQ(s.mult(a, s.add(b, c)), s.add(s.mult(a, b), s.mult(a, c)));
+    }
+  }
+}
+
+TEST_P(SemiringLaws, Arithmetic) {
+  check_semiring_laws(grb::ArithmeticSemiring<long long>{}, GetParam(), true);
+}
+TEST_P(SemiringLaws, MinPlus) {
+  // min distributes over +: a + min(b,c) == min(a+b, a+c)
+  check_semiring_laws(grb::MinPlusSemiring<long long>{}, GetParam(), true);
+}
+TEST_P(SemiringLaws, MaxPlus) {
+  check_semiring_laws(grb::MaxPlusSemiring<long long>{}, GetParam(), true);
+}
+TEST_P(SemiringLaws, Logical) {
+  check_semiring_laws(grb::LogicalSemiring<long long>{}, GetParam(),
+                      /*check_distributive=*/true, /*boolean_domain=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiringLaws, ::testing::Values(4u, 5u, 6u));
+
+TEST(Semirings, SelectSemiringsCarryTheRightSide) {
+  grb::MinSelect1stSemiring<int> s1;
+  EXPECT_EQ(s1.mult(3, 99), 3);
+  grb::MinSelect2ndSemiring<int> s2;
+  EXPECT_EQ(s2.mult(3, 99), 99);
+  grb::MaxSelect2ndSemiring<int> s3;
+  EXPECT_EQ(s3.mult(3, 99), 99);
+  EXPECT_EQ(s3.add(5, 7), 7);
+}
+
+TEST(Semirings, TropicalZeroIsInfinity) {
+  grb::MinPlusSemiring<double> mp;
+  EXPECT_EQ(mp.zero(), std::numeric_limits<double>::infinity());
+  // Infinity is absorbing for min-plus "multiplication" (+).
+  EXPECT_EQ(mp.mult(mp.zero(), 5.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(Concepts, CompileTimeValidation) {
+  static_assert(grb::UnaryOpFor<grb::Identity<int>, int>);
+  static_assert(grb::BinaryOpFor<grb::Plus<double>, double>);
+  static_assert(grb::MonoidFor<grb::PlusMonoid<int>, int>);
+  static_assert(!grb::MonoidFor<grb::Plus<int>, int>);  // no identity()
+  static_assert(grb::SemiringFor<grb::ArithmeticSemiring<float>, float>);
+  static_assert(!grb::SemiringFor<grb::PlusMonoid<int>, int>);
+  static_assert(grb::AccumulatorFor<grb::NoAccumulate, int>);
+  static_assert(grb::AccumulatorFor<grb::Plus<int>, int>);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,327 @@
+/// Algorithm-level tests on hand-checkable graphs, typed across both
+/// backends. Larger randomized validation lives in test_equivalence.cpp.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_matrix.hpp"
+
+namespace {
+
+using grb::IndexType;
+
+template <typename Tag>
+struct Algo : public ::testing::Test {};
+
+using Backends = ::testing::Types<grb::Sequential, grb::GpuSim>;
+TYPED_TEST_SUITE(Algo, Backends);
+
+/// Small directed test graph (GBTL's classic 9-vertex example flavor):
+///   0->1 0->3, 1->4 1->6, 2->5, 3->0 3->2, 4->5, 5->2, 6->2 6->3 6->4
+template <typename Tag>
+grb::Matrix<double, Tag> wiki_graph() {
+  grb::Matrix<double, Tag> a(7, 7);
+  a.build({0, 0, 1, 1, 2, 3, 3, 4, 5, 6, 6, 6},
+          {1, 3, 4, 6, 5, 0, 2, 5, 2, 2, 3, 4},
+          std::vector<double>(12, 1.0));
+  return a;
+}
+
+TYPED_TEST(Algo, BfsLevelsOnPath) {
+  auto g = gbtl_graph::path(5);
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<IndexType, TypeParam> levels(5);
+  algorithms::bfs_level(a, 0, levels);
+  for (IndexType v = 0; v < 5; ++v)
+    EXPECT_EQ(levels.extractElement(v), v + 1) << "vertex " << v;
+}
+
+TYPED_TEST(Algo, BfsLevelsDirectedGraph) {
+  auto a = wiki_graph<TypeParam>();
+  grb::Vector<IndexType, TypeParam> levels(7);
+  algorithms::bfs_level(a, 0, levels);
+  EXPECT_EQ(levels.extractElement(0), 1u);
+  EXPECT_EQ(levels.extractElement(1), 2u);
+  EXPECT_EQ(levels.extractElement(3), 2u);
+  EXPECT_EQ(levels.extractElement(4), 3u);
+  EXPECT_EQ(levels.extractElement(6), 3u);
+  EXPECT_EQ(levels.extractElement(2), 3u);
+  EXPECT_EQ(levels.extractElement(5), 4u);
+}
+
+TYPED_TEST(Algo, BfsUnreachableHoldsNoValue) {
+  grb::Matrix<double, TypeParam> a(4, 4);
+  a.build({0, 2}, {1, 3}, {1.0, 1.0});
+  grb::Vector<IndexType, TypeParam> levels(4);
+  algorithms::bfs_level(a, 0, levels);
+  EXPECT_TRUE(levels.hasElement(0));
+  EXPECT_TRUE(levels.hasElement(1));
+  EXPECT_FALSE(levels.hasElement(2));
+  EXPECT_FALSE(levels.hasElement(3));
+}
+
+TYPED_TEST(Algo, BfsParentTreeIsValid) {
+  auto a = wiki_graph<TypeParam>();
+  grb::Vector<IndexType, TypeParam> parents(7), levels(7);
+  algorithms::bfs_parent(a, 0, parents);
+  algorithms::bfs_level(a, 0, levels);
+  EXPECT_EQ(parents.extractElement(0), 0u);
+  for (IndexType v = 1; v < 7; ++v) {
+    ASSERT_TRUE(parents.hasElement(v));
+    const IndexType p = parents.extractElement(v);
+    EXPECT_TRUE(a.hasElement(p, v)) << "parent edge " << p << "->" << v;
+    EXPECT_EQ(levels.extractElement(p) + 1, levels.extractElement(v));
+  }
+}
+
+TYPED_TEST(Algo, BatchBfsMatchesSingleSource) {
+  auto g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(40, 150, 21));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  const grb::IndexArrayType sources{0, 7, 13, 39};
+  grb::Matrix<IndexType, TypeParam> levels(4, 40);
+  algorithms::batch_bfs_level(a, sources, levels);
+  for (IndexType s = 0; s < sources.size(); ++s) {
+    grb::Vector<IndexType, TypeParam> single(40);
+    algorithms::bfs_level(a, sources[s], single);
+    for (IndexType v = 0; v < 40; ++v) {
+      ASSERT_EQ(levels.hasElement(s, v), single.hasElement(v))
+          << "source " << s << " vertex " << v;
+      if (single.hasElement(v)) {
+        EXPECT_EQ(levels.extractElement(s, v), single.extractElement(v));
+      }
+    }
+  }
+}
+
+TYPED_TEST(Algo, SsspOnWeightedDiamond) {
+  //     0 --1--> 1 --1--> 3
+  //      \--4--> 2 --1--/
+  grb::Matrix<double, TypeParam> a(4, 4);
+  a.build({0, 0, 1, 2}, {1, 2, 3, 3}, {1.0, 4.0, 1.0, 1.0});
+  grb::Vector<double, TypeParam> dist(4);
+  algorithms::sssp(a, 0, dist);
+  EXPECT_DOUBLE_EQ(dist.extractElement(0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.extractElement(1), 1.0);
+  EXPECT_DOUBLE_EQ(dist.extractElement(2), 4.0);
+  EXPECT_DOUBLE_EQ(dist.extractElement(3), 2.0);
+}
+
+TYPED_TEST(Algo, SsspNegativeEdgeNoCycle) {
+  grb::Matrix<double, TypeParam> a(3, 3);
+  a.build({0, 0, 1}, {1, 2, 2}, {5.0, 2.0, -4.0});
+  grb::Vector<double, TypeParam> dist(3);
+  algorithms::sssp(a, 0, dist);
+  EXPECT_DOUBLE_EQ(dist.extractElement(2), 1.0);  // 0->1->2 = 5 - 4
+}
+
+TYPED_TEST(Algo, BatchSsspMatchesSingle) {
+  auto g = gbtl_graph::with_random_weights(
+      gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(20, 60, 7)), 1.0, 9.0,
+      3);
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Matrix<double, TypeParam> dists(3, 20);
+  algorithms::batch_sssp(a, {0, 5, 11}, dists);
+  const grb::IndexArrayType sources{0, 5, 11};
+  for (IndexType s = 0; s < 3; ++s) {
+    grb::Vector<double, TypeParam> single(20);
+    algorithms::sssp(a, sources[s], single);
+    for (IndexType v = 0; v < 20; ++v) {
+      ASSERT_EQ(single.hasElement(v), dists.hasElement(s, v));
+      if (single.hasElement(v)) {
+        EXPECT_DOUBLE_EQ(single.extractElement(v),
+                         dists.extractElement(s, v));
+      }
+    }
+  }
+}
+
+TYPED_TEST(Algo, PageRankSumsToOneAndRanksHubs) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::star(8));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<double, TypeParam> rank(8);
+  auto res = algorithms::pagerank(a, rank);
+  EXPECT_GT(res.iterations, 0u);
+  double total = 0.0;
+  grb::reduce(total, grb::NoAccumulate{}, grb::PlusMonoid<double>{}, rank);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  // The hub must outrank every leaf.
+  for (IndexType v = 1; v < 8; ++v)
+    EXPECT_GT(rank.extractElement(0), rank.extractElement(v));
+}
+
+TYPED_TEST(Algo, PageRankHandlesDanglingVertices) {
+  grb::Matrix<double, TypeParam> a(3, 3);
+  a.build({0, 1}, {1, 2}, {1.0, 1.0});  // 2 is dangling
+  grb::Vector<double, TypeParam> rank(3);
+  algorithms::pagerank(a, rank);
+  double total = 0.0;
+  grb::reduce(total, grb::NoAccumulate{}, grb::PlusMonoid<double>{}, rank);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TYPED_TEST(Algo, TriangleCountVariantsAgree) {
+  // K4 has 4 triangles; bowtie (two triangles sharing a vertex) has 2.
+  auto k4 = gbtl_graph::complete(4);
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(k4);
+  EXPECT_EQ(algorithms::triangle_count_masked(a), 4u);
+  EXPECT_EQ(algorithms::triangle_count_unmasked(a), 4u);
+  EXPECT_EQ(algorithms::triangle_count_burkhardt(a), 4u);
+
+  gbtl_graph::EdgeList bowtie;
+  bowtie.num_vertices = 5;
+  bowtie.src = {0, 1, 0, 2, 1, 2, 2, 3, 2, 4, 3, 4};
+  bowtie.dst = {1, 0, 2, 0, 2, 1, 3, 2, 4, 2, 4, 3};
+  auto b = gbtl_graph::to_matrix<double, TypeParam>(bowtie);
+  EXPECT_EQ(algorithms::triangle_count_masked(b), 2u);
+  EXPECT_EQ(algorithms::triangle_count_unmasked(b), 2u);
+  EXPECT_EQ(algorithms::triangle_count_burkhardt(b), 2u);
+}
+
+TYPED_TEST(Algo, TrianglesPerVertexOnBowtie) {
+  gbtl_graph::EdgeList bowtie;
+  bowtie.num_vertices = 5;
+  bowtie.src = {0, 1, 0, 2, 1, 2, 2, 3, 2, 4, 3, 4};
+  bowtie.dst = {1, 0, 2, 0, 2, 1, 3, 2, 4, 2, 4, 3};
+  auto b = gbtl_graph::to_matrix<double, TypeParam>(bowtie);
+  auto t = algorithms::triangles_per_vertex(b);
+  EXPECT_EQ(t.extractElement(0), 1u);
+  EXPECT_EQ(t.extractElement(2), 2u);  // the waist joins both triangles
+  EXPECT_EQ(t.extractElement(4), 1u);
+}
+
+TYPED_TEST(Algo, ConnectedComponentsThreeIslands) {
+  // {0,1,2} path, {3,4} edge, {5} isolated.
+  gbtl_graph::EdgeList g;
+  g.num_vertices = 6;
+  g.src = {0, 1, 1, 2, 3, 4};
+  g.dst = {1, 0, 2, 1, 4, 3};
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<IndexType, TypeParam> labels(6);
+  algorithms::connected_components(a, labels);
+  EXPECT_EQ(labels.extractElement(0), 0u);
+  EXPECT_EQ(labels.extractElement(1), 0u);
+  EXPECT_EQ(labels.extractElement(2), 0u);
+  EXPECT_EQ(labels.extractElement(3), 3u);
+  EXPECT_EQ(labels.extractElement(4), 3u);
+  EXPECT_EQ(labels.extractElement(5), 5u);
+  EXPECT_EQ(algorithms::component_count(a), 3u);
+}
+
+TYPED_TEST(Algo, MisIsIndependentAndMaximal) {
+  auto g = gbtl_graph::symmetrize(
+      gbtl_graph::remove_self_loops(gbtl_graph::erdos_renyi(30, 90, 11)));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<bool, TypeParam> iset(30);
+  algorithms::mis(a, iset, 42);
+  EXPECT_TRUE(algorithms::is_maximal_independent_set(a, iset));
+  EXPECT_GT(iset.nvals(), 0u);
+}
+
+TYPED_TEST(Algo, MisOnStarPicksLeaves) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::star(6));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<bool, TypeParam> iset(6);
+  algorithms::mis(a, iset, 7);
+  EXPECT_TRUE(algorithms::is_maximal_independent_set(a, iset));
+  // Either {hub} or all leaves; both are maximal.
+  const bool hub = iset.hasElement(0);
+  EXPECT_EQ(iset.nvals(), hub ? 1u : 5u);
+}
+
+TYPED_TEST(Algo, MstOnWeightedSquare) {
+  // Square 0-1-3-2-0 with diagonal; MST = 3 cheapest acyclic edges.
+  gbtl_graph::EdgeList g;
+  g.num_vertices = 4;
+  g.src = {0, 1, 0, 2, 1, 3, 2, 3, 0, 3};
+  g.dst = {1, 0, 2, 0, 3, 1, 3, 2, 3, 0};
+  g.weight = {1, 1, 4, 4, 2, 2, 5, 5, 10, 10};
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<IndexType, TypeParam> parents(4);
+  auto res = algorithms::mst(a, parents);
+  EXPECT_EQ(res.edges, 3u);
+  EXPECT_DOUBLE_EQ(res.weight, 7.0);  // 1 + 2 + 4
+  EXPECT_EQ(parents.extractElement(0), 0u);
+}
+
+TYPED_TEST(Algo, MstForestOnDisconnectedGraph) {
+  gbtl_graph::EdgeList g;
+  g.num_vertices = 5;
+  g.src = {0, 1, 2, 3};
+  g.dst = {1, 0, 3, 2};
+  g.weight = {3, 3, 4, 4};
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<IndexType, TypeParam> parents(5);
+  auto res = algorithms::mst(a, parents);
+  EXPECT_EQ(res.edges, 2u);
+  EXPECT_DOUBLE_EQ(res.weight, 7.0);
+  EXPECT_EQ(parents.nvals(), 5u);  // every vertex gets a parent/root entry
+}
+
+TYPED_TEST(Algo, MaxflowClassicNetwork) {
+  // The CLRS example network; max flow = 23.
+  grb::Matrix<double, TypeParam> cap(6, 6);
+  cap.build({0, 0, 1, 2, 2, 3, 3, 4, 4},
+            {1, 2, 3, 1, 4, 2, 5, 3, 5},
+            {16, 13, 12, 4, 14, 9, 20, 7, 4});
+  // CLRS flow network s=0, t=5: known max flow 23.
+  EXPECT_DOUBLE_EQ(algorithms::maxflow(cap, 0, 5), 23.0);
+}
+
+TYPED_TEST(Algo, MaxflowDisconnectedIsZero) {
+  grb::Matrix<double, TypeParam> cap(4, 4);
+  cap.build({0, 2}, {1, 3}, {5.0, 5.0});
+  EXPECT_DOUBLE_EQ(algorithms::maxflow(cap, 0, 3), 0.0);
+}
+
+TYPED_TEST(Algo, DegreeAndDensityMetrics) {
+  auto a = wiki_graph<TypeParam>();
+  auto outd = algorithms::out_degree(a);
+  auto ind = algorithms::in_degree(a);
+  EXPECT_EQ(outd.extractElement(6), 3u);
+  EXPECT_EQ(ind.extractElement(2), 3u);
+  EXPECT_FALSE(ind.hasElement(0) && false);
+  EXPECT_NEAR(algorithms::graph_density(a), 12.0 / 42.0, 1e-12);
+}
+
+TYPED_TEST(Algo, ClusteringCoefficients) {
+  auto k4 = gbtl_graph::complete(4);
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(k4);
+  auto cc = algorithms::clustering_coefficient(a);
+  for (IndexType v = 0; v < 4; ++v)
+    EXPECT_DOUBLE_EQ(cc.extractElement(v), 1.0);
+  EXPECT_DOUBLE_EQ(algorithms::global_clustering_coefficient(a), 1.0);
+}
+
+TYPED_TEST(Algo, ClosenessCentralityOnPath) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::path(5));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  // Middle vertex: distances 2,1,1,2 -> 4/6.
+  EXPECT_NEAR(algorithms::closeness_centrality(a, 2), 4.0 / 6.0, 1e-12);
+  // End vertex: distances 1,2,3,4 -> 4/10.
+  EXPECT_NEAR(algorithms::closeness_centrality(a, 0), 4.0 / 10.0, 1e-12);
+}
+
+TYPED_TEST(Algo, BetweennessCentralityOnPath) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::path(5));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  auto bc = algorithms::betweenness_centrality(a);
+  // Undirected path BC (directed-count convention, both directions):
+  // vertex 1 lies on s-t pairs (0,2),(0,3),(0,4) and reverses -> 6.
+  EXPECT_NEAR(bc.extractElement(0), 0.0, 1e-9);
+  EXPECT_NEAR(bc.extractElement(1), 6.0, 1e-9);
+  EXPECT_NEAR(bc.extractElement(2), 8.0, 1e-9);
+  EXPECT_NEAR(bc.extractElement(3), 6.0, 1e-9);
+  EXPECT_NEAR(bc.extractElement(4), 0.0, 1e-9);
+}
+
+TYPED_TEST(Algo, BetweennessStarCenterDominates) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::star(6));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  auto bc = algorithms::betweenness_centrality(a);
+  // All 5*4 = 20 ordered leaf pairs route through the hub.
+  EXPECT_NEAR(bc.extractElement(0), 20.0, 1e-9);
+  for (IndexType v = 1; v < 6; ++v) EXPECT_NEAR(bc.extractElement(v), 0.0, 1e-9);
+}
+
+}  // namespace

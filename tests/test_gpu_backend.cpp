@@ -1,0 +1,222 @@
+/// GPU-backend behavioural tests: device residency (steady-state primitives
+/// must not touch PCIe), transfer accounting of the documented host
+/// fallbacks, cost-model shape (crossover, masked-mxm pruning, transfer
+/// penalty), and device-memory lifecycle through GraphBLAS objects.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "gbtl/gbtl.hpp"
+#include "gpu_sim/context.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_matrix.hpp"
+
+namespace {
+
+using grb::IndexType;
+using grb::NoAccumulate;
+using grb::NoMask;
+
+gpu_sim::DeviceStats run_and_measure(const std::function<void()>& work) {
+  auto& dev = gpu_sim::device();
+  const auto before = dev.stats();
+  work();
+  return dev.stats() - before;
+}
+
+TEST(GpuResidency, MxvSteadyStateHasNoTransfers) {
+  grb::Matrix<double, grb::GpuSim> a(64, 64);
+  {
+    auto g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(64, 400, 1));
+    a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  }
+  grb::Vector<double, grb::GpuSim> u(std::vector<double>(64, 1.0), 0.0);
+  grb::Vector<double, grb::GpuSim> w(64);
+
+  const auto delta = run_and_measure([&] {
+    grb::mxv(w, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+             a, u, grb::Replace);
+  });
+  EXPECT_EQ(delta.h2d_transfers, 0u);
+  EXPECT_EQ(delta.d2h_transfers, 0u);
+  EXPECT_GT(delta.kernel_launches, 0u);
+}
+
+TEST(GpuResidency, MxmSteadyStateHasNoTransfers) {
+  auto g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(32, 128, 2));
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Matrix<double, grb::GpuSim> c(32, 32);
+  const auto delta = run_and_measure([&] {
+    grb::mxm(c, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+             a, a, grb::Replace);
+  });
+  EXPECT_EQ(delta.h2d_transfers, 0u);
+  EXPECT_EQ(delta.d2h_transfers, 0u);
+}
+
+TEST(GpuResidency, HostFallbackOpsAccountTransfers) {
+  auto g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(16, 64, 3));
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Matrix<double, grb::GpuSim> k(256, 256);
+  // kronecker is documented as a host fallback: it must pay D2H + H2D.
+  const auto delta = run_and_measure([&] {
+    grb::kronecker(k, NoMask{}, NoAccumulate{}, grb::Times<double>{}, a, a);
+  });
+  EXPECT_GT(delta.d2h_transfers, 0u);
+  EXPECT_GT(delta.h2d_transfers, 0u);
+}
+
+TEST(GpuResidency, ExtractElementIsATransfer) {
+  grb::Matrix<double, grb::GpuSim> a(4, 4);
+  a.build({1}, {2}, {5.0});
+  const auto delta =
+      run_and_measure([&] { EXPECT_DOUBLE_EQ(a.extractElement(1, 2), 5.0); });
+  EXPECT_GT(delta.d2h_transfers, 0u);
+}
+
+TEST(GpuCostShape, LargeMxvBeatsManySmallOnes) {
+  // Launch overhead amortization: 1 mxv over 4096 rows must cost less
+  // simulated time than 64 mxvs over 64-row matrices with the same total
+  // nnz — the "batch your primitives" architectural claim.
+  auto big_g = gbtl_graph::deduplicate(
+      gbtl_graph::erdos_renyi(4096, 64 * 640, 4));
+  auto small_g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(64, 640, 5));
+
+  auto big = gbtl_graph::to_matrix<double, grb::GpuSim>(big_g);
+  grb::Vector<double, grb::GpuSim> ub(std::vector<double>(4096, 1.0), 0.0);
+  grb::Vector<double, grb::GpuSim> wb(4096);
+  const auto one_big = run_and_measure([&] {
+    grb::mxv(wb, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+             big, ub, grb::Replace);
+  });
+
+  auto small = gbtl_graph::to_matrix<double, grb::GpuSim>(small_g);
+  grb::Vector<double, grb::GpuSim> us(std::vector<double>(64, 1.0), 0.0);
+  grb::Vector<double, grb::GpuSim> ws(64);
+  const auto many_small = run_and_measure([&] {
+    for (int rep = 0; rep < 64; ++rep)
+      grb::mxv(ws, NoMask{}, NoAccumulate{},
+               grb::ArithmeticSemiring<double>{}, small, us, grb::Replace);
+  });
+  EXPECT_LT(one_big.simulated_kernel_time_s,
+            many_small.simulated_kernel_time_s);
+}
+
+TEST(GpuCostShape, MaskedMxmCheaperThanUnmaskedOnSparseMask) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::deduplicate(
+      gbtl_graph::remove_self_loops(gbtl_graph::rmat(9, 8, 6))));
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Matrix<double, grb::GpuSim> c(a.nrows(), a.ncols());
+
+  const auto unmasked = run_and_measure([&] {
+    grb::mxm(c, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+             a, a, grb::Replace);
+  });
+  const auto masked = run_and_measure([&] {
+    grb::mxm(c, grb::structure(a), NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, a, a, grb::Replace);
+  });
+  EXPECT_LT(masked.simulated_kernel_time_s, unmasked.simulated_kernel_time_s);
+}
+
+TEST(GpuCostShape, TransferPenaltyDominatesSmallWork) {
+  // Uploading a matrix costs more simulated time than multiplying it once:
+  // the Fig. 6 claim in miniature.
+  auto g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(256, 4096, 7));
+  grb::IndexArrayType rows(g.src.begin(), g.src.end());
+  grb::IndexArrayType cols(g.dst.begin(), g.dst.end());
+  std::vector<double> vals(g.num_edges(), 1.0);
+
+  auto& dev = gpu_sim::device();
+  const auto s0 = dev.stats();
+  grb::Matrix<double, grb::GpuSim> a(256, 256);
+  a.build(rows, cols, vals);
+  const auto after_build = dev.stats() - s0;
+
+  grb::Vector<double, grb::GpuSim> u(std::vector<double>(256, 1.0), 0.0);
+  grb::Vector<double, grb::GpuSim> w(256);
+  const auto spmv_delta = run_and_measure([&] {
+    grb::mxv(w, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+             a, u, grb::Replace);
+  });
+  EXPECT_GT(after_build.simulated_transfer_time_s,
+            spmv_delta.simulated_total_time_s());
+}
+
+TEST(GpuCostShape, BfsSimulatedTimeScalesSubquadratically) {
+  // Doubling the graph should not quadruple simulated BFS time (frontier
+  // work is edge-proportional plus per-level overhead).
+  auto time_bfs = [](unsigned scale) {
+    auto g = gbtl_graph::deduplicate(gbtl_graph::remove_self_loops(
+        gbtl_graph::rmat(scale, 16, 1000 + scale)));
+    auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+    grb::Vector<IndexType, grb::GpuSim> levels(a.nrows());
+    auto& dev = gpu_sim::device();
+    const double t0 = dev.simulated_time_s();
+    algorithms::bfs_level(a, 0, levels);
+    return dev.simulated_time_s() - t0;
+  };
+  const double t10 = time_bfs(10);
+  const double t11 = time_bfs(11);
+  EXPECT_LT(t11, 4.0 * t10);
+  EXPECT_GT(t11, t10);  // but it must grow
+}
+
+TEST(GpuMemory, ObjectsReleaseDeviceMemory) {
+  auto& dev = gpu_sim::device();
+  const std::size_t before = dev.stats().bytes_in_use;
+  {
+    grb::Matrix<double, grb::GpuSim> a(128, 128);
+    a.build({0, 1, 2}, {1, 2, 3}, {1.0, 2.0, 3.0});
+    grb::Vector<double, grb::GpuSim> v(1024);
+    EXPECT_GT(dev.stats().bytes_in_use, before);
+  }
+  EXPECT_EQ(dev.stats().bytes_in_use, before);
+}
+
+TEST(GpuMemory, CopySemanticsAreDeep) {
+  grb::Matrix<double, grb::GpuSim> a(4, 4);
+  a.build({0}, {0}, {1.0});
+  grb::Matrix<double, grb::GpuSim> b = a;
+  b.setElement(0, 0, 99.0);
+  EXPECT_DOUBLE_EQ(a.extractElement(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.extractElement(0, 0), 99.0);
+}
+
+TEST(GpuDeterminism, SimulatedTimeIsReproducible) {
+  auto run_once = [] {
+    auto g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(128, 1024, 9));
+    auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+    grb::Vector<IndexType, grb::GpuSim> levels(a.nrows());
+    auto& dev = gpu_sim::device();
+    const double t0 = dev.simulated_time_s();
+    algorithms::bfs_level(a, 0, levels);
+    return dev.simulated_time_s() - t0;
+  };
+  // The clock is cumulative, so the two deltas differ by at most the
+  // rounding of (big + delta) - big: picoseconds on a microsecond quantity.
+  const double first = run_once();
+  const double second = run_once();
+  EXPECT_NEAR(first, second, 1e-12);
+}
+
+TEST(GpuBuild, DuplicatesCombineWithDupOp) {
+  grb::Matrix<double, grb::GpuSim> a(3, 3);
+  a.build({1, 1, 1}, {2, 2, 2}, {1.0, 2.0, 3.0}, grb::Plus<double>{});
+  EXPECT_EQ(a.nvals(), 1u);
+  EXPECT_DOUBLE_EQ(a.extractElement(1, 2), 6.0);
+
+  grb::Matrix<double, grb::GpuSim> b(3, 3);
+  b.build({1, 1}, {2, 2}, {1.0, 7.0}, grb::Max<double>{});
+  EXPECT_DOUBLE_EQ(b.extractElement(1, 2), 7.0);
+}
+
+TEST(GpuBuild, OutOfBoundsTupleThrows) {
+  grb::Matrix<double, grb::GpuSim> a(3, 3);
+  EXPECT_THROW(a.build({5}, {0}, {1.0}), grb::IndexOutOfBoundsException);
+  grb::Vector<double, grb::GpuSim> v(3);
+  EXPECT_THROW(v.build({9}, {1.0}), grb::IndexOutOfBoundsException);
+}
+
+}  // namespace

@@ -1,0 +1,360 @@
+/// Unit tests for the simulated GPU runtime: memory management, transfers,
+/// kernel launches, cost-model accounting, and the Thrust-like primitive
+/// library the GBTL GPU backend is composed from.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "gpu_sim/algorithms.hpp"
+#include "gpu_sim/context.hpp"
+#include "gpu_sim/device_vector.hpp"
+#include "gpu_sim/stream.hpp"
+
+namespace {
+
+using gpu_sim::Context;
+using gpu_sim::DeviceProperties;
+using gpu_sim::device_vector;
+using gpu_sim::Dim3;
+using gpu_sim::LaunchStats;
+
+// Each test uses a private context so stats assertions are exact.
+Context make_ctx() { return Context{DeviceProperties{}, 1}; }
+
+TEST(GpuSimMemory, MallocFreeTracksUsage) {
+  auto ctx = make_ctx();
+  void* p = ctx.malloc_bytes(1024);
+  EXPECT_EQ(ctx.stats().bytes_in_use, 1024u);
+  EXPECT_EQ(ctx.stats().allocations, 1u);
+  ctx.free_bytes(p);
+  EXPECT_EQ(ctx.stats().bytes_in_use, 0u);
+  EXPECT_EQ(ctx.stats().frees, 1u);
+}
+
+TEST(GpuSimMemory, PeakUsageIsHighWaterMark) {
+  auto ctx = make_ctx();
+  void* a = ctx.malloc_bytes(1000);
+  void* b = ctx.malloc_bytes(500);
+  ctx.free_bytes(a);
+  void* c = ctx.malloc_bytes(200);
+  EXPECT_EQ(ctx.stats().peak_bytes_in_use, 1500u);
+  EXPECT_EQ(ctx.stats().bytes_in_use, 700u);
+  ctx.free_bytes(b);
+  ctx.free_bytes(c);
+}
+
+TEST(GpuSimMemory, ExhaustionThrowsDeviceBadAlloc) {
+  DeviceProperties small;
+  small.total_global_memory = 4096;
+  Context ctx{small, 1};
+  void* p = ctx.malloc_bytes(4000);
+  EXPECT_THROW(ctx.malloc_bytes(200), gpu_sim::DeviceBadAlloc);
+  ctx.free_bytes(p);
+  EXPECT_NO_THROW(ctx.free_bytes(nullptr));  // cudaFree(nullptr) semantics
+}
+
+TEST(GpuSimMemory, ForeignFreeThrows) {
+  auto ctx = make_ctx();
+  int on_host = 0;
+  EXPECT_THROW(ctx.free_bytes(&on_host), gpu_sim::InvalidDevicePointer);
+}
+
+TEST(GpuSimTransfer, RoundTripPreservesDataAndCounts) {
+  auto ctx = make_ctx();
+  std::vector<int> host(257);
+  std::iota(host.begin(), host.end(), -17);
+  device_vector<int> d(host, ctx);
+  EXPECT_EQ(ctx.stats().h2d_transfers, 1u);
+  EXPECT_EQ(ctx.stats().h2d_bytes, host.size() * sizeof(int));
+  auto back = d.to_host();
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(ctx.stats().d2h_transfers, 1u);
+}
+
+TEST(GpuSimTransfer, TransferTimeFollowsModel) {
+  auto ctx = make_ctx();
+  const std::size_t bytes = 1 << 20;
+  std::vector<char> host(bytes, 'x');
+  device_vector<char> d(host, ctx);
+  const double expected =
+      gpu_sim::modeled_transfer_time(ctx.properties(), bytes);
+  EXPECT_DOUBLE_EQ(ctx.stats().simulated_transfer_time_s, expected);
+}
+
+TEST(GpuSimTransfer, CopyOutOfRangeThrows) {
+  auto ctx = make_ctx();
+  device_vector<int> d(8, ctx);
+  std::vector<int> host(16, 1);
+  EXPECT_THROW(ctx.copy_h2d(d.data(), host.data(), 16 * sizeof(int)),
+               gpu_sim::InvalidDevicePointer);
+}
+
+TEST(GpuSimLaunch, OneDimensionalLaunchCoversAllIndices) {
+  auto ctx = make_ctx();
+  const std::size_t n = 1000;
+  device_vector<std::uint32_t> d(n, ctx);
+  std::uint32_t* p = d.data();
+  ctx.launch_n(n, LaunchStats{n, 0, n * 4},
+               [=](std::size_t i) { p[i] = static_cast<std::uint32_t>(i); });
+  auto h = d.to_host();
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(h[i], i);
+  EXPECT_EQ(ctx.stats().kernel_launches, 1u);
+}
+
+TEST(GpuSimLaunch, GridBlockGeometryIsCudaLike) {
+  auto ctx = make_ctx();
+  const std::size_t n = 512;
+  device_vector<std::uint64_t> d(n, ctx);
+  std::uint64_t* p = d.data();
+  ctx.launch(Dim3{4}, Dim3{128}, LaunchStats{n, 0, n * 8},
+             [=](const gpu_sim::ThreadId& tid) {
+               p[tid.global_x()] = tid.block_idx.x * 1000 + tid.thread_idx.x;
+             });
+  auto h = d.to_host();
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[127], 127u);
+  EXPECT_EQ(h[128], 1000u);
+  EXPECT_EQ(h[511], 3127u);
+}
+
+TEST(GpuSimLaunch, OversizedBlockThrows) {
+  auto ctx = make_ctx();
+  EXPECT_THROW(
+      ctx.launch(Dim3{1}, Dim3{2048}, LaunchStats{}, [](const auto&) {}),
+      gpu_sim::InvalidLaunchConfig);
+  EXPECT_THROW(ctx.launch(Dim3{0}, Dim3{32}, LaunchStats{}, [](const auto&) {}),
+               gpu_sim::InvalidLaunchConfig);
+}
+
+TEST(GpuSimLaunch, EmptyLaunchStillCostsOverhead) {
+  auto ctx = make_ctx();
+  ctx.launch_n(0, LaunchStats{}, [](std::size_t) {});
+  EXPECT_EQ(ctx.stats().kernel_launches, 1u);
+  EXPECT_DOUBLE_EQ(ctx.stats().simulated_kernel_time_s,
+                   ctx.properties().kernel_launch_overhead_s);
+}
+
+TEST(GpuSimLaunch, CostModelChargesMaxOfComputeAndMemory) {
+  auto ctx = make_ctx();
+  const auto& p = ctx.properties();
+  // Memory-bound kernel: 1 GiB of traffic, negligible ops.
+  LaunchStats mem{1, 1ull << 30, 0};
+  ctx.launch_n(1, mem, [](std::size_t) {});
+  const double t = ctx.stats().simulated_kernel_time_s;
+  EXPECT_NEAR(t,
+              p.kernel_launch_overhead_s +
+                  double(1ull << 30) / p.memory_bandwidth_bytes_per_s,
+              1e-12);
+}
+
+TEST(GpuSimLaunch, MultiWorkerPoolComputesSameResult) {
+  Context ctx{DeviceProperties{}, 4};
+  const std::size_t n = 10007;
+  device_vector<std::uint64_t> d(n, ctx);
+  std::uint64_t* p = d.data();
+  ctx.launch_n(n, LaunchStats{n, 0, n * 8},
+               [=](std::size_t i) { p[i] = i * i; });
+  auto h = d.to_host();
+  for (std::size_t i = 0; i < n; i += 997) EXPECT_EQ(h[i], i * i);
+}
+
+TEST(GpuSimDeviceVector, ResizePreservesPrefix) {
+  auto ctx = make_ctx();
+  std::vector<int> host{1, 2, 3, 4};
+  device_vector<int> d(host, ctx);
+  d.resize(8);
+  auto h = d.to_host();
+  ASSERT_EQ(h.size(), 8u);
+  EXPECT_EQ(h[0], 1);
+  EXPECT_EQ(h[3], 4);
+  EXPECT_GE(ctx.stats().d2d_copies, 1u);
+}
+
+TEST(GpuSimDeviceVector, CopyIsDeviceToDevice) {
+  auto ctx = make_ctx();
+  device_vector<int> a(std::vector<int>{5, 6, 7}, ctx);
+  const auto before = ctx.stats();
+  device_vector<int> b(a);
+  const auto delta = ctx.stats() - before;
+  EXPECT_EQ(delta.d2d_copies, 1u);
+  EXPECT_EQ(delta.h2d_transfers, 0u);
+  EXPECT_EQ(b.to_host(), (std::vector<int>{5, 6, 7}));
+}
+
+TEST(GpuSimDeviceVector, MoveTransfersOwnershipWithoutCopies) {
+  auto ctx = make_ctx();
+  device_vector<int> a(std::vector<int>{1, 2}, ctx);
+  const auto before = ctx.stats();
+  device_vector<int> b(std::move(a));
+  const auto delta = ctx.stats() - before;
+  EXPECT_EQ(delta.d2d_copies, 0u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(GpuSimStream, EventsMeasureSimulatedTime) {
+  auto ctx = make_ctx();
+  gpu_sim::Stream s(ctx);
+  gpu_sim::Event start(ctx), stop(ctx);
+  start.record(s);
+  ctx.launch_n(1024, LaunchStats{1024, 8192, 8192}, [](std::size_t) {});
+  stop.record(s);
+  EXPECT_GT(elapsed_s(start, stop), 0.0);
+  EXPECT_DOUBLE_EQ(elapsed_s(start, stop), ctx.simulated_time_s());
+}
+
+TEST(GpuSimStream, ResetStatsKeepsLiveAllocations) {
+  auto ctx = make_ctx();
+  device_vector<int> d(16, ctx);
+  ctx.reset_stats();
+  EXPECT_EQ(ctx.stats().bytes_in_use, 16 * sizeof(int));
+  EXPECT_EQ(ctx.stats().kernel_launches, 0u);
+}
+
+// --- Primitive library ------------------------------------------------------
+
+TEST(GpuSimPrimitives, FillAndSequence) {
+  auto ctx = make_ctx();
+  device_vector<int> v(5, ctx);
+  gpu_sim::fill(v, 9);
+  EXPECT_EQ(v.to_host(), (std::vector<int>{9, 9, 9, 9, 9}));
+  gpu_sim::sequence(v, 3);
+  EXPECT_EQ(v.to_host(), (std::vector<int>{3, 4, 5, 6, 7}));
+}
+
+TEST(GpuSimPrimitives, TransformUnaryAndBinary) {
+  auto ctx = make_ctx();
+  device_vector<int> a(std::vector<int>{1, 2, 3}, ctx);
+  device_vector<int> b(std::vector<int>{10, 20, 30}, ctx);
+  device_vector<int> out(ctx);
+  gpu_sim::transform(a, out, [](int x) { return x * x; });
+  EXPECT_EQ(out.to_host(), (std::vector<int>{1, 4, 9}));
+  gpu_sim::transform(a, b, out, [](int x, int y) { return x + y; });
+  EXPECT_EQ(out.to_host(), (std::vector<int>{11, 22, 33}));
+}
+
+TEST(GpuSimPrimitives, ReduceAndCountIf) {
+  auto ctx = make_ctx();
+  std::vector<std::int64_t> host(1000);
+  std::iota(host.begin(), host.end(), 1);
+  device_vector<std::int64_t> v(host, ctx);
+  EXPECT_EQ(gpu_sim::reduce_sum(v), 500500);
+  EXPECT_EQ(gpu_sim::reduce(v, std::int64_t{0},
+                            [](auto a, auto b) { return std::max(a, b); }),
+            1000);
+  EXPECT_EQ(gpu_sim::count_if(v, [](auto x) { return x % 2 == 0; }), 500u);
+}
+
+TEST(GpuSimPrimitives, ScansMatchStdPartialSum) {
+  auto ctx = make_ctx();
+  std::vector<int> host{3, 1, 4, 1, 5, 9, 2, 6};
+  device_vector<int> v(host, ctx);
+  device_vector<int> out(ctx);
+  const int total = gpu_sim::exclusive_scan(v, out);
+  EXPECT_EQ(total, 31);
+  EXPECT_EQ(out.to_host(), (std::vector<int>{0, 3, 4, 8, 9, 14, 23, 25}));
+  gpu_sim::inclusive_scan(v, out);
+  EXPECT_EQ(out.to_host(), (std::vector<int>{3, 4, 8, 9, 14, 23, 25, 31}));
+}
+
+TEST(GpuSimPrimitives, GatherScatterInverse) {
+  auto ctx = make_ctx();
+  device_vector<int> data(std::vector<int>{10, 11, 12, 13}, ctx);
+  device_vector<std::uint32_t> map(std::vector<std::uint32_t>{3, 0, 2, 1},
+                                   ctx);
+  device_vector<int> gathered(ctx);
+  gpu_sim::gather(map, data, gathered);
+  EXPECT_EQ(gathered.to_host(), (std::vector<int>{13, 10, 12, 11}));
+  device_vector<int> scattered(4, ctx);
+  gpu_sim::scatter(gathered, map, scattered);
+  EXPECT_EQ(scattered.to_host(), (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(GpuSimPrimitives, CopyFlaggedCompacts) {
+  auto ctx = make_ctx();
+  device_vector<int> in(std::vector<int>{1, 2, 3, 4, 5}, ctx);
+  device_vector<std::uint8_t> flags(
+      std::vector<std::uint8_t>{1, 0, 1, 0, 1}, ctx);
+  device_vector<int> out(ctx);
+  EXPECT_EQ(gpu_sim::copy_flagged(in, flags, out), 3u);
+  EXPECT_EQ(out.to_host(), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(GpuSimPrimitives, SortByKeyIsStable) {
+  auto ctx = make_ctx();
+  device_vector<std::uint32_t> keys(
+      std::vector<std::uint32_t>{2, 1, 2, 0, 1}, ctx);
+  device_vector<int> vals(std::vector<int>{100, 200, 300, 400, 500}, ctx);
+  gpu_sim::sort_by_key(keys, vals);
+  EXPECT_EQ(keys.to_host(), (std::vector<std::uint32_t>{0, 1, 1, 2, 2}));
+  EXPECT_EQ(vals.to_host(), (std::vector<int>{400, 200, 500, 100, 300}));
+}
+
+TEST(GpuSimPrimitives, ReduceByKeyCollapsesRuns) {
+  auto ctx = make_ctx();
+  device_vector<std::uint32_t> keys(
+      std::vector<std::uint32_t>{0, 0, 1, 2, 2, 2}, ctx);
+  device_vector<int> vals(std::vector<int>{1, 2, 3, 4, 5, 6}, ctx);
+  device_vector<std::uint32_t> ok(ctx);
+  device_vector<int> ov(ctx);
+  const auto runs = gpu_sim::reduce_by_key(
+      keys, vals, ok, ov, [](int a, int b) { return a + b; });
+  EXPECT_EQ(runs, 3u);
+  EXPECT_EQ(ok.to_host(), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(ov.to_host(), (std::vector<int>{3, 3, 15}));
+}
+
+TEST(GpuSimPrimitives, LowerBoundMatchesStd) {
+  auto ctx = make_ctx();
+  device_vector<std::uint32_t> hay(
+      std::vector<std::uint32_t>{0, 0, 2, 5, 5, 9}, ctx);
+  device_vector<std::uint32_t> needles(
+      std::vector<std::uint32_t>{0, 1, 5, 10}, ctx);
+  device_vector<std::uint32_t> out(ctx);
+  gpu_sim::lower_bound(hay, needles, out);
+  EXPECT_EQ(out.to_host(), (std::vector<std::uint32_t>{0, 2, 3, 6}));
+}
+
+TEST(GpuSimPrimitives, UniqueCollapsesSortedRuns) {
+  auto ctx = make_ctx();
+  device_vector<int> v(std::vector<int>{1, 1, 2, 3, 3, 3, 7}, ctx);
+  EXPECT_EQ(gpu_sim::unique(v), 4u);
+  EXPECT_EQ(v.to_host(), (std::vector<int>{1, 2, 3, 7}));
+
+  device_vector<int> empty_like(1, ctx);
+  empty_like.clear();
+  EXPECT_EQ(gpu_sim::unique(empty_like), 0u);
+
+  device_vector<int> all_same(std::vector<int>{5, 5, 5}, ctx);
+  EXPECT_EQ(gpu_sim::unique(all_same), 1u);
+  EXPECT_EQ(all_same.to_host(), (std::vector<int>{5}));
+}
+
+TEST(GpuSimPrimitives, AdjacentDifferenceInvertsInclusiveScan) {
+  auto ctx = make_ctx();
+  device_vector<int> v(std::vector<int>{3, 1, 4, 1, 5}, ctx);
+  device_vector<int> scanned(ctx), diffed(ctx);
+  gpu_sim::inclusive_scan(v, scanned);
+  gpu_sim::adjacent_difference(scanned, diffed);
+  EXPECT_EQ(diffed.to_host(), v.to_host());
+}
+
+TEST(GpuSimPrimitives, DeterministicSimulatedTime) {
+  // The whole point of the substitution: identical work yields identical
+  // simulated time, run to run.
+  auto run_once = [] {
+    auto ctx = make_ctx();
+    device_vector<int> v(4096, ctx);
+    gpu_sim::fill(v, 7);
+    device_vector<int> out(ctx);
+    gpu_sim::exclusive_scan(v, out);
+    gpu_sim::reduce_sum(out);
+    return ctx.simulated_time_s();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+/// resize() semantics across both backends, and failure injection: a
+/// capacity-limited device context must surface DeviceBadAlloc cleanly
+/// out of GraphBLAS operations without corrupting process state.
+
+#include <gtest/gtest.h>
+
+#include "gbtl/gbtl.hpp"
+#include "gpu_sim/context.hpp"
+
+namespace {
+
+using grb::IndexType;
+using grb::NoAccumulate;
+using grb::NoMask;
+
+template <typename Tag>
+struct Resize : public ::testing::Test {};
+
+using Backends = ::testing::Types<grb::Sequential, grb::GpuSim>;
+TYPED_TEST_SUITE(Resize, Backends);
+
+TYPED_TEST(Resize, MatrixShrinkDropsOutOfBoundsEntries) {
+  grb::Matrix<double, TypeParam> a(4, 4);
+  a.build({0, 1, 3, 2}, {0, 3, 1, 2}, {1.0, 2.0, 3.0, 4.0});
+  a.resize(3, 3);
+  EXPECT_EQ(a.nrows(), 3u);
+  EXPECT_EQ(a.ncols(), 3u);
+  EXPECT_EQ(a.nvals(), 2u);  // (1,3) and (3,1) dropped
+  EXPECT_DOUBLE_EQ(a.extractElement(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.extractElement(2, 2), 4.0);
+  EXPECT_THROW(a.extractElement(3, 1), grb::IndexOutOfBoundsException);
+}
+
+TYPED_TEST(Resize, MatrixGrowAddsEmptySpace) {
+  grb::Matrix<double, TypeParam> a(2, 2);
+  a.build({0, 1}, {1, 0}, {5.0, 6.0});
+  a.resize(4, 5);
+  EXPECT_EQ(a.nrows(), 4u);
+  EXPECT_EQ(a.ncols(), 5u);
+  EXPECT_EQ(a.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(a.extractElement(0, 1), 5.0);
+  EXPECT_FALSE(a.hasElement(3, 4));
+  a.setElement(3, 4, 7.0);  // fresh space is writable
+  EXPECT_DOUBLE_EQ(a.extractElement(3, 4), 7.0);
+}
+
+TYPED_TEST(Resize, MatrixResizeThenOperate) {
+  grb::Matrix<double, TypeParam> a(3, 3);
+  a.build({0, 1, 2}, {1, 2, 0}, {1.0, 1.0, 1.0});
+  a.resize(2, 2);  // keeps only (0,1)
+  grb::Vector<double, TypeParam> u(std::vector<double>{1, 1}, 0.0);
+  grb::Vector<double, TypeParam> w(2);
+  grb::mxv(w, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           a, u);
+  EXPECT_DOUBLE_EQ(w.extractElement(0), 1.0);
+  EXPECT_FALSE(w.hasElement(1));
+}
+
+TYPED_TEST(Resize, VectorShrinkAndGrow) {
+  grb::Vector<double, TypeParam> v(5);
+  v.setElement(0, 1.0);
+  v.setElement(4, 2.0);
+  v.resize(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.nvals(), 1u);
+  v.resize(6);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.nvals(), 1u);
+  EXPECT_FALSE(v.hasElement(4));  // the old tail did not resurrect
+  v.setElement(5, 3.0);
+  EXPECT_DOUBLE_EQ(v.extractElement(5), 3.0);
+}
+
+TYPED_TEST(Resize, ZeroDimensionRejected) {
+  grb::Matrix<double, TypeParam> a(2, 2);
+  EXPECT_THROW(a.resize(0, 2), grb::InvalidValueException);
+  grb::Vector<double, TypeParam> v(2);
+  EXPECT_THROW(v.resize(0), grb::InvalidValueException);
+}
+
+// --- Failure injection: device out-of-memory -------------------------------
+
+TEST(OomInjection, AllocationBeyondCapacityThrowsCleanly) {
+  gpu_sim::DeviceProperties tiny;
+  tiny.total_global_memory = 64 * 1024;  // 64 KiB card
+  gpu_sim::Context ctx{tiny, 1};
+
+  // A vector that fits works; one that doesn't throws DeviceBadAlloc.
+  gpu_sim::device_vector<double> ok(1024, ctx);
+  EXPECT_THROW(gpu_sim::device_vector<double> big(1 << 20, ctx),
+               gpu_sim::DeviceBadAlloc);
+  // The context stays consistent: prior allocation is intact and new
+  // small allocations still succeed.
+  EXPECT_EQ(ctx.stats().bytes_in_use, 1024 * sizeof(double));
+  gpu_sim::device_vector<double> again(512, ctx);
+  EXPECT_EQ(again.size(), 512u);
+}
+
+TEST(OomInjection, FreeingRecoversCapacity) {
+  gpu_sim::DeviceProperties tiny;
+  tiny.total_global_memory = 4096;
+  gpu_sim::Context ctx{tiny, 1};
+  {
+    gpu_sim::device_vector<char> a(4000, ctx);
+    EXPECT_THROW(gpu_sim::device_vector<char> b(200, ctx),
+                 gpu_sim::DeviceBadAlloc);
+  }
+  // RAII freed `a`: the same request now succeeds.
+  gpu_sim::device_vector<char> b(200, ctx);
+  EXPECT_EQ(b.size(), 200u);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+/// SCC (forward-backward) and topological-level tests, typed across both
+/// backends, with a host Kosaraju oracle on random digraphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "algorithms/scc.hpp"
+#include "algorithms/topological.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_matrix.hpp"
+
+namespace {
+
+using gbtl_graph::Index;
+using grb::IndexType;
+
+template <typename Tag>
+struct SccTopo : public ::testing::Test {};
+
+using Backends = ::testing::Types<grb::Sequential, grb::GpuSim>;
+TYPED_TEST_SUITE(SccTopo, Backends);
+
+/// Host Kosaraju: returns component id per vertex.
+std::vector<Index> kosaraju(const gbtl_graph::EdgeList& g) {
+  const Index n = g.num_vertices;
+  std::vector<std::vector<Index>> adj(n), radj(n);
+  for (Index e = 0; e < g.num_edges(); ++e) {
+    adj[g.src[e]].push_back(g.dst[e]);
+    radj[g.dst[e]].push_back(g.src[e]);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<Index> order;
+  std::function<void(Index)> dfs1 = [&](Index u) {
+    seen[u] = true;
+    for (Index v : adj[u])
+      if (!seen[v]) dfs1(v);
+    order.push_back(u);
+  };
+  for (Index u = 0; u < n; ++u)
+    if (!seen[u]) dfs1(u);
+  std::vector<Index> comp(n, n);
+  std::function<void(Index, Index)> dfs2 = [&](Index u, Index c) {
+    comp[u] = c;
+    for (Index v : radj[u])
+      if (comp[v] == n) dfs2(v, c);
+  };
+  Index c = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    if (comp[*it] == n) dfs2(*it, c++);
+  return comp;
+}
+
+TYPED_TEST(SccTopo, SccOnTwoCyclesAndBridge) {
+  // Cycle {0,1,2} -> bridge -> cycle {3,4}; vertex 5 isolated.
+  gbtl_graph::EdgeList g;
+  g.num_vertices = 6;
+  g.src = {0, 1, 2, 2, 3, 4};
+  g.dst = {1, 2, 0, 3, 4, 3};
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<IndexType, TypeParam> labels(6);
+  const auto count = algorithms::strongly_connected_components(a, labels);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(labels.extractElement(0), labels.extractElement(1));
+  EXPECT_EQ(labels.extractElement(1), labels.extractElement(2));
+  EXPECT_EQ(labels.extractElement(3), labels.extractElement(4));
+  EXPECT_NE(labels.extractElement(0), labels.extractElement(3));
+  EXPECT_NE(labels.extractElement(5), labels.extractElement(0));
+  EXPECT_NE(labels.extractElement(5), labels.extractElement(3));
+}
+
+TYPED_TEST(SccTopo, SccMatchesKosarajuOnRandomDigraphs) {
+  for (unsigned seed : {3u, 4u, 5u}) {
+    auto g = gbtl_graph::deduplicate(gbtl_graph::remove_self_loops(
+        gbtl_graph::erdos_renyi(30, 70, seed)));
+    auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+    grb::Vector<IndexType, TypeParam> labels(30);
+    const auto count = algorithms::strongly_connected_components(a, labels);
+    const auto ref = kosaraju(g);
+    const Index ref_count =
+        *std::max_element(ref.begin(), ref.end()) + 1;
+    EXPECT_EQ(count, ref_count) << "seed " << seed;
+    // Same-component relation must agree.
+    for (Index u = 0; u < 30; ++u)
+      for (Index v = u + 1; v < 30; ++v)
+        EXPECT_EQ(labels.extractElement(u) == labels.extractElement(v),
+                  ref[u] == ref[v])
+            << "seed " << seed << " pair " << u << "," << v;
+  }
+}
+
+TYPED_TEST(SccTopo, DagHasAllSingletonSccs) {
+  auto g = gbtl_graph::path(6);
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  EXPECT_EQ(algorithms::scc_count(a), 6u);
+}
+
+TYPED_TEST(SccTopo, TopologicalLevelsOnDiamond) {
+  // 0 -> {1,2} -> 3
+  gbtl_graph::EdgeList g;
+  g.num_vertices = 4;
+  g.src = {0, 0, 1, 2};
+  g.dst = {1, 2, 3, 3};
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<IndexType, TypeParam> levels(4);
+  const auto res = algorithms::topological_levels(a, levels);
+  EXPECT_TRUE(res.is_dag);
+  EXPECT_EQ(res.levels_used, 3u);
+  EXPECT_EQ(levels.extractElement(0), 1u);
+  EXPECT_EQ(levels.extractElement(1), 2u);
+  EXPECT_EQ(levels.extractElement(2), 2u);
+  EXPECT_EQ(levels.extractElement(3), 3u);
+}
+
+TYPED_TEST(SccTopo, CycleDetection) {
+  auto cyc = gbtl_graph::to_matrix<double, TypeParam>(gbtl_graph::cycle(5));
+  EXPECT_FALSE(algorithms::is_dag(cyc));
+  auto pth = gbtl_graph::to_matrix<double, TypeParam>(gbtl_graph::path(5));
+  EXPECT_TRUE(algorithms::is_dag(pth));
+
+  // DAG with a tail into a cycle: downstream of the cycle unassigned.
+  gbtl_graph::EdgeList g;
+  g.num_vertices = 5;
+  g.src = {0, 1, 2, 3, 3};
+  g.dst = {1, 2, 1, 2, 4};  // 1<->2 via 2->1: cycle {1,2}
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  grb::Vector<IndexType, TypeParam> levels(5);
+  const auto res = algorithms::topological_levels(a, levels);
+  EXPECT_FALSE(res.is_dag);
+  EXPECT_TRUE(levels.hasElement(0));   // source peels
+  EXPECT_FALSE(levels.hasElement(1));  // on the cycle
+  EXPECT_FALSE(levels.hasElement(2));
+}
+
+TYPED_TEST(SccTopo, TopologicalOrderRespectsEdges) {
+  auto g = gbtl_graph::deduplicate(gbtl_graph::erdos_renyi(25, 60, 9));
+  // Orient edges upward (src < dst) to force a DAG.
+  gbtl_graph::EdgeList dag;
+  dag.num_vertices = 25;
+  for (Index e = 0; e < g.num_edges(); ++e) {
+    if (g.src[e] == g.dst[e]) continue;
+    dag.src.push_back(std::min(g.src[e], g.dst[e]));
+    dag.dst.push_back(std::max(g.src[e], g.dst[e]));
+  }
+  dag = gbtl_graph::deduplicate(dag);
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(dag);
+  const auto order = algorithms::topological_order(a);
+  ASSERT_EQ(order.size(), 25u);
+  std::vector<Index> pos(25);
+  for (Index k = 0; k < 25; ++k) pos[order[k]] = k;
+  for (Index e = 0; e < dag.num_edges(); ++e)
+    EXPECT_LT(pos[dag.src[e]], pos[dag.dst[e]]);
+
+  auto cyc = gbtl_graph::to_matrix<double, TypeParam>(gbtl_graph::cycle(4));
+  EXPECT_THROW(algorithms::topological_order(cyc),
+               grb::InvalidValueException);
+}
+
+}  // namespace

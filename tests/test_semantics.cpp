@@ -1,0 +1,292 @@
+/// GraphBLAS write-semantics tests: the mask / accumulator / REPLACE
+/// pipeline (Z = accum(C, T̃); C<M,z> = Z) exercised case by case on both
+/// backends. These pin down the subtle behaviours the spec mandates:
+/// no-accum deletes output entries outside T̃, Merge keeps unmasked
+/// positions, Replace deletes them, structural masks ignore stored falsy
+/// values, complement flips, and assign treats the non-indexed region as
+/// untouched.
+
+#include <gtest/gtest.h>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using grb::IndexType;
+using grb::NoAccumulate;
+using grb::NoMask;
+
+template <typename Tag>
+struct Semantics : public ::testing::Test {};
+
+using Backends = ::testing::Types<grb::Sequential, grb::GpuSim>;
+TYPED_TEST_SUITE(Semantics, Backends);
+
+// Fixture data: C has entries at (0,0)=10 and (1,1)=20.
+template <typename Tag>
+grb::Matrix<double, Tag> c_start() {
+  grb::Matrix<double, Tag> c(2, 2);
+  c.build({0, 1}, {0, 1}, {10.0, 20.0});
+  return c;
+}
+
+// T̃ producer: apply(identity) of A, so T̃ == A's pattern/values exactly.
+// A has entries at (0,0)=1 and (0,1)=2.
+template <typename Tag>
+grb::Matrix<double, Tag> a_input() {
+  grb::Matrix<double, Tag> a(2, 2);
+  a.build({0, 0}, {0, 1}, {1.0, 2.0});
+  return a;
+}
+
+TYPED_TEST(Semantics, NoAccumNoMaskReplacesEverything) {
+  auto c = c_start<TypeParam>();
+  grb::apply(c, NoMask{}, NoAccumulate{}, grb::Identity<double>{},
+             a_input<TypeParam>());
+  // (1,1) had a value in C but none in T̃: with no accumulator it must be
+  // deleted even under Merge (Z = T̃).
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 1), 2.0);
+  EXPECT_FALSE(c.hasElement(1, 1));
+  EXPECT_EQ(c.nvals(), 2u);
+}
+
+TYPED_TEST(Semantics, AccumMergesOldAndNew) {
+  auto c = c_start<TypeParam>();
+  grb::apply(c, NoMask{}, grb::Plus<double>{}, grb::Identity<double>{},
+             a_input<TypeParam>());
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 11.0);  // 10 + 1
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 1), 2.0);   // T̃ only
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 20.0);  // C only, kept
+  EXPECT_EQ(c.nvals(), 3u);
+}
+
+TYPED_TEST(Semantics, MaskMergeKeepsUnmaskedEntries) {
+  auto c = c_start<TypeParam>();
+  grb::Matrix<bool, TypeParam> mask(2, 2);
+  mask.build({0}, {0}, {true});  // only (0,0) writable
+  grb::apply(c, mask, NoAccumulate{}, grb::Identity<double>{},
+             a_input<TypeParam>(), grb::Merge);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 1.0);   // written
+  EXPECT_FALSE(c.hasElement(0, 1));                // masked out
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 20.0);  // kept under Merge
+}
+
+TYPED_TEST(Semantics, MaskReplaceDeletesUnmaskedEntries) {
+  auto c = c_start<TypeParam>();
+  grb::Matrix<bool, TypeParam> mask(2, 2);
+  mask.build({0}, {0}, {true});
+  grb::apply(c, mask, NoAccumulate{}, grb::Identity<double>{},
+             a_input<TypeParam>(), grb::Replace);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 1.0);
+  EXPECT_FALSE(c.hasElement(1, 1));  // deleted by Replace
+  EXPECT_EQ(c.nvals(), 1u);
+}
+
+TYPED_TEST(Semantics, ValueMaskIgnoresFalsyEntries) {
+  auto c = c_start<TypeParam>();
+  grb::Matrix<bool, TypeParam> mask(2, 2);
+  mask.build({0, 0}, {0, 1}, {false, true});  // (0,0) stored-but-false
+  grb::apply(c, mask, NoAccumulate{}, grb::Identity<double>{},
+             a_input<TypeParam>(), grb::Replace);
+  EXPECT_FALSE(c.hasElement(0, 0));  // falsy mask value blocks the write
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 1), 2.0);
+}
+
+TYPED_TEST(Semantics, StructuralMaskCountsFalsyEntries) {
+  auto c = c_start<TypeParam>();
+  grb::Matrix<bool, TypeParam> mask(2, 2);
+  mask.build({0, 0}, {0, 1}, {false, true});
+  grb::apply(c, grb::structure(mask), NoAccumulate{},
+             grb::Identity<double>{}, a_input<TypeParam>(), grb::Replace);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 1.0);  // structure allows it
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 1), 2.0);
+}
+
+TYPED_TEST(Semantics, ComplementMaskFlips) {
+  auto c = c_start<TypeParam>();
+  grb::Matrix<bool, TypeParam> mask(2, 2);
+  mask.build({0}, {0}, {true});
+  grb::apply(c, grb::complement(mask), NoAccumulate{},
+             grb::Identity<double>{}, a_input<TypeParam>(), grb::Replace);
+  EXPECT_FALSE(c.hasElement(0, 0));               // complement blocks it
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 1), 2.0);  // allowed
+  EXPECT_FALSE(c.hasElement(1, 1));               // replace deletes
+}
+
+TYPED_TEST(Semantics, ComplementOfStructureMask) {
+  auto c = c_start<TypeParam>();
+  grb::Matrix<bool, TypeParam> mask(2, 2);
+  mask.build({0, 0}, {0, 1}, {false, true});
+  // complement(structure(m)): writable exactly where m has NO stored entry.
+  grb::apply(c, grb::complement(grb::structure(mask)), NoAccumulate{},
+             grb::Identity<double>{}, a_input<TypeParam>(), grb::Merge);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 10.0);  // blocked, kept (merge)
+  EXPECT_FALSE(c.hasElement(0, 1));  // blocked; T̃ not written, C had none
+  // (1,1) is ALLOWED (mask has no entry there) and T̃ has no value: with no
+  // accumulator, Z = T̃, so the old C value is deleted even under Merge.
+  EXPECT_FALSE(c.hasElement(1, 1));
+}
+
+TYPED_TEST(Semantics, AccumWithMaskOnlyTouchesAllowed) {
+  auto c = c_start<TypeParam>();
+  grb::Matrix<bool, TypeParam> mask(2, 2);
+  mask.build({0}, {0}, {true});
+  grb::apply(c, mask, grb::Plus<double>{}, grb::Identity<double>{},
+             a_input<TypeParam>(), grb::Merge);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 11.0);
+  EXPECT_FALSE(c.hasElement(0, 1));
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 20.0);
+}
+
+// --- Vector variants -------------------------------------------------------
+
+template <typename Tag>
+grb::Vector<double, Tag> w_start() {
+  grb::Vector<double, Tag> w(3);
+  w.setElement(0, 10.0);
+  w.setElement(2, 30.0);
+  return w;
+}
+
+template <typename Tag>
+grb::Vector<double, Tag> u_input() {
+  grb::Vector<double, Tag> u(3);
+  u.setElement(0, 1.0);
+  u.setElement(1, 2.0);
+  return u;
+}
+
+TYPED_TEST(Semantics, VectorNoAccumDeletes) {
+  auto w = w_start<TypeParam>();
+  grb::apply(w, NoMask{}, NoAccumulate{}, grb::Identity<double>{},
+             u_input<TypeParam>());
+  EXPECT_DOUBLE_EQ(w.extractElement(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.extractElement(1), 2.0);
+  EXPECT_FALSE(w.hasElement(2));
+}
+
+TYPED_TEST(Semantics, VectorMaskReplaceAndMerge) {
+  grb::Vector<bool, TypeParam> mask(3);
+  mask.setElement(1, true);
+
+  auto w1 = w_start<TypeParam>();
+  grb::apply(w1, mask, NoAccumulate{}, grb::Identity<double>{},
+             u_input<TypeParam>(), grb::Merge);
+  EXPECT_DOUBLE_EQ(w1.extractElement(0), 10.0);  // kept
+  EXPECT_DOUBLE_EQ(w1.extractElement(1), 2.0);   // written
+  EXPECT_DOUBLE_EQ(w1.extractElement(2), 30.0);  // kept
+
+  auto w2 = w_start<TypeParam>();
+  grb::apply(w2, mask, NoAccumulate{}, grb::Identity<double>{},
+             u_input<TypeParam>(), grb::Replace);
+  EXPECT_FALSE(w2.hasElement(0));
+  EXPECT_DOUBLE_EQ(w2.extractElement(1), 2.0);
+  EXPECT_FALSE(w2.hasElement(2));
+}
+
+TYPED_TEST(Semantics, AssignOutsideIndexRegionUntouched) {
+  auto w = w_start<TypeParam>();
+  grb::Vector<double, TypeParam> u(1);
+  u.setElement(0, 7.0);
+  grb::assign(w, NoMask{}, NoAccumulate{}, u, {1});
+  EXPECT_DOUBLE_EQ(w.extractElement(0), 10.0);  // untouched: not indexed
+  EXPECT_DOUBLE_EQ(w.extractElement(1), 7.0);
+  EXPECT_DOUBLE_EQ(w.extractElement(2), 30.0);  // untouched
+}
+
+TYPED_TEST(Semantics, AssignNoAccumDeletesInsideIndexRegion) {
+  auto w = w_start<TypeParam>();
+  grb::Vector<double, TypeParam> u(2);
+  u.setElement(1, 5.0);  // u[0] empty
+  grb::assign(w, NoMask{}, NoAccumulate{}, u, {0, 1});
+  // Position 0 was indexed and u has no value there: deleted.
+  EXPECT_FALSE(w.hasElement(0));
+  EXPECT_DOUBLE_EQ(w.extractElement(1), 5.0);
+  EXPECT_DOUBLE_EQ(w.extractElement(2), 30.0);
+}
+
+TYPED_TEST(Semantics, AssignWithAccumKeepsInsideIndexRegion) {
+  auto w = w_start<TypeParam>();
+  grb::Vector<double, TypeParam> u(2);
+  u.setElement(0, 5.0);  // u[1] empty
+  grb::assign(w, NoMask{}, grb::Plus<double>{}, u, {0, 2});
+  EXPECT_DOUBLE_EQ(w.extractElement(0), 15.0);  // accumulated
+  EXPECT_DOUBLE_EQ(w.extractElement(2), 30.0);  // u empty + accum: kept
+}
+
+TYPED_TEST(Semantics, ConstantAssignWithMask) {
+  auto w = w_start<TypeParam>();
+  grb::Vector<bool, TypeParam> mask(3);
+  mask.setElement(0, true);
+  mask.setElement(1, true);
+  grb::assign(w, mask, NoAccumulate{}, 99.0, grb::all_indices(3));
+  EXPECT_DOUBLE_EQ(w.extractElement(0), 99.0);
+  EXPECT_DOUBLE_EQ(w.extractElement(1), 99.0);
+  EXPECT_DOUBLE_EQ(w.extractElement(2), 30.0);  // masked out, merge keeps
+}
+
+TYPED_TEST(Semantics, MatrixAssignSubgridReplacedWithoutAccum) {
+  auto c = c_start<TypeParam>();  // (0,0)=10, (1,1)=20
+  grb::Matrix<double, TypeParam> a(1, 2);
+  a.build({0}, {1}, {5.0});  // a(0,0) empty, a(0,1)=5
+  grb::assign(c, NoMask{}, NoAccumulate{}, a, {1}, {0, 1});
+  // Row 1 of C replaced by a's row: (1,0) stays empty... a(0,0) empty ->
+  // C(1,0) deleted (was empty anyway); (1,1) overwritten by... a(0,1)=5.
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 10.0);  // outside subgrid
+  EXPECT_FALSE(c.hasElement(1, 0));
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 5.0);
+}
+
+TYPED_TEST(Semantics, MxmAccumulatesIntoExistingOutput) {
+  // C += A*A over plus-times.
+  grb::Matrix<double, TypeParam> a(2, 2);
+  a.build({0, 1}, {1, 0}, {2.0, 3.0});  // A^2 = diag(6, 6)
+  grb::Matrix<double, TypeParam> c(2, 2);
+  c.build({0, 0}, {0, 1}, {100.0, 100.0});
+  grb::mxm(c, NoMask{}, grb::Plus<double>{},
+           grb::ArithmeticSemiring<double>{}, a, a);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 106.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 1), 100.0);  // kept by accum merge
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 6.0);
+}
+
+TYPED_TEST(Semantics, TransposedOperandsInMxm) {
+  grb::Matrix<double, TypeParam> a(2, 3);
+  a.build({0, 1, 1}, {1, 0, 2}, {2.0, 3.0, 4.0});
+  grb::Matrix<double, TypeParam> c(3, 3);
+  // C = A' * A  (3x2 * 2x3)
+  grb::mxm(c, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           grb::transpose(a), a);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 2), 12.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(2, 2), 16.0);
+}
+
+TYPED_TEST(Semantics, ReduceWithAccumIntoScalar) {
+  grb::Vector<double, TypeParam> u(3);
+  u.setElement(0, 1.0);
+  u.setElement(2, 2.0);
+  double s = 100.0;
+  grb::reduce(s, grb::Plus<double>{}, grb::PlusMonoid<double>{}, u);
+  EXPECT_DOUBLE_EQ(s, 103.0);
+  grb::reduce(s, NoAccumulate{}, grb::PlusMonoid<double>{}, u);
+  EXPECT_DOUBLE_EQ(s, 3.0);
+}
+
+TYPED_TEST(Semantics, EmptyOperandsProduceEmptyResults) {
+  grb::Matrix<double, TypeParam> a(3, 3), c(3, 3);
+  grb::Vector<double, TypeParam> u(3), w(3);
+  grb::mxm(c, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{}, a,
+           a);
+  EXPECT_EQ(c.nvals(), 0u);
+  grb::mxv(w, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{}, a,
+           u);
+  EXPECT_EQ(w.nvals(), 0u);
+  double s = -1.0;
+  grb::reduce(s, NoAccumulate{}, grb::PlusMonoid<double>{}, u);
+  EXPECT_DOUBLE_EQ(s, 0.0);  // identity of the monoid
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+/// Similarity / link-prediction tests (common neighbours, Jaccard, top-k,
+/// bipartiteness), typed across both backends, with a brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/similarity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_matrix.hpp"
+
+namespace {
+
+using grb::IndexType;
+
+template <typename Tag>
+struct Similarity : public ::testing::Test {};
+
+using Backends = ::testing::Types<grb::Sequential, grb::GpuSim>;
+TYPED_TEST_SUITE(Similarity, Backends);
+
+/// Path 0-1-2-3 plus edge 1-3: candidates (0,2) share {1}; (0,3)? no wedge
+/// via... 0's neighbours {1}; 3's {1,2}: common {1}.
+template <typename Tag>
+grb::Matrix<double, Tag> small_graph() {
+  gbtl_graph::EdgeList g;
+  g.num_vertices = 4;
+  g.src = {0, 1, 1, 2, 2, 3, 1, 3};
+  g.dst = {1, 0, 2, 1, 3, 2, 3, 1};
+  return gbtl_graph::to_matrix<double, Tag>(g);
+}
+
+TYPED_TEST(Similarity, CommonNeighborsCountsWedges) {
+  auto a = small_graph<TypeParam>();
+  auto c = algorithms::common_neighbors(a, /*exclude_edges=*/true);
+  // (0,2): common {1}; (0,3): common {1}. Both non-adjacent.
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(c.extractElement(0, 3), 1.0);
+  // Adjacent pairs excluded:
+  EXPECT_FALSE(c.hasElement(1, 2));
+  EXPECT_FALSE(c.hasElement(2, 3));
+  // Diagonal excluded:
+  EXPECT_FALSE(c.hasElement(1, 1));
+}
+
+TYPED_TEST(Similarity, CommonNeighborsIncludeEdgesMode) {
+  auto a = small_graph<TypeParam>();
+  auto c = algorithms::common_neighbors(a, /*exclude_edges=*/false);
+  // (1,2) adjacent but also share {3}: present with count 1.
+  EXPECT_DOUBLE_EQ(c.extractElement(1, 2), 1.0);
+  // (2,3) share {1}.
+  EXPECT_DOUBLE_EQ(c.extractElement(2, 3), 1.0);
+}
+
+TYPED_TEST(Similarity, JaccardValuesAreExact) {
+  auto a = small_graph<TypeParam>();
+  auto j = algorithms::jaccard_similarity(a);
+  // (0,2): N(0)={1}, N(2)={1,3}: J = 1 / 2.
+  EXPECT_DOUBLE_EQ(j.extractElement(0, 2), 0.5);
+  // (0,3): N(0)={1}, N(3)={1,2}: J = 1 / 2.
+  EXPECT_DOUBLE_EQ(j.extractElement(0, 3), 0.5);
+}
+
+TYPED_TEST(Similarity, JaccardIsSymmetricAndBounded) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::remove_self_loops(
+      gbtl_graph::erdos_renyi(30, 120, 23)));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  auto j = algorithms::jaccard_similarity(a);
+  grb::IndexArrayType rows, cols;
+  std::vector<double> vals;
+  j.extractTuples(rows, cols, vals);
+  for (IndexType e = 0; e < rows.size(); ++e) {
+    EXPECT_GE(vals[e], 0.0);
+    EXPECT_LE(vals[e], 1.0);
+    EXPECT_DOUBLE_EQ(j.extractElement(cols[e], rows[e]), vals[e]);
+  }
+}
+
+TYPED_TEST(Similarity, JaccardMatchesBruteForce) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::remove_self_loops(
+      gbtl_graph::erdos_renyi(20, 70, 31)));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  auto j = algorithms::jaccard_similarity(a);
+
+  std::vector<std::set<IndexType>> nbr(20);
+  for (gbtl_graph::Index e = 0; e < g.num_edges(); ++e)
+    nbr[g.src[e]].insert(g.dst[e]);
+  for (IndexType u = 0; u < 20; ++u) {
+    for (IndexType v = 0; v < 20; ++v) {
+      if (u == v || nbr[u].count(v)) continue;
+      std::size_t common = 0;
+      for (IndexType x : nbr[u]) common += nbr[v].count(x);
+      if (common == 0) {
+        EXPECT_FALSE(j.hasElement(u, v)) << u << "," << v;
+        continue;
+      }
+      const double uni = nbr[u].size() + nbr[v].size() - double(common);
+      ASSERT_TRUE(j.hasElement(u, v)) << u << "," << v;
+      EXPECT_NEAR(j.extractElement(u, v), common / uni, 1e-12)
+          << u << "," << v;
+    }
+  }
+}
+
+TYPED_TEST(Similarity, TopLinkPredictionsSortedAndDeduplicated) {
+  auto g = gbtl_graph::symmetrize(gbtl_graph::remove_self_loops(
+      gbtl_graph::erdos_renyi(25, 100, 41)));
+  auto a = gbtl_graph::to_matrix<double, TypeParam>(g);
+  auto top = algorithms::top_link_predictions(a, 8);
+  EXPECT_LE(top.size(), 8u);
+  for (std::size_t k = 0; k < top.size(); ++k) {
+    EXPECT_LT(std::get<0>(top[k]), std::get<1>(top[k]));  // i < j once
+    if (k > 0) {
+      EXPECT_GE(std::get<2>(top[k - 1]), std::get<2>(top[k]));  // sorted
+    }
+    EXPECT_FALSE(a.hasElement(std::get<0>(top[k]), std::get<1>(top[k])));
+  }
+}
+
+TYPED_TEST(Similarity, BipartitenessDetection) {
+  // Even cycle: bipartite. Odd cycle: not. Even cycle + chord: not.
+  auto even = gbtl_graph::to_matrix<double, TypeParam>(
+      gbtl_graph::symmetrize(gbtl_graph::cycle(8)));
+  EXPECT_TRUE(algorithms::is_bipartite(even));
+
+  auto odd = gbtl_graph::to_matrix<double, TypeParam>(
+      gbtl_graph::symmetrize(gbtl_graph::cycle(7)));
+  EXPECT_FALSE(algorithms::is_bipartite(odd));
+
+  auto g = gbtl_graph::symmetrize(gbtl_graph::cycle(8));
+  g.src.insert(g.src.end(), {0, 2});
+  g.dst.insert(g.dst.end(), {2, 0});
+  auto chord = gbtl_graph::to_matrix<double, TypeParam>(g);
+  EXPECT_FALSE(algorithms::is_bipartite(chord));
+
+  // Disconnected: two even cycles — still bipartite.
+  gbtl_graph::EdgeList two;
+  two.num_vertices = 8;
+  two.src = {0, 1, 1, 2, 2, 3, 3, 0, 4, 5, 5, 6, 6, 7, 7, 4};
+  two.dst = {1, 0, 2, 1, 3, 2, 0, 3, 5, 4, 6, 5, 7, 6, 4, 7};
+  auto disc = gbtl_graph::to_matrix<double, TypeParam>(two);
+  EXPECT_TRUE(algorithms::is_bipartite(disc));
+}
+
+}  // namespace

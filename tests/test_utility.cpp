@@ -1,0 +1,126 @@
+/// Utility-layer tests: printing, identity/diag constructors, backend
+/// round-tripping, all_indices, and frontend container conveniences.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using grb::IndexType;
+
+template <typename Tag>
+struct Utility : public ::testing::Test {};
+
+using Backends = ::testing::Types<grb::Sequential, grb::GpuSim>;
+TYPED_TEST_SUITE(Utility, Backends);
+
+TYPED_TEST(Utility, IdentityMatrix) {
+  auto I = grb::identity<double, TypeParam>(4);
+  EXPECT_EQ(I.nvals(), 4u);
+  for (IndexType i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(I.extractElement(i, i), 1.0);
+  EXPECT_FALSE(I.hasElement(0, 1));
+
+  // A * I == A.
+  grb::Matrix<double, TypeParam> a(4, 4);
+  a.build({0, 2, 3}, {1, 3, 0}, {5.0, 6.0, 7.0});
+  grb::Matrix<double, TypeParam> c(4, 4);
+  grb::mxm(c, grb::NoMask{}, grb::NoAccumulate{},
+           grb::ArithmeticSemiring<double>{}, a, I);
+  EXPECT_TRUE(c == a);
+}
+
+TYPED_TEST(Utility, DiagFromVector) {
+  grb::Vector<double, TypeParam> d(3);
+  d.setElement(0, 2.0);
+  d.setElement(2, 3.0);
+  auto D = grb::diag(d);
+  EXPECT_EQ(D.nvals(), 2u);
+  EXPECT_DOUBLE_EQ(D.extractElement(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(D.extractElement(2, 2), 3.0);
+  EXPECT_FALSE(D.hasElement(1, 1));
+}
+
+TYPED_TEST(Utility, ToBackendRoundTrip) {
+  grb::Matrix<double, TypeParam> a(3, 4);
+  a.build({0, 1, 2}, {3, 0, 2}, {1.5, 2.5, 3.5});
+  auto seq = grb::to_backend<grb::Sequential>(a);
+  auto gpu = grb::to_backend<grb::GpuSim>(seq);
+  auto back = grb::to_backend<TypeParam>(gpu);
+  EXPECT_TRUE(back == a);
+
+  grb::Vector<double, TypeParam> v(5);
+  v.setElement(1, 9.0);
+  auto v2 = grb::to_backend<TypeParam>(grb::to_backend<grb::Sequential>(v));
+  EXPECT_TRUE(v2 == v);
+}
+
+TYPED_TEST(Utility, PrintFormatsDenselyWithDashes) {
+  grb::Matrix<int, TypeParam> a(2, 2);
+  a.build({0, 1}, {1, 0}, {7, 8});
+  const std::string s = grb::to_string(a);
+  EXPECT_NE(s.find("2x2, 2 values"), std::string::npos);
+  EXPECT_NE(s.find("[-, 7]"), std::string::npos);
+  EXPECT_NE(s.find("[8, -]"), std::string::npos);
+
+  grb::Vector<int, TypeParam> v(3);
+  v.setElement(1, 4);
+  EXPECT_EQ(grb::to_string(v), "[-, 4, -]");
+}
+
+TYPED_TEST(Utility, DenseConstructorsSuppressImpliedZeros) {
+  grb::Matrix<double, TypeParam> a({{0, 1}, {2, 0}}, 0.0);
+  EXPECT_EQ(a.nvals(), 2u);
+  grb::Matrix<double, TypeParam> b({{9, 9}, {9, 1}}, 9.0);
+  EXPECT_EQ(b.nvals(), 1u);
+  grb::Vector<double, TypeParam> v(std::vector<double>{0, 3, 0, 4}, 0.0);
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_THROW(
+      (grb::Matrix<double, TypeParam>({{1.0, 2.0}, {3.0}}, 0.0)),
+      grb::InvalidValueException);
+}
+
+TYPED_TEST(Utility, ClearAndRemoveElement) {
+  grb::Matrix<double, TypeParam> a(2, 2);
+  a.build({0, 1}, {0, 1}, {1.0, 2.0});
+  a.removeElement(0, 0);
+  EXPECT_EQ(a.nvals(), 1u);
+  a.removeElement(0, 0);  // idempotent
+  EXPECT_EQ(a.nvals(), 1u);
+  a.clear();
+  EXPECT_EQ(a.nvals(), 0u);
+  EXPECT_EQ(a.nrows(), 2u);  // shape survives clear
+
+  grb::Vector<double, TypeParam> v(3);
+  v.setElement(2, 5.0);
+  v.removeElement(2);
+  EXPECT_EQ(v.nvals(), 0u);
+}
+
+TYPED_TEST(Utility, BuildLengthMismatchThrows) {
+  grb::Matrix<double, TypeParam> a(2, 2);
+  EXPECT_THROW(a.build({0, 1}, {0}, {1.0, 2.0}),
+               grb::InvalidValueException);
+  grb::Vector<double, TypeParam> v(2);
+  EXPECT_THROW(v.build({0, 1}, {1.0}), grb::InvalidValueException);
+}
+
+TEST(UtilityFree, AllIndices) {
+  const auto idx = grb::all_indices(4);
+  ASSERT_EQ(idx.size(), 4u);
+  for (IndexType i = 0; i < 4; ++i) EXPECT_EQ(idx[i], i);
+  EXPECT_TRUE(grb::all_indices(0).empty());
+}
+
+TEST(UtilityFree, ZeroDimensionalObjectsRejected) {
+  using M = grb::Matrix<double, grb::Sequential>;
+  using V = grb::Vector<double, grb::Sequential>;
+  EXPECT_THROW(M(0, 3), grb::InvalidValueException);
+  EXPECT_THROW(M(3, 0), grb::InvalidValueException);
+  EXPECT_THROW(V(0), grb::InvalidValueException);
+}
+
+}  // namespace

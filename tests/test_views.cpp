@@ -1,0 +1,151 @@
+/// View tests: transpose views as operands of every matrix-consuming
+/// operation, nested mask views, and view shape/dimension checking.
+
+#include <gtest/gtest.h>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using grb::IndexType;
+using grb::NoAccumulate;
+using grb::NoMask;
+
+template <typename Tag>
+struct Views : public ::testing::Test {};
+
+using Backends = ::testing::Types<grb::Sequential, grb::GpuSim>;
+TYPED_TEST_SUITE(Views, Backends);
+
+template <typename Tag>
+grb::Matrix<double, Tag> rect() {
+  // 2x3: [1 . 2; . 3 .]
+  grb::Matrix<double, Tag> a(2, 3);
+  a.build({0, 0, 1}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  return a;
+}
+
+template <typename Tag>
+grb::Matrix<double, Tag> materialized_transpose(
+    const grb::Matrix<double, Tag>& a) {
+  grb::Matrix<double, Tag> at(a.ncols(), a.nrows());
+  grb::transpose(at, NoMask{}, NoAccumulate{}, a);
+  return at;
+}
+
+TYPED_TEST(Views, TransposeViewInMxmBothSides) {
+  auto a = rect<TypeParam>();  // 2x3
+  auto at = materialized_transpose(a);
+
+  grb::Matrix<double, TypeParam> via_view(3, 3), via_mat(3, 3);
+  grb::mxm(via_view, NoMask{}, NoAccumulate{},
+           grb::ArithmeticSemiring<double>{}, grb::transpose(a), a);
+  grb::mxm(via_mat, NoMask{}, NoAccumulate{},
+           grb::ArithmeticSemiring<double>{}, at, a);
+  EXPECT_TRUE(via_view == via_mat);
+
+  grb::Matrix<double, TypeParam> bb(2, 2), bb2(2, 2);
+  grb::mxm(bb, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           a, grb::transpose(a));
+  grb::mxm(bb2, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           a, at);
+  EXPECT_TRUE(bb == bb2);
+
+  // Both sides transposed at once: A' * B' where B = A' * A (3x3).
+  grb::Matrix<double, TypeParam> c(3, 2), c2(3, 2);
+  grb::mxm(c, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           via_view, grb::transpose(a));
+  grb::mxm(c2, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           via_mat, at);
+  EXPECT_TRUE(c == c2);
+}
+
+TYPED_TEST(Views, TransposeViewInMxvAndEwise) {
+  auto a = rect<TypeParam>();
+  auto at = materialized_transpose(a);
+  grb::Vector<double, TypeParam> u(std::vector<double>{1, 2}, 0.0);
+  grb::Vector<double, TypeParam> w1(3), w2(3);
+  grb::mxv(w1, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           grb::transpose(a), u);
+  grb::mxv(w2, NoMask{}, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+           at, u);
+  EXPECT_TRUE(w1 == w2);
+
+  grb::Matrix<double, TypeParam> s1(3, 2), s2(3, 2);
+  grb::eWiseAdd(s1, NoMask{}, NoAccumulate{}, grb::Plus<double>{},
+                grb::transpose(a), at);
+  grb::eWiseAdd(s2, NoMask{}, NoAccumulate{}, grb::Plus<double>{}, at, at);
+  EXPECT_TRUE(s1 == s2);
+
+  grb::Matrix<double, TypeParam> m1(3, 2), m2(3, 2);
+  grb::eWiseMult(m1, NoMask{}, NoAccumulate{}, grb::Times<double>{},
+                 grb::transpose(a), at);
+  grb::eWiseMult(m2, NoMask{}, NoAccumulate{}, grb::Times<double>{}, at, at);
+  EXPECT_TRUE(m1 == m2);
+}
+
+TYPED_TEST(Views, TransposeViewInApplyAndReduce) {
+  auto a = rect<TypeParam>();
+  auto at = materialized_transpose(a);
+
+  grb::Matrix<double, TypeParam> c1(3, 2), c2(3, 2);
+  grb::apply(c1, NoMask{}, NoAccumulate{}, grb::AdditiveInverse<double>{},
+             grb::transpose(a));
+  grb::apply(c2, NoMask{}, NoAccumulate{}, grb::AdditiveInverse<double>{},
+             at);
+  EXPECT_TRUE(c1 == c2);
+
+  grb::Vector<double, TypeParam> r1(3), r2(3);
+  grb::reduce(r1, NoMask{}, NoAccumulate{}, grb::PlusMonoid<double>{},
+              grb::transpose(a));
+  grb::reduce(r2, NoMask{}, NoAccumulate{}, grb::PlusMonoid<double>{}, at);
+  EXPECT_TRUE(r1 == r2);
+}
+
+TYPED_TEST(Views, TransposeViewDimensionChecks) {
+  auto a = rect<TypeParam>();  // 2x3
+  grb::Matrix<double, TypeParam> c(2, 2);
+  // A' is 3x2: A' * A' is invalid (2 != 3).
+  EXPECT_THROW(grb::mxm(c, NoMask{}, NoAccumulate{},
+                        grb::ArithmeticSemiring<double>{},
+                        grb::transpose(a), grb::transpose(a)),
+               grb::DimensionException);
+  grb::Vector<double, TypeParam> w(2), u(2);
+  EXPECT_THROW(grb::mxv(w, NoMask{}, NoAccumulate{},
+                        grb::ArithmeticSemiring<double>{},
+                        grb::transpose(a), u),
+               grb::DimensionException);
+}
+
+TYPED_TEST(Views, NestedMaskViewsCombine) {
+  grb::Vector<double, TypeParam> u(std::vector<double>{1, 2, 3, 4}, 0.0);
+  grb::Vector<bool, TypeParam> m(4);
+  m.setElement(0, true);
+  m.setElement(1, false);  // stored falsy
+  // value mask: allows {0}; structure: {0,1}; complement-value: {1,2,3};
+  // complement-structure: {2,3}.
+  auto count_written = [&](auto mask_arg) {
+    grb::Vector<double, TypeParam> w(4);
+    grb::apply(w, mask_arg, NoAccumulate{}, grb::Identity<double>{}, u,
+               grb::Replace);
+    return w.nvals();
+  };
+  EXPECT_EQ(count_written(m), 1u);
+  EXPECT_EQ(count_written(grb::structure(m)), 2u);
+  EXPECT_EQ(count_written(grb::complement(m)), 3u);
+  EXPECT_EQ(count_written(grb::complement(grb::structure(m))), 2u);
+  EXPECT_EQ(count_written(grb::structure(grb::complement(m))), 2u);
+}
+
+TYPED_TEST(Views, MaskShapeMismatchThrows) {
+  grb::Matrix<double, TypeParam> a(2, 3), c(2, 3);
+  grb::Matrix<bool, TypeParam> wrong(3, 2);
+  EXPECT_THROW(grb::apply(c, wrong, NoAccumulate{},
+                          grb::Identity<double>{}, a),
+               grb::DimensionException);
+  EXPECT_THROW(grb::apply(c, grb::complement(grb::structure(wrong)),
+                          NoAccumulate{}, grb::Identity<double>{}, a),
+               grb::DimensionException);
+}
+
+}  // namespace
