@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablA_formats.dir/bench_ablA_formats.cpp.o"
+  "CMakeFiles/bench_ablA_formats.dir/bench_ablA_formats.cpp.o.d"
+  "bench_ablA_formats"
+  "bench_ablA_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablA_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mxv.dir/bench_fig1_mxv.cpp.o"
+  "CMakeFiles/bench_fig1_mxv.dir/bench_fig1_mxv.cpp.o.d"
+  "bench_fig1_mxv"
+  "bench_fig1_mxv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mxv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

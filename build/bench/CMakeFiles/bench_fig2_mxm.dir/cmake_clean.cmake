@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mxm.dir/bench_fig2_mxm.cpp.o"
+  "CMakeFiles/bench_fig2_mxm.dir/bench_fig2_mxm.cpp.o.d"
+  "bench_fig2_mxm"
+  "bench_fig2_mxm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mxm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_triangle.dir/bench_fig4_triangle.cpp.o"
+  "CMakeFiles/bench_fig4_triangle.dir/bench_fig4_triangle.cpp.o.d"
+  "bench_fig4_triangle"
+  "bench_fig4_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

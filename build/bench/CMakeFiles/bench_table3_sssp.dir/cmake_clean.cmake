@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sssp.dir/bench_table3_sssp.cpp.o"
+  "CMakeFiles/bench_table3_sssp.dir/bench_table3_sssp.cpp.o.d"
+  "bench_table3_sssp"
+  "bench_table3_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

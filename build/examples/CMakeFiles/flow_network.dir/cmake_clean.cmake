@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_network.dir/flow_network.cpp.o"
+  "CMakeFiles/flow_network.dir/flow_network.cpp.o.d"
+  "flow_network"
+  "flow_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

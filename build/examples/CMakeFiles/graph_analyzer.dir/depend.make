@@ -1,0 +1,2 @@
+# Empty dependencies file for graph_analyzer.
+# This may be replaced when dependencies are built.

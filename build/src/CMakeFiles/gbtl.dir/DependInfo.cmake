@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu_sim/context.cpp" "src/CMakeFiles/gbtl.dir/gpu_sim/context.cpp.o" "gcc" "src/CMakeFiles/gbtl.dir/gpu_sim/context.cpp.o.d"
+  "/root/repo/src/gpu_sim/thread_pool.cpp" "src/CMakeFiles/gbtl.dir/gpu_sim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gbtl.dir/gpu_sim/thread_pool.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/gbtl.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/gbtl.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/mmio.cpp" "src/CMakeFiles/gbtl.dir/graph/mmio.cpp.o" "gcc" "src/CMakeFiles/gbtl.dir/graph/mmio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbtl.dir/gpu_sim/context.cpp.o"
+  "CMakeFiles/gbtl.dir/gpu_sim/context.cpp.o.d"
+  "CMakeFiles/gbtl.dir/gpu_sim/thread_pool.cpp.o"
+  "CMakeFiles/gbtl.dir/gpu_sim/thread_pool.cpp.o.d"
+  "CMakeFiles/gbtl.dir/graph/generators.cpp.o"
+  "CMakeFiles/gbtl.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/gbtl.dir/graph/mmio.cpp.o"
+  "CMakeFiles/gbtl.dir/graph/mmio.cpp.o.d"
+  "libgbtl.a"
+  "libgbtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

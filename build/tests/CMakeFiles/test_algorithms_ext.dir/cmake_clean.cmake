@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_ext.dir/test_algorithms_ext.cpp.o"
+  "CMakeFiles/test_algorithms_ext.dir/test_algorithms_ext.cpp.o.d"
+  "test_algorithms_ext"
+  "test_algorithms_ext.pdb"
+  "test_algorithms_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

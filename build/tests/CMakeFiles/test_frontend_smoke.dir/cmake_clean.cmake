@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_smoke.dir/test_frontend_smoke.cpp.o"
+  "CMakeFiles/test_frontend_smoke.dir/test_frontend_smoke.cpp.o.d"
+  "test_frontend_smoke"
+  "test_frontend_smoke.pdb"
+  "test_frontend_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_backend.dir/test_gpu_backend.cpp.o"
+  "CMakeFiles/test_gpu_backend.dir/test_gpu_backend.cpp.o.d"
+  "test_gpu_backend"
+  "test_gpu_backend.pdb"
+  "test_gpu_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mask_sweep.dir/test_mask_sweep.cpp.o"
+  "CMakeFiles/test_mask_sweep.dir/test_mask_sweep.cpp.o.d"
+  "test_mask_sweep"
+  "test_mask_sweep.pdb"
+  "test_mask_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mask_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resize_oom.dir/test_resize_oom.cpp.o"
+  "CMakeFiles/test_resize_oom.dir/test_resize_oom.cpp.o.d"
+  "test_resize_oom"
+  "test_resize_oom.pdb"
+  "test_resize_oom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resize_oom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

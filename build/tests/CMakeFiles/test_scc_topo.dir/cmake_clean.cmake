@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scc_topo.dir/test_scc_topo.cpp.o"
+  "CMakeFiles/test_scc_topo.dir/test_scc_topo.cpp.o.d"
+  "test_scc_topo"
+  "test_scc_topo.pdb"
+  "test_scc_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

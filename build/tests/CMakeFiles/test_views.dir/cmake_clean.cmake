@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_views.dir/test_views.cpp.o"
+  "CMakeFiles/test_views.dir/test_views.cpp.o.d"
+  "test_views"
+  "test_views.pdb"
+  "test_views[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_gpu_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_algebra[1]_include.cmake")
+include("/root/repo/build/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_oracles[1]_include.cmake")
+include("/root/repo/build/tests/test_mask_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_similarity[1]_include.cmake")
+include("/root/repo/build/tests/test_utility[1]_include.cmake")
+include("/root/repo/build/tests/test_views[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_resize_oom[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_scc_topo[1]_include.cmake")
