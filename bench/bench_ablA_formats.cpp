@@ -8,6 +8,7 @@
 #include "bench_common.hpp"
 #include "sparse/formats.hpp"
 #include "sparse/spmv_device.hpp"
+#include "sparse/spmv_select.hpp"
 
 namespace {
 
@@ -84,6 +85,33 @@ void BM_spmv_ell(benchmark::State& state) {
   state.counters["fill_ratio"] = benchmark::Counter(ell.fill_ratio());
 }
 
+/// The input-adaptive engine: inspector + selection run once in setup (the
+/// cuSPARSE analysis convention); iterations time the steady-state call of
+/// whichever kernel it picked. Counters expose the choice so the table shows
+/// *why* each family lands where it does.
+void BM_spmv_adaptive(benchmark::State& state) {
+  auto csr = make_matrix(static_cast<Family>(state.range(1)),
+                         static_cast<unsigned>(state.range(0)));
+  const auto n = csr.ncols;
+  const auto nnz = csr.nnz();
+  const std::vector<double> x(n, 1.0);
+  gpu_sim::Context ctx;
+  sparse::AdaptiveSpmv<double> engine(std::move(csr), ctx);
+  for (auto _ : state) {
+    const double t0 = ctx.simulated_time_s();
+    auto y = engine(x);
+    benchmark::DoNotOptimize(y);
+    state.SetIterationTime(ctx.simulated_time_s() - t0);
+  }
+  state.counters["vertices"] = benchmark::Counter(static_cast<double>(n));
+  state.counters["nnz"] = benchmark::Counter(static_cast<double>(nnz));
+  state.counters["kernel"] =
+      benchmark::Counter(static_cast<double>(engine.kernel()));
+  state.counters["bytes_saved"] = benchmark::Counter(static_cast<double>(
+      ctx.stats().spmv_bytes_saved_vs_baseline / state.iterations()));
+  state.SetLabel(gpu_sim::to_string(engine.kernel()));
+}
+
 void add_args(benchmark::internal::Benchmark* b) {
   for (int scale = 10; scale <= 16; scale += 2) {
     b->Args({scale, static_cast<int>(Family::Grid)});
@@ -111,5 +139,6 @@ BENCHMARK(BM_spmv_coo)->Apply(add_args);
 BENCHMARK(BM_spmv_csc)->Apply(add_args);
 BENCHMARK(BM_spmv_hyb)->Apply(add_args);
 BENCHMARK(BM_spmv_ell)->Apply(add_ell_args);
+BENCHMARK(BM_spmv_adaptive)->Apply(add_args);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 gate + sanitized fuzz pass.
+#
+#   scripts/ci.sh            # full: tier-1 build/test, bench smoke, ASan/UBSan fuzz
+#   scripts/ci.sh --fast     # tier-1 only
+#
+# Tier-1 is the contract every change must keep green: configure, build,
+# and the full ctest suite of the default build. The sanitizer stage
+# rebuilds only what the differential fuzz harness needs under
+# ASan+UBSan and re-runs the fuzz label — the cheapest way to turn the
+# 200-seed differential sweep into a memory-safety sweep as well.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SAN_BUILD_DIR=${SAN_BUILD_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc)}
+
+echo "==> tier-1: configure + build (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "==> tier-1: ctest"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L 'unit|fuzz'
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> done (fast mode: sanitizers and bench smoke skipped)"
+  exit 0
+fi
+
+echo "==> bench smoke"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L bench-smoke
+
+echo "==> sanitizers: ASan/UBSan fuzz config (${SAN_BUILD_DIR})"
+cmake -B "${SAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  >/dev/null
+cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" --target test_differential_fuzz
+ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" -L fuzz
+
+echo "==> all green"

@@ -24,6 +24,7 @@
 #include "gbtl/mask.hpp"
 #include "gbtl/types.hpp"
 #include "gpu_sim/algorithms.hpp"
+#include "sparse/spmv_select.hpp"
 
 namespace grb::gpu_backend {
 
@@ -498,26 +499,138 @@ void mxv(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   ZT* tv = t_vals.data();
   std::uint8_t* tp = t_pres.data();
   const SR sem = sr;
-  // Row-parallel CSR SpMV: one full sweep of the matrix + frontier probes.
-  const std::uint64_t read = nnz * (sizeof(IndexType) + sizeof(AT) +
-                                    sizeof(UT) + 1) +
-                             n * sizeof(IndexType);
-  ctx.launch_n(n, LaunchStats{2 * nnz, read, n * (sizeof(ZT) + 1)},
-               [=](std::size_t i) {
-                 ZT acc = sem.zero();
-                 bool any = false;
-                 for (IndexType k = offs[i]; k < offs[i + 1]; ++k) {
-                   const IndexType col = cols[k];
-                   if (up[col]) {
-                     acc = sem.add(acc, sem.mult(avals[k], uv[col]));
-                     any = true;
+
+  // Inspector: one streaming pass over the offsets array summarizes the
+  // degree distribution and drives kernel selection. The matrix is locked
+  // to its device-resident CSR, so only the two CSR schedules compete
+  // (allow_format_change = false). Reads device memory in place — no
+  // transfers in steady state.
+  const auto deg = sparse::analyze_offsets(offs, n, A.ncols(),
+                                           ctx.properties().warp_size);
+  ctx.account_kernel(
+      LaunchStats{n + 1, (n + 1) * sizeof(IndexType), 64});
+  const auto kind =
+      sparse::select_kernel(deg, /*allow_format_change=*/false,
+                            sparse::spmv_mode(), &ctx.properties(),
+                            sizeof(ZT));
+  const std::uint64_t entry =
+      sizeof(IndexType) + sizeof(AT) + sizeof(UT) + 1;
+
+  if (kind == gpu_sim::SpmvKernelKind::kCsrLoadBalanced) {
+    // Merge-path load-balanced schedule: fixed nnz chunks per team, direct
+    // writes for rows owned by one team, spilled partials + serial fixup
+    // for boundary rows. Flat traffic in nnz — no warp-padding term.
+    const IndexType chunk =
+        std::max<IndexType>(sparse::spmv_lb_chunk(), 1);
+    const IndexType nteams = (nnz + chunk - 1) / chunk;
+    gpu_sim::device_vector<IndexType> partial_row(2 * nteams, ctx);
+    gpu_sim::device_vector<ZT> partial_val(2 * nteams, ctx);
+    gpu_sim::device_vector<std::uint8_t> partial_any(2 * nteams, ctx);
+    // Spill-flag init is fused into the team kernel (its write bytes are in
+    // the team LaunchStats); zeroed functionally, no separate launch.
+    std::fill_n(partial_any.data(), 2 * nteams, std::uint8_t{0});
+    IndexType* prow = partial_row.data();
+    ZT* pval = partial_val.data();
+    std::uint8_t* pany = partial_any.data();
+
+    const std::uint64_t search_ops = nteams * 8;
+    ctx.launch_n(
+        nteams,
+        LaunchStats{2 * nnz + search_ops,
+                    nnz * entry + (n + 1) * sizeof(IndexType) +
+                        search_ops * sizeof(IndexType),
+                    n * (sizeof(ZT) + 1) +
+                        2 * nteams * (sizeof(IndexType) + sizeof(ZT) + 1)},
+        [=](std::size_t t) {
+          const IndexType k0 = static_cast<IndexType>(t) * chunk;
+          const IndexType k1 = std::min<IndexType>(k0 + chunk, nnz);
+          if (k0 >= k1) return;
+          IndexType lo = 0, hi = n;
+          while (lo < hi) {  // last row r with offs[r] <= k0
+            const IndexType mid = (lo + hi) / 2;
+            if (offs[mid] <= k0)
+              lo = mid + 1;
+            else
+              hi = mid;
+          }
+          IndexType r = lo - 1;
+          IndexType k = k0;
+          while (k < k1) {
+            const IndexType row_end = std::min<IndexType>(offs[r + 1], k1);
+            ZT acc = sem.zero();
+            bool any = false;
+            for (; k < row_end; ++k) {
+              const IndexType col = cols[k];
+              if (up[col]) {
+                acc = sem.add(acc, sem.mult(avals[k], uv[col]));
+                any = true;
+              }
+            }
+            const bool starts_inside = offs[r] >= k0;
+            const bool ends_inside = offs[r + 1] <= k1;
+            if (starts_inside && ends_inside) {
+              if (any) {
+                tv[r] = acc;
+                tp[r] = 1;
+              }
+            } else if (any) {
+              const IndexType slot =
+                  2 * static_cast<IndexType>(t) + (starts_inside ? 1 : 0);
+              prow[slot] = r;
+              pval[slot] = acc;
+              pany[slot] = 1;
+            }
+            ++r;
+          }
+        });
+    // Fixup pass: combine boundary-row partials in team order (slot order
+    // is deterministic, so results are reproducible run to run).
+    detail::serial_kernel(
+        ctx,
+        LaunchStats{8 * 2 * nteams,
+                    2 * nteams * (sizeof(IndexType) + sizeof(ZT) + 1),
+                    2 * nteams * (sizeof(ZT) + 1)},
+        [&] {
+          for (IndexType s = 0; s < 2 * nteams; ++s) {
+            if (!pany[s]) continue;
+            const IndexType r = prow[s];
+            if (tp[r]) {
+              tv[r] = sem.add(tv[r], pval[s]);
+            } else {
+              tv[r] = pval[s];
+              tp[r] = 1;
+            }
+          }
+        });
+    ctx.note_spmv_selection(
+        gpu_sim::SpmvKernelKind::kCsrLoadBalanced,
+        deg.warp_padded_slots > nnz
+            ? (deg.warp_padded_slots - nnz) * entry
+            : 0);
+  } else {
+    // Row-parallel CSR SpMV. Warp-granular padding: a warp streams at the
+    // pace of its heaviest row, so traffic is charged in effective slots.
+    const std::uint64_t slots = deg.warp_padded_slots;
+    const std::uint64_t read =
+        slots * entry + (n + 1) * sizeof(IndexType);
+    ctx.launch_n(n, LaunchStats{2 * slots, read, n * (sizeof(ZT) + 1)},
+                 [=](std::size_t i) {
+                   ZT acc = sem.zero();
+                   bool any = false;
+                   for (IndexType k = offs[i]; k < offs[i + 1]; ++k) {
+                     const IndexType col = cols[k];
+                     if (up[col]) {
+                       acc = sem.add(acc, sem.mult(avals[k], uv[col]));
+                       any = true;
+                     }
                    }
-                 }
-                 if (any) {
-                   tv[i] = acc;
-                   tp[i] = 1;
-                 }
-               });
+                   if (any) {
+                     tv[i] = acc;
+                     tp[i] = 1;
+                   }
+                 });
+    ctx.note_spmv_selection(gpu_sim::SpmvKernelKind::kCsrScalar, 0);
+  }
 
   detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
 }
@@ -544,12 +657,79 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   ZT* tv = t_vals.data();
   std::uint8_t* tp = t_pres.data();
   const SR sem = sr;
+  (void)nnz;
+
+  // Inspector over the *frontier*: only rows with a present u entry are
+  // expanded, so both work and the warp-imbalance penalty are functions of
+  // the frontier's degree distribution, not the whole matrix. Reads device
+  // memory in place — no transfers in steady state.
+  std::uint64_t items = 0;       // flat frontier nnz
+  std::uint64_t max_deg = 0;
+  double sum_sq = 0.0;
+  IndexType frontier_rows = 0;
+  std::vector<IndexType> fdeg;
+  fdeg.reserve(64);
+  for (IndexType k = 0; k < n; ++k) {
+    if (!up[k]) continue;
+    const IndexType d = offs[k + 1] - offs[k];
+    items += d;
+    max_deg = std::max<std::uint64_t>(max_deg, d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+    ++frontier_rows;
+    fdeg.push_back(d);
+  }
+  ctx.account_kernel(
+      LaunchStats{n, n * (sizeof(IndexType) + 1), 64});
+  sparse::DegreeStats fstats;
+  fstats.nrows = frontier_rows;
+  fstats.ncols = A.ncols();
+  fstats.nnz = items;
+  fstats.max_degree = max_deg;
+  fstats.mean_degree =
+      frontier_rows > 0
+          ? static_cast<double>(items) / static_cast<double>(frontier_rows)
+          : 0.0;
+  if (frontier_rows > 0) {
+    const double var = sum_sq / static_cast<double>(frontier_rows) -
+                       fstats.mean_degree * fstats.mean_degree;
+    fstats.degree_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  // Push kernels compact the frontier first, so warps run over the packed
+  // present rows.
+  fstats.warp_padded_slots = gpu_sim::warp_padded_items(
+      fdeg.size(), ctx.properties().warp_size,
+      [&](std::size_t i) { return fdeg[i]; });
+  const auto kind =
+      sparse::select_kernel(fstats, /*allow_format_change=*/false,
+                            sparse::spmv_mode(), &ctx.properties(),
+                            sizeof(ZT));
+
   // Push-style scatter with atomics on real hardware; simulated serially.
-  const std::uint64_t read =
-      n * (sizeof(IndexType) + 1) +
-      nnz * (sizeof(IndexType) + sizeof(AT) + sizeof(ZT) + 1);
-  detail::serial_kernel(ctx, LaunchStats{2 * nnz, read,
-                                         nnz * (sizeof(ZT) + 1)},
+  // The declared cost models the selected schedule: warp-padded effective
+  // slots for the scalar row-per-thread kernel, flat items (+ partition
+  // search and fixup traffic) for the merge-path schedule.
+  const std::uint64_t entry =
+      sizeof(IndexType) + sizeof(AT) + sizeof(ZT) + 1;
+  std::uint64_t work_slots = fstats.warp_padded_slots;
+  std::uint64_t extra_ops = 0;
+  std::uint64_t extra_bytes = 0;
+  std::uint64_t saved = 0;
+  if (kind == gpu_sim::SpmvKernelKind::kCsrLoadBalanced) {
+    const IndexType chunk =
+        std::max<IndexType>(sparse::spmv_lb_chunk(), 1);
+    const std::uint64_t nteams = (items + chunk - 1) / chunk;
+    work_slots = items;
+    extra_ops = nteams * 8 + 8 * 2 * nteams;
+    extra_bytes = 2 * nteams * (sizeof(IndexType) + sizeof(ZT) + 1) * 2;
+    saved = fstats.warp_padded_slots > items
+                ? (fstats.warp_padded_slots - items) * entry
+                : 0;
+  }
+  ctx.note_spmv_selection(kind, saved);
+  const std::uint64_t read = n * (sizeof(IndexType) + 1) +
+                             work_slots * entry + extra_bytes;
+  detail::serial_kernel(ctx, LaunchStats{2 * work_slots + extra_ops, read,
+                                         items * (sizeof(ZT) + 1)},
                         [&] {
                           for (IndexType k = 0; k < n; ++k) {
                             if (!up[k]) continue;

@@ -124,6 +124,13 @@ void Context::validate_launch(const Dim3& grid, const Dim3& block) const {
     throw InvalidLaunchConfig("grid.x exceeds device limit");
 }
 
+void Context::note_spmv_selection(SpmvKernelKind kind,
+                                  std::uint64_t bytes_saved_vs_baseline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.kernel_selections[static_cast<std::size_t>(kind)];
+  stats_.spmv_bytes_saved_vs_baseline += bytes_saved_vs_baseline;
+}
+
 void Context::account_launch(const LaunchStats& stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.kernel_launches;

@@ -133,6 +133,13 @@ class Context {
   /// launch(). Advances the clock exactly as launch() would.
   void account_kernel(const LaunchStats& stats) { account_launch(stats); }
 
+  /// Record one adaptive-SpMV dispatch decision (sparse/spmv_select.hpp):
+  /// which kernel variant ran and how many bytes of traffic the choice
+  /// avoided relative to the row-parallel CSR baseline. Pure bookkeeping —
+  /// does not advance the clock.
+  void note_spmv_selection(SpmvKernelKind kind,
+                           std::uint64_t bytes_saved_vs_baseline);
+
   ThreadPool& pool() { return pool_; }
 
  private:

@@ -14,6 +14,7 @@
 /// the paper's results: crossover points between the sequential CPU backend
 /// and the GPU backend, and the relative benefit of staying device-resident.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -83,6 +84,32 @@ inline double modeled_transfer_time(const DeviceProperties& p,
                                     std::size_t bytes) {
   return p.transfer_latency_s +
          static_cast<double>(bytes) / p.transfer_bandwidth_bytes_per_s;
+}
+
+/// Warp-granular padding model of a row-parallel (thread-per-row) kernel.
+///
+/// Under SIMT lockstep a warp of `warp_size` consecutive rows retires only
+/// when its heaviest row finishes; the lighter lanes idle but keep occupying
+/// issue slots and the memory pipeline, so the warp's effective item count is
+/// warp_size * max(items in warp) — ELL padding arithmetic applied per warp
+/// instead of per matrix. Row-parallel kernels declare ops/traffic in these
+/// effective slots; load-balanced (merge-path) kernels declare the flat item
+/// count, which is their entire point. `items_of_row(i)` returns the work
+/// items (e.g. nnz) of row i.
+template <typename ItemsOfRowFn>
+std::uint64_t warp_padded_items(std::size_t nrows, std::uint32_t warp_size,
+                                ItemsOfRowFn&& items_of_row) {
+  if (warp_size == 0) warp_size = 1;
+  std::uint64_t total = 0;
+  for (std::size_t base = 0; base < nrows; base += warp_size) {
+    const std::size_t end = std::min<std::size_t>(base + warp_size, nrows);
+    std::uint64_t warp_max = 0;
+    for (std::size_t i = base; i < end; ++i)
+      warp_max = std::max<std::uint64_t>(warp_max, items_of_row(i));
+    // A tail warp still schedules warp_size lanes; idle lanes are masked.
+    total += warp_max * warp_size;
+  }
+  return total;
 }
 
 /// Modeled time of a device-to-device copy of @p bytes.

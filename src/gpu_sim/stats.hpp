@@ -5,10 +5,36 @@
 /// these to report simulated kernel time, transfer time and traffic exactly
 /// the way nvprof output backed the paper's figures.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
 namespace gpu_sim {
+
+/// SpMV kernel variants the adaptive engine (sparse/spmv_select.hpp) can
+/// dispatch to. Lives next to DeviceStats so selections can be counted per
+/// variant the way nvprof attributes time to kernel names.
+enum class SpmvKernelKind : unsigned {
+  kCsrScalar = 0,       ///< row-parallel CSR (one thread per row)
+  kCsrLoadBalanced,     ///< merge-path / nnz-chunked CSR
+  kEll,                 ///< padded ELL slab
+  kHyb,                 ///< ELL slab + COO tail
+  kCount
+};
+
+inline constexpr std::size_t kSpmvKernelKindCount =
+    static_cast<std::size_t>(SpmvKernelKind::kCount);
+
+inline const char* to_string(SpmvKernelKind k) {
+  switch (k) {
+    case SpmvKernelKind::kCsrScalar: return "csr-scalar";
+    case SpmvKernelKind::kCsrLoadBalanced: return "csr-load-balanced";
+    case SpmvKernelKind::kEll: return "ell";
+    case SpmvKernelKind::kHyb: return "hyb";
+    case SpmvKernelKind::kCount: break;
+  }
+  return "unknown";
+}
 
 struct DeviceStats {
   // Memory manager activity.
@@ -33,6 +59,18 @@ struct DeviceStats {
   std::uint64_t d2d_copies = 0;
   std::uint64_t d2d_bytes = 0;
   double simulated_transfer_time_s = 0.0;
+
+  // Adaptive SpMV engine activity (sparse/spmv_select.hpp): how many SpMV
+  // dispatches picked each kernel variant, and how much memory traffic those
+  // choices avoided relative to the row-parallel CSR baseline.
+  std::array<std::uint64_t, kSpmvKernelKindCount> kernel_selections{};
+  std::uint64_t spmv_bytes_saved_vs_baseline = 0;
+
+  std::uint64_t kernel_selections_total() const {
+    std::uint64_t t = 0;
+    for (auto v : kernel_selections) t += v;
+    return t;
+  }
 
   /// Total simulated device-side time: the number the GPU columns of every
   /// table/figure report.
@@ -64,6 +102,10 @@ inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
   d.d2d_bytes = a.d2d_bytes - b.d2d_bytes;
   d.simulated_transfer_time_s =
       a.simulated_transfer_time_s - b.simulated_transfer_time_s;
+  for (std::size_t i = 0; i < kSpmvKernelKindCount; ++i)
+    d.kernel_selections[i] = a.kernel_selections[i] - b.kernel_selections[i];
+  d.spmv_bytes_saved_vs_baseline =
+      a.spmv_bytes_saved_vs_baseline - b.spmv_bytes_saved_vs_baseline;
   return d;
 }
 

@@ -1,0 +1,909 @@
+/// Differential fuzzing: seeded random COO graphs (banded, uniform,
+/// power-law) x {semirings, masks incl. complement/structure, accumulators,
+/// replace} run through mxv/vxm/mxm/eWiseAdd/eWiseMult on BOTH backends and
+/// checked bit-for-bit against a naive dense oracle that implements the
+/// GraphBLAS write semantics (Z = accum(C,T), mask, Replace/Merge) with
+/// nothing shared with either backend's sparse machinery.
+///
+/// Bit-for-bit equality across kernels with different summation orders is
+/// made valid by fuzzing with integer-valued doubles in [-4, 4]: all
+/// products and sums at these shapes are exactly representable, so floating
+/// addition is associative on the fuzzed domain. mxv and vxm additionally
+/// sweep every SpMV dispatch mode (adaptive, forced row-parallel, forced
+/// load-balanced with a tiny chunk to force cross-team partial rows) — all
+/// kernel variants must produce identical stored patterns and values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "gbtl/gbtl.hpp"
+#include "sparse/spmv_select.hpp"
+
+namespace {
+
+using grb::IndexArrayType;
+using grb::IndexType;
+using grb::NoAccumulate;
+using grb::NoMask;
+
+// Five seeded cases per gtest instance; 40 instances per op = 200 seeded
+// cases per op without exploding the ctest entry count.
+constexpr unsigned kCasesPerInstance = 5;
+constexpr unsigned kInstances = 40;
+
+// --------------------------------------------------------------------------
+// Dense oracle
+// --------------------------------------------------------------------------
+
+struct DenseVec {
+  IndexType n = 0;
+  std::vector<double> val;
+  std::vector<std::uint8_t> pres;
+
+  explicit DenseVec(IndexType n_ = 0) : n(n_), val(n_, 0.0), pres(n_, 0) {}
+};
+
+struct DenseMat {
+  IndexType nr = 0, nc = 0;
+  std::vector<double> val;
+  std::vector<std::uint8_t> pres;
+
+  DenseMat(IndexType r = 0, IndexType c = 0)
+      : nr(r), nc(c), val(r * c, 0.0), pres(r * c, 0) {}
+  double& v(IndexType i, IndexType j) { return val[i * nc + j]; }
+  double v(IndexType i, IndexType j) const { return val[i * nc + j]; }
+  std::uint8_t& p(IndexType i, IndexType j) { return pres[i * nc + j]; }
+  std::uint8_t p(IndexType i, IndexType j) const { return pres[i * nc + j]; }
+};
+
+/// Lowered mask interpretation, mirroring grb::MaskDesc.
+struct MaskSpec {
+  bool has = false;
+  bool complement = false;
+  bool structural = false;
+
+  bool allows(bool present, double value) const {
+    if (!has) return true;
+    const bool ok = structural ? present : (present && value != 0.0);
+    return complement ? !ok : ok;
+  }
+};
+
+/// Oracle accumulator: absent = no accumulation.
+using OracleAccum = std::function<double(double, double)>;
+
+/// GraphBLAS write semantics on dense storage:
+///   Z = accum ? accum(C, T) merged elementwise : T
+///   out = mask-allowed ? Z : (replace ? absent : old C)
+void oracle_write(DenseVec& c, const DenseVec& t, const DenseVec* mask,
+                  const MaskSpec& ms, const OracleAccum& accum,
+                  bool replace) {
+  for (IndexType i = 0; i < c.n; ++i) {
+    const bool mp = mask != nullptr && mask->pres[i];
+    const double mv = mask != nullptr ? mask->val[i] : 0.0;
+    const bool allowed = ms.allows(mp, mv);
+    double zv = 0.0;
+    bool zp = false;
+    if (accum) {
+      if (c.pres[i] && t.pres[i]) {
+        zv = accum(c.val[i], t.val[i]);
+        zp = true;
+      } else if (t.pres[i]) {
+        zv = t.val[i];
+        zp = true;
+      } else if (c.pres[i]) {
+        zv = c.val[i];
+        zp = true;
+      }
+    } else {
+      zv = t.val[i];
+      zp = t.pres[i] != 0;
+    }
+    if (allowed) {
+      c.val[i] = zv;
+      c.pres[i] = zp ? 1 : 0;
+    } else if (replace) {
+      c.pres[i] = 0;
+    }
+  }
+}
+
+void oracle_write(DenseMat& c, const DenseMat& t, const DenseMat* mask,
+                  const MaskSpec& ms, const OracleAccum& accum,
+                  bool replace) {
+  for (IndexType i = 0; i < c.nr; ++i)
+    for (IndexType j = 0; j < c.nc; ++j) {
+      const bool mp = mask != nullptr && mask->p(i, j);
+      const double mv = mask != nullptr ? mask->v(i, j) : 0.0;
+      const bool allowed = ms.allows(mp, mv);
+      double zv = 0.0;
+      bool zp = false;
+      if (accum) {
+        if (c.p(i, j) && t.p(i, j)) {
+          zv = accum(c.v(i, j), t.v(i, j));
+          zp = true;
+        } else if (t.p(i, j)) {
+          zv = t.v(i, j);
+          zp = true;
+        } else if (c.p(i, j)) {
+          zv = c.v(i, j);
+          zp = true;
+        }
+      } else {
+        zv = t.v(i, j);
+        zp = t.p(i, j) != 0;
+      }
+      if (allowed) {
+        c.v(i, j) = zv;
+        c.p(i, j) = zp ? 1 : 0;
+      } else if (replace) {
+        c.p(i, j) = 0;
+      }
+    }
+}
+
+/// t = A (+.x) u with GraphBLAS presence semantics: t[i] is stored iff some
+/// k has both A(i,k) and u(k) stored.
+template <typename SR>
+DenseVec oracle_mxv(const DenseMat& a, const DenseVec& u, const SR& sr) {
+  DenseVec t(a.nr);
+  for (IndexType i = 0; i < a.nr; ++i) {
+    double acc = sr.zero();
+    bool any = false;
+    for (IndexType k = 0; k < a.nc; ++k) {
+      if (a.p(i, k) && u.pres[k]) {
+        acc = sr.add(acc, sr.mult(a.v(i, k), u.val[k]));
+        any = true;
+      }
+    }
+    if (any) {
+      t.val[i] = acc;
+      t.pres[i] = 1;
+    }
+  }
+  return t;
+}
+
+/// t = u (+.x) A: t[j] folds u(k) * A(k, j) over k in ascending order — the
+/// same combination order as both backends' push/pull formulations.
+template <typename SR>
+DenseVec oracle_vxm(const DenseVec& u, const DenseMat& a, const SR& sr) {
+  DenseVec t(a.nc);
+  for (IndexType j = 0; j < a.nc; ++j) {
+    double acc = sr.zero();
+    bool any = false;
+    for (IndexType k = 0; k < a.nr; ++k) {
+      if (u.pres[k] && a.p(k, j)) {
+        acc = sr.add(acc, sr.mult(u.val[k], a.v(k, j)));
+        any = true;
+      }
+    }
+    if (any) {
+      t.val[j] = acc;
+      t.pres[j] = 1;
+    }
+  }
+  return t;
+}
+
+template <typename SR>
+DenseMat oracle_mxm(const DenseMat& a, const DenseMat& b, const SR& sr) {
+  DenseMat t(a.nr, b.nc);
+  for (IndexType i = 0; i < a.nr; ++i)
+    for (IndexType j = 0; j < b.nc; ++j) {
+      double acc = sr.zero();
+      bool any = false;
+      for (IndexType k = 0; k < a.nc; ++k) {
+        if (a.p(i, k) && b.p(k, j)) {
+          acc = sr.add(acc, sr.mult(a.v(i, k), b.v(k, j)));
+          any = true;
+        }
+      }
+      if (any) {
+        t.v(i, j) = acc;
+        t.p(i, j) = 1;
+      }
+    }
+  return t;
+}
+
+template <typename Op>
+DenseVec oracle_ewise_add(const DenseVec& u, const DenseVec& v,
+                          const Op& op) {
+  DenseVec t(u.n);
+  for (IndexType i = 0; i < u.n; ++i) {
+    if (u.pres[i] && v.pres[i]) {
+      t.val[i] = op(u.val[i], v.val[i]);
+      t.pres[i] = 1;
+    } else if (u.pres[i]) {
+      t.val[i] = u.val[i];
+      t.pres[i] = 1;
+    } else if (v.pres[i]) {
+      t.val[i] = v.val[i];
+      t.pres[i] = 1;
+    }
+  }
+  return t;
+}
+
+template <typename Op>
+DenseVec oracle_ewise_mult(const DenseVec& u, const DenseVec& v,
+                           const Op& op) {
+  DenseVec t(u.n);
+  for (IndexType i = 0; i < u.n; ++i)
+    if (u.pres[i] && v.pres[i]) {
+      t.val[i] = op(u.val[i], v.val[i]);
+      t.pres[i] = 1;
+    }
+  return t;
+}
+
+template <typename Op>
+DenseMat oracle_ewise_add(const DenseMat& a, const DenseMat& b,
+                          const Op& op) {
+  DenseMat t(a.nr, a.nc);
+  for (IndexType k = 0; k < a.nr * a.nc; ++k) {
+    if (a.pres[k] && b.pres[k]) {
+      t.val[k] = op(a.val[k], b.val[k]);
+      t.pres[k] = 1;
+    } else if (a.pres[k]) {
+      t.val[k] = a.val[k];
+      t.pres[k] = 1;
+    } else if (b.pres[k]) {
+      t.val[k] = b.val[k];
+      t.pres[k] = 1;
+    }
+  }
+  return t;
+}
+
+template <typename Op>
+DenseMat oracle_ewise_mult(const DenseMat& a, const DenseMat& b,
+                           const Op& op) {
+  DenseMat t(a.nr, a.nc);
+  for (IndexType k = 0; k < a.nr * a.nc; ++k)
+    if (a.pres[k] && b.pres[k]) {
+      t.val[k] = op(a.val[k], b.val[k]);
+      t.pres[k] = 1;
+    }
+  return t;
+}
+
+// --------------------------------------------------------------------------
+// Seeded input generation (tuples shared by oracle + both backends)
+// --------------------------------------------------------------------------
+
+struct MatTuples {
+  IndexType nr, nc;
+  IndexArrayType rows, cols;
+  std::vector<double> vals;
+};
+
+struct VecTuples {
+  IndexType n;
+  IndexArrayType idx;
+  std::vector<double> vals;
+};
+
+enum class Family { Banded, Uniform, PowerLaw };
+
+/// Integer-valued doubles: exact products/sums => order-independent
+/// floating arithmetic on the fuzzed domain.
+double int_value(std::mt19937& rng) {
+  return static_cast<double>(std::uniform_int_distribution<int>(-4, 4)(rng));
+}
+
+MatTuples gen_matrix(std::mt19937& rng, IndexType nr, IndexType nc,
+                     Family family) {
+  MatTuples m{nr, nc, {}, {}, {}};
+  std::set<std::pair<IndexType, IndexType>> cells;
+  switch (family) {
+    case Family::Banded: {
+      const IndexType bw = std::uniform_int_distribution<IndexType>(1, 3)(rng);
+      std::bernoulli_distribution keep(0.8);
+      for (IndexType i = 0; i < nr; ++i)
+        for (IndexType j = (i > bw ? i - bw : 0);
+             j < std::min<IndexType>(nc, i + bw + 1); ++j)
+          if (keep(rng)) cells.emplace(i, j);
+      break;
+    }
+    case Family::Uniform: {
+      std::bernoulli_distribution keep(
+          std::uniform_real_distribution<double>(0.05, 0.5)(rng));
+      for (IndexType i = 0; i < nr; ++i)
+        for (IndexType j = 0; j < nc; ++j)
+          if (keep(rng)) cells.emplace(i, j);
+      break;
+    }
+    case Family::PowerLaw: {
+      // Hub rows with ~nr/(rank+1) targets, rank randomly permuted over
+      // rows — a miniature scale-free degree profile.
+      std::vector<IndexType> rank(nr);
+      for (IndexType i = 0; i < nr; ++i) rank[i] = i;
+      std::shuffle(rank.begin(), rank.end(), rng);
+      std::uniform_int_distribution<IndexType> col(0, nc - 1);
+      for (IndexType i = 0; i < nr; ++i) {
+        const IndexType deg =
+            std::min<IndexType>(nc, nr / (rank[i] + 1));
+        for (IndexType d = 0; d < deg; ++d) cells.emplace(i, col(rng));
+      }
+      break;
+    }
+  }
+  for (const auto& [i, j] : cells) {
+    m.rows.push_back(i);
+    m.cols.push_back(j);
+    m.vals.push_back(int_value(rng));
+  }
+  return m;
+}
+
+VecTuples gen_vector(std::mt19937& rng, IndexType n, double density) {
+  VecTuples v{n, {}, {}};
+  std::bernoulli_distribution keep(density);
+  for (IndexType i = 0; i < n; ++i)
+    if (keep(rng)) {
+      v.idx.push_back(i);
+      v.vals.push_back(int_value(rng));
+    }
+  return v;
+}
+
+/// 0/1-valued mask tuples: stored zeros exercise value- vs structure-mask
+/// divergence.
+VecTuples gen_mask_vector(std::mt19937& rng, IndexType n) {
+  VecTuples v{n, {}, {}};
+  std::bernoulli_distribution keep(0.5);
+  std::bernoulli_distribution truthy(0.6);
+  for (IndexType i = 0; i < n; ++i)
+    if (keep(rng)) {
+      v.idx.push_back(i);
+      v.vals.push_back(truthy(rng) ? 1.0 : 0.0);
+    }
+  return v;
+}
+
+MatTuples gen_mask_matrix(std::mt19937& rng, IndexType nr, IndexType nc) {
+  MatTuples m{nr, nc, {}, {}, {}};
+  std::bernoulli_distribution keep(0.5);
+  std::bernoulli_distribution truthy(0.6);
+  for (IndexType i = 0; i < nr; ++i)
+    for (IndexType j = 0; j < nc; ++j)
+      if (keep(rng)) {
+        m.rows.push_back(i);
+        m.cols.push_back(j);
+        m.vals.push_back(truthy(rng) ? 1.0 : 0.0);
+      }
+  return m;
+}
+
+DenseMat densify(const MatTuples& m) {
+  DenseMat d(m.nr, m.nc);
+  for (std::size_t k = 0; k < m.vals.size(); ++k) {
+    d.v(m.rows[k], m.cols[k]) = m.vals[k];
+    d.p(m.rows[k], m.cols[k]) = 1;
+  }
+  return d;
+}
+
+DenseVec densify(const VecTuples& v) {
+  DenseVec d(v.n);
+  for (std::size_t k = 0; k < v.vals.size(); ++k) {
+    d.val[v.idx[k]] = v.vals[k];
+    d.pres[v.idx[k]] = 1;
+  }
+  return d;
+}
+
+template <typename T, typename Tag>
+grb::Matrix<T, Tag> to_backend(const MatTuples& m) {
+  grb::Matrix<T, Tag> a(m.nr, m.nc);
+  std::vector<T> vals(m.vals.begin(), m.vals.end());
+  a.build(m.rows, m.cols, vals, grb::Second<T>{});
+  return a;
+}
+
+template <typename T, typename Tag>
+grb::Vector<T, Tag> to_backend(const VecTuples& v) {
+  grb::Vector<T, Tag> u(v.n);
+  std::vector<T> vals(v.vals.begin(), v.vals.end());
+  u.build(v.idx, vals, grb::Second<T>{});
+  return u;
+}
+
+// --------------------------------------------------------------------------
+// Comparison against the oracle (exact equality)
+// --------------------------------------------------------------------------
+
+template <typename Tag>
+void expect_matches(const grb::Vector<double, Tag>& got,
+                    const DenseVec& want, const char* what) {
+  IndexArrayType gi;
+  std::vector<double> gv;
+  got.extractTuples(gi, gv);
+  IndexArrayType wi;
+  std::vector<double> wv;
+  for (IndexType i = 0; i < want.n; ++i)
+    if (want.pres[i]) {
+      wi.push_back(i);
+      wv.push_back(want.val[i]);
+    }
+  ASSERT_EQ(gi, wi) << what << ": stored pattern differs from oracle";
+  for (std::size_t k = 0; k < wv.size(); ++k)
+    ASSERT_EQ(gv[k], wv[k]) << what << ": value at index " << wi[k];
+}
+
+template <typename Tag>
+void expect_matches(const grb::Matrix<double, Tag>& got,
+                    const DenseMat& want, const char* what) {
+  IndexArrayType gr, gc;
+  std::vector<double> gv;
+  got.extractTuples(gr, gc, gv);
+  IndexArrayType wr, wc;
+  std::vector<double> wv;
+  for (IndexType i = 0; i < want.nr; ++i)
+    for (IndexType j = 0; j < want.nc; ++j)
+      if (want.p(i, j)) {
+        wr.push_back(i);
+        wc.push_back(j);
+        wv.push_back(want.v(i, j));
+      }
+  ASSERT_EQ(gr, wr) << what << ": row pattern differs from oracle";
+  ASSERT_EQ(gc, wc) << what << ": col pattern differs from oracle";
+  for (std::size_t k = 0; k < wv.size(); ++k)
+    ASSERT_EQ(gv[k], wv[k]) << what << ": value at (" << wr[k] << ","
+                            << wc[k] << ")";
+}
+
+// --------------------------------------------------------------------------
+// Runtime-pick -> compile-time-object dispatch
+// --------------------------------------------------------------------------
+
+template <typename F>
+void with_semiring(unsigned pick, F&& f) {
+  switch (pick % 3) {
+    case 0:
+      f(grb::ArithmeticSemiring<double>{});
+      break;
+    case 1:
+      f(grb::MinPlusSemiring<double>{});
+      break;
+    default:
+      f(grb::MaxTimesSemiring<double>{});
+      break;
+  }
+}
+
+template <typename F>
+void with_binary_op(unsigned pick, F&& f) {
+  switch (pick % 4) {
+    case 0:
+      f(grb::Plus<double>{});
+      break;
+    case 1:
+      f(grb::Times<double>{});
+      break;
+    case 2:
+      f(grb::Min<double>{});
+      break;
+    default:
+      f(grb::Max<double>{});
+      break;
+  }
+}
+
+/// f(frontendAccum, oracleAccum)
+template <typename F>
+void with_accum(unsigned pick, F&& f) {
+  switch (pick % 3) {
+    case 0:
+      f(NoAccumulate{}, OracleAccum{});
+      break;
+    case 1:
+      f(grb::Plus<double>{},
+        OracleAccum{[](double a, double b) { return a + b; }});
+      break;
+    default:
+      f(grb::Min<double>{},
+        OracleAccum{[](double a, double b) { return std::min(a, b); }});
+      break;
+  }
+}
+
+/// f(frontendMaskArg, MaskSpec) for each of the five mask variants.
+template <typename MaskObj, typename F>
+void for_each_mask_variant(const MaskObj& m, F&& f) {
+  f(NoMask{}, MaskSpec{false, false, false});
+  f(m, MaskSpec{true, false, false});
+  f(grb::structure(m), MaskSpec{true, false, true});
+  f(grb::complement(m), MaskSpec{true, true, false});
+  f(grb::complement(grb::structure(m)), MaskSpec{true, true, true});
+}
+
+// --------------------------------------------------------------------------
+// The fuzz fixture
+// --------------------------------------------------------------------------
+
+class DifferentialFuzz : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override {
+    saved_chunk_ = sparse::spmv_lb_chunk();
+    // Tiny chunks force multi-team partial-row paths in the load-balanced
+    // kernel even at fuzz-sized matrices.
+    sparse::spmv_lb_chunk() = 4;
+  }
+  void TearDown() override { sparse::spmv_lb_chunk() = saved_chunk_; }
+
+  static Family family_of(std::mt19937& rng) {
+    switch (std::uniform_int_distribution<int>(0, 2)(rng)) {
+      case 0:
+        return Family::Banded;
+      case 1:
+        return Family::Uniform;
+      default:
+        return Family::PowerLaw;
+    }
+  }
+
+  static IndexType dim(std::mt19937& rng) {
+    return std::uniform_int_distribution<IndexType>(1, 12)(rng);
+  }
+
+ private:
+  sparse::Index saved_chunk_ = 0;
+};
+
+TEST_P(DifferentialFuzz, Mxv) {
+  for (unsigned c = 0; c < kCasesPerInstance; ++c) {
+    const unsigned seed = 1000 + GetParam() * kCasesPerInstance + c;
+    std::mt19937 rng(seed);
+    const IndexType m = dim(rng), n = dim(rng);
+    const auto at = gen_matrix(rng, m, n, family_of(rng));
+    const auto ut = gen_vector(rng, n, 0.3 + 0.6 * (seed % 7) / 7.0);
+    const auto wt = gen_vector(rng, m, 0.5);
+    const auto mt = gen_mask_vector(rng, m);
+    const bool replace = rng() % 2 == 0;
+    const unsigned sr_pick = rng(), acc_pick = rng();
+
+    const DenseMat da = densify(at);
+    const DenseVec du = densify(ut);
+    const DenseVec dw0 = densify(wt);
+    const DenseVec dm = densify(mt);
+
+    auto sa = to_backend<double, grb::Sequential>(at);
+    auto ga = to_backend<double, grb::GpuSim>(at);
+    auto su = to_backend<double, grb::Sequential>(ut);
+    auto gu = to_backend<double, grb::GpuSim>(ut);
+    auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
+    auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+
+    with_semiring(sr_pick, [&](auto sr) {
+      with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
+        const DenseVec t = oracle_mxv(da, du, sr);
+        unsigned variant = 0;
+        for_each_mask_variant(smask, [&](auto sm, const MaskSpec& ms) {
+          DenseVec want = dw0;
+          oracle_write(want, t, ms.has ? &dm : nullptr, ms, oacc, replace);
+
+          auto sw = to_backend<double, grb::Sequential>(wt);
+          grb::mxv(sw, sm, accum, sr, sa, su,
+                   replace ? grb::Replace : grb::Merge);
+          expect_matches(sw, want, "seq mxv");
+
+          // GPU: every SpMV dispatch mode must agree with the oracle.
+          for (const auto mode :
+               {sparse::SpmvMode::Adaptive, sparse::SpmvMode::ForceCsrScalar,
+                sparse::SpmvMode::ForceCsrLoadBalanced}) {
+            sparse::SpmvModeGuard guard(mode);
+            auto gw = to_backend<double, grb::GpuSim>(wt);
+            // Rebuild the gpu-side mask variant for this iteration.
+            unsigned v = 0;
+            for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+              if (v++ != variant) return;
+              grb::mxv(gw, gm, accum, sr, ga, gu,
+                       replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(gw, want, "gpu mxv");
+          }
+          ++variant;
+        });
+      });
+    });
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed;
+      return;
+    }
+  }
+}
+
+TEST_P(DifferentialFuzz, Vxm) {
+  for (unsigned c = 0; c < kCasesPerInstance; ++c) {
+    const unsigned seed = 2000 + GetParam() * kCasesPerInstance + c;
+    std::mt19937 rng(seed);
+    const IndexType m = dim(rng), n = dim(rng);
+    const auto at = gen_matrix(rng, m, n, family_of(rng));
+    const auto ut = gen_vector(rng, m, 0.3 + 0.6 * (seed % 5) / 5.0);
+    const auto wt = gen_vector(rng, n, 0.5);
+    const auto mt = gen_mask_vector(rng, n);
+    const bool replace = rng() % 2 == 0;
+    const unsigned sr_pick = rng(), acc_pick = rng();
+
+    const DenseMat da = densify(at);
+    const DenseVec du = densify(ut);
+    const DenseVec dm = densify(mt);
+
+    auto sa = to_backend<double, grb::Sequential>(at);
+    auto ga = to_backend<double, grb::GpuSim>(at);
+    auto su = to_backend<double, grb::Sequential>(ut);
+    auto gu = to_backend<double, grb::GpuSim>(ut);
+    auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
+    auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+
+    with_semiring(sr_pick, [&](auto sr) {
+      with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
+        const DenseVec t = oracle_vxm(du, da, sr);
+        unsigned variant = 0;
+        for_each_mask_variant(smask, [&](auto sm, const MaskSpec& ms) {
+          DenseVec want = densify(wt);
+          oracle_write(want, t, ms.has ? &dm : nullptr, ms, oacc, replace);
+
+          auto sw = to_backend<double, grb::Sequential>(wt);
+          grb::vxm(sw, sm, accum, sr, su, sa,
+                   replace ? grb::Replace : grb::Merge);
+          expect_matches(sw, want, "seq vxm");
+
+          for (const auto mode :
+               {sparse::SpmvMode::Adaptive, sparse::SpmvMode::ForceCsrScalar,
+                sparse::SpmvMode::ForceCsrLoadBalanced}) {
+            sparse::SpmvModeGuard guard(mode);
+            auto gw = to_backend<double, grb::GpuSim>(wt);
+            unsigned v = 0;
+            for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+              if (v++ != variant) return;
+              grb::vxm(gw, gm, accum, sr, gu, ga,
+                       replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(gw, want, "gpu vxm");
+          }
+          ++variant;
+        });
+      });
+    });
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed;
+      return;
+    }
+  }
+}
+
+TEST_P(DifferentialFuzz, Mxm) {
+  for (unsigned c = 0; c < kCasesPerInstance; ++c) {
+    const unsigned seed = 3000 + GetParam() * kCasesPerInstance + c;
+    std::mt19937 rng(seed);
+    const IndexType m = dim(rng), k = dim(rng), n = dim(rng);
+    const auto at = gen_matrix(rng, m, k, family_of(rng));
+    const auto bt = gen_matrix(rng, k, n, family_of(rng));
+    const auto ct = gen_matrix(rng, m, n, Family::Uniform);
+    const auto mt = gen_mask_matrix(rng, m, n);
+    const bool replace = rng() % 2 == 0;
+    const unsigned sr_pick = rng(), acc_pick = rng();
+
+    const DenseMat da = densify(at);
+    const DenseMat db = densify(bt);
+    const DenseMat dm = densify(mt);
+
+    auto sa = to_backend<double, grb::Sequential>(at);
+    auto ga = to_backend<double, grb::GpuSim>(at);
+    auto sb = to_backend<double, grb::Sequential>(bt);
+    auto gb = to_backend<double, grb::GpuSim>(bt);
+    auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
+    auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+
+    with_semiring(sr_pick, [&](auto sr) {
+      with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
+        const DenseMat t = oracle_mxm(da, db, sr);
+        unsigned variant = 0;
+        for_each_mask_variant(smask, [&](auto sm, const MaskSpec& ms) {
+          DenseMat want = densify(ct);
+          oracle_write(want, t, ms.has ? &dm : nullptr, ms, oacc, replace);
+
+          auto sc = to_backend<double, grb::Sequential>(ct);
+          grb::mxm(sc, sm, accum, sr, sa, sb,
+                   replace ? grb::Replace : grb::Merge);
+          expect_matches(sc, want, "seq mxm");
+
+          auto gc = to_backend<double, grb::GpuSim>(ct);
+          unsigned v = 0;
+          for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+            if (v++ != variant) return;
+            grb::mxm(gc, gm, accum, sr, ga, gb,
+                     replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(gc, want, "gpu mxm");
+          ++variant;
+        });
+      });
+    });
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed;
+      return;
+    }
+  }
+}
+
+TEST_P(DifferentialFuzz, EWiseAdd) {
+  for (unsigned c = 0; c < kCasesPerInstance; ++c) {
+    const unsigned seed = 4000 + GetParam() * kCasesPerInstance + c;
+    std::mt19937 rng(seed);
+    const IndexType n = dim(rng);
+    const auto ut = gen_vector(rng, n, 0.5);
+    const auto vt = gen_vector(rng, n, 0.5);
+    const auto wt = gen_vector(rng, n, 0.5);
+    const auto mt = gen_mask_vector(rng, n);
+    const IndexType mr = dim(rng), mc = dim(rng);
+    const auto a2 = gen_matrix(rng, mr, mc, family_of(rng));
+    const auto b2 = gen_matrix(rng, mr, mc, family_of(rng));
+    const auto c2 = gen_matrix(rng, mr, mc, Family::Uniform);
+    const auto mm = gen_mask_matrix(rng, mr, mc);
+    const bool replace = rng() % 2 == 0;
+    const unsigned op_pick = rng(), acc_pick = rng();
+
+    const DenseVec du = densify(ut), dv = densify(vt), dm = densify(mt);
+    const DenseMat dA = densify(a2), dB = densify(b2), dM = densify(mm);
+
+    auto su = to_backend<double, grb::Sequential>(ut);
+    auto gu = to_backend<double, grb::GpuSim>(ut);
+    auto sv = to_backend<double, grb::Sequential>(vt);
+    auto gv = to_backend<double, grb::GpuSim>(vt);
+    auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
+    auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+    auto sA = to_backend<double, grb::Sequential>(a2);
+    auto gA = to_backend<double, grb::GpuSim>(a2);
+    auto sB = to_backend<double, grb::Sequential>(b2);
+    auto gB = to_backend<double, grb::GpuSim>(b2);
+    auto sM = to_backend<std::uint8_t, grb::Sequential>(mm);
+    auto gM = to_backend<std::uint8_t, grb::GpuSim>(mm);
+
+    with_binary_op(op_pick, [&](auto op) {
+      with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
+        const DenseVec t = oracle_ewise_add(du, dv, op);
+        unsigned variant = 0;
+        for_each_mask_variant(smask, [&](auto sm, const MaskSpec& ms) {
+          DenseVec want = densify(wt);
+          oracle_write(want, t, ms.has ? &dm : nullptr, ms, oacc, replace);
+          auto sw = to_backend<double, grb::Sequential>(wt);
+          grb::eWiseAdd(sw, sm, accum, op, su, sv,
+                        replace ? grb::Replace : grb::Merge);
+          expect_matches(sw, want, "seq eWiseAdd vec");
+          auto gw = to_backend<double, grb::GpuSim>(wt);
+          unsigned v = 0;
+          for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+            if (v++ != variant) return;
+            grb::eWiseAdd(gw, gm, accum, op, gu, gv,
+                          replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(gw, want, "gpu eWiseAdd vec");
+          ++variant;
+        });
+
+        const DenseMat tm = oracle_ewise_add(dA, dB, op);
+        unsigned mvariant = 0;
+        for_each_mask_variant(sM, [&](auto sm, const MaskSpec& ms) {
+          DenseMat want = densify(c2);
+          oracle_write(want, tm, ms.has ? &dM : nullptr, ms, oacc, replace);
+          auto sc = to_backend<double, grb::Sequential>(c2);
+          grb::eWiseAdd(sc, sm, accum, op, sA, sB,
+                        replace ? grb::Replace : grb::Merge);
+          expect_matches(sc, want, "seq eWiseAdd mat");
+          auto gc = to_backend<double, grb::GpuSim>(c2);
+          unsigned v = 0;
+          for_each_mask_variant(gM, [&](auto gm, const MaskSpec&) {
+            if (v++ != mvariant) return;
+            grb::eWiseAdd(gc, gm, accum, op, gA, gB,
+                          replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(gc, want, "gpu eWiseAdd mat");
+          ++mvariant;
+        });
+      });
+    });
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed;
+      return;
+    }
+  }
+}
+
+TEST_P(DifferentialFuzz, EWiseMult) {
+  for (unsigned c = 0; c < kCasesPerInstance; ++c) {
+    const unsigned seed = 5000 + GetParam() * kCasesPerInstance + c;
+    std::mt19937 rng(seed);
+    const IndexType n = dim(rng);
+    const auto ut = gen_vector(rng, n, 0.6);
+    const auto vt = gen_vector(rng, n, 0.6);
+    const auto wt = gen_vector(rng, n, 0.5);
+    const auto mt = gen_mask_vector(rng, n);
+    const IndexType mr = dim(rng), mc = dim(rng);
+    const auto a2 = gen_matrix(rng, mr, mc, family_of(rng));
+    const auto b2 = gen_matrix(rng, mr, mc, family_of(rng));
+    const auto c2 = gen_matrix(rng, mr, mc, Family::Uniform);
+    const auto mm = gen_mask_matrix(rng, mr, mc);
+    const bool replace = rng() % 2 == 0;
+    const unsigned op_pick = rng(), acc_pick = rng();
+
+    const DenseVec du = densify(ut), dv = densify(vt), dm = densify(mt);
+    const DenseMat dA = densify(a2), dB = densify(b2), dM = densify(mm);
+
+    auto su = to_backend<double, grb::Sequential>(ut);
+    auto gu = to_backend<double, grb::GpuSim>(ut);
+    auto sv = to_backend<double, grb::Sequential>(vt);
+    auto gv = to_backend<double, grb::GpuSim>(vt);
+    auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
+    auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+    auto sA = to_backend<double, grb::Sequential>(a2);
+    auto gA = to_backend<double, grb::GpuSim>(a2);
+    auto sB = to_backend<double, grb::Sequential>(b2);
+    auto gB = to_backend<double, grb::GpuSim>(b2);
+    auto sM = to_backend<std::uint8_t, grb::Sequential>(mm);
+    auto gM = to_backend<std::uint8_t, grb::GpuSim>(mm);
+
+    with_binary_op(op_pick, [&](auto op) {
+      with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
+        const DenseVec t = oracle_ewise_mult(du, dv, op);
+        unsigned variant = 0;
+        for_each_mask_variant(smask, [&](auto sm, const MaskSpec& ms) {
+          DenseVec want = densify(wt);
+          oracle_write(want, t, ms.has ? &dm : nullptr, ms, oacc, replace);
+          auto sw = to_backend<double, grb::Sequential>(wt);
+          grb::eWiseMult(sw, sm, accum, op, su, sv,
+                         replace ? grb::Replace : grb::Merge);
+          expect_matches(sw, want, "seq eWiseMult vec");
+          auto gw = to_backend<double, grb::GpuSim>(wt);
+          unsigned v = 0;
+          for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+            if (v++ != variant) return;
+            grb::eWiseMult(gw, gm, accum, op, gu, gv,
+                           replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(gw, want, "gpu eWiseMult vec");
+          ++variant;
+        });
+
+        const DenseMat tm = oracle_ewise_mult(dA, dB, op);
+        unsigned mvariant = 0;
+        for_each_mask_variant(sM, [&](auto sm, const MaskSpec& ms) {
+          DenseMat want = densify(c2);
+          oracle_write(want, tm, ms.has ? &dM : nullptr, ms, oacc, replace);
+          auto sc = to_backend<double, grb::Sequential>(c2);
+          grb::eWiseMult(sc, sm, accum, op, sA, sB,
+                         replace ? grb::Replace : grb::Merge);
+          expect_matches(sc, want, "seq eWiseMult mat");
+          auto gc = to_backend<double, grb::GpuSim>(c2);
+          unsigned v = 0;
+          for_each_mask_variant(gM, [&](auto gm, const MaskSpec&) {
+            if (v++ != mvariant) return;
+            grb::eWiseMult(gc, gm, accum, op, gA, gB,
+                           replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(gc, want, "gpu eWiseMult mat");
+          ++mvariant;
+        });
+      });
+    });
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed;
+      return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range(0u, kInstances));
+
+}  // namespace
