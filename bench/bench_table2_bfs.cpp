@@ -1,9 +1,14 @@
 /// Table 2 — BFS traversal time and TEPS per backend on R-MAT graphs
-/// (Graph500-style rows: scale, vertices, edges, time, TEPS).
+/// (Graph500-style rows: scale, vertices, edges, time, TEPS). The GPU rows
+/// run twice: direction pinned to push (the pre-direction-engine baseline)
+/// and auto (Beamer-style push/pull switching); `push`/`pull` counters show
+/// which direction each level took, `early_exit_rows` how many pull rows
+/// quit at their first frontier hit.
 
 #include "bench_common.hpp"
 
 #include "algorithms/bfs.hpp"
+#include "sparse/spmv_select.hpp"
 
 namespace {
 
@@ -22,21 +27,55 @@ void BM_bfs_sequential(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(levels.nvals()));
 }
 
-void BM_bfs_gpu(benchmark::State& state) {
+void bfs_gpu_directed(benchmark::State& state, sparse::DirectionMode mode) {
   const unsigned scale = static_cast<unsigned>(state.range(0));
   const auto& g = benchx::rmat_graph(scale, 16);
   auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  // Graph500-style kernel 1: graph construction, including any derived
+  // search structures, is untimed. Direction-optimizing traversal takes
+  // both edge directions as input (Beamer's in+out adjacency), so the
+  // transpose (CSC) view is materialized here; without it Auto's cost
+  // model charges the build to the first pull level and stays push.
+  (void)a.impl().col_offsets();
   grb::Vector<grb::IndexType, grb::GpuSim> levels(a.nrows());
+  sparse::DirectionModeGuard guard(mode);
+  auto& dev = gpu_sim::device();
+  const auto s0 = dev.stats();
   benchx::run_simulated(state, [&] { algorithms::bfs_level(a, 0, levels); });
+  const auto delta = dev.stats() - s0;
   benchx::annotate(state, a.nrows(), a.nvals());
   benchx::report_teps(state, a.nvals());
   state.counters["reached"] =
       benchmark::Counter(static_cast<double>(levels.nvals()));
+  using gpu_sim::TraversalDirection;
+  state.counters["push"] = benchmark::Counter(static_cast<double>(
+      delta.direction_selections[static_cast<std::size_t>(
+          TraversalDirection::kPush)]));
+  state.counters["pull"] = benchmark::Counter(static_cast<double>(
+      delta.direction_selections[static_cast<std::size_t>(
+          TraversalDirection::kPull)]));
+  state.counters["early_exit_rows"] =
+      benchmark::Counter(static_cast<double>(delta.pull_early_exit_rows));
+}
+
+void BM_bfs_gpu_push_only(benchmark::State& state) {
+  bfs_gpu_directed(state, sparse::DirectionMode::ForcePush);
+}
+
+void BM_bfs_gpu_auto(benchmark::State& state) {
+  bfs_gpu_directed(state, sparse::DirectionMode::Auto);
 }
 
 }  // namespace
 
 BENCHMARK(BM_bfs_sequential)->DenseRange(8, 14, 2)->Iterations(1);
-BENCHMARK(BM_bfs_gpu)->DenseRange(8, 14, 2)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_bfs_gpu_push_only)
+    ->DenseRange(8, 16, 2)
+    ->Iterations(1)
+    ->UseManualTime();
+BENCHMARK(BM_bfs_gpu_auto)
+    ->DenseRange(8, 16, 2)
+    ->Iterations(1)
+    ->UseManualTime();
 
 BENCHMARK_MAIN();

@@ -31,6 +31,9 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo "==> bench smoke"
+# One filtered small-scale pass each through the SpMV benches and the BFS
+# direction engine (bench_table2_bfs push_only + auto rows at scale 8,
+# Iterations(1)); registration lives in bench/CMakeLists.txt.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L bench-smoke
 
 echo "==> sanitizers: ASan/UBSan fuzz config (${SAN_BUILD_DIR})"

@@ -33,11 +33,18 @@ void bfs_level(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
   frontier.setElement(source, true);
 
   grb::IndexType depth = 0;
+  grb::IndexType visited = 0;
   while (frontier.nvals() > 0 && depth < n) {
     ++depth;
     // Stamp the current depth on the frontier.
     grb::assign(levels, frontier, grb::NoAccumulate{}, depth,
                 grb::all_indices(n));
+    // If the assign marked no vertex the frontier was entirely
+    // already-visited (empty graph / isolated source / a frontier dying on
+    // back-edges) — expanding it again could only spin until depth == n.
+    const grb::IndexType now_visited = levels.nvals();
+    if (now_visited == visited) break;
+    visited = now_visited;
     // Expand: neighbours of the frontier that have no level yet.
     grb::vxm(frontier, grb::complement(grb::structure(levels)),
              grb::NoAccumulate{}, grb::LogicalSemiring<bool>{}, frontier,

@@ -44,9 +44,28 @@ class Matrix {
     gpu_sim::fill(row_offsets_, IndexType{0});
   }
 
-  Matrix(const Matrix&) = default;
+  // Copies carry only the canonical CSR form; the CSC cache is rebuilt on
+  // demand so copies don't pay (or distort) d2d traffic for cache state.
+  Matrix(const Matrix& other)
+      : nrows_(other.nrows_),
+        ncols_(other.ncols_),
+        ctx_(other.ctx_),
+        row_offsets_(other.row_offsets_),
+        col_indices_(other.col_indices_),
+        values_(other.values_) {}
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      nrows_ = other.nrows_;
+      ncols_ = other.ncols_;
+      ctx_ = other.ctx_;
+      row_offsets_ = other.row_offsets_;
+      col_indices_ = other.col_indices_;
+      values_ = other.values_;
+      invalidate_csc();
+    }
+    return *this;
+  }
   Matrix(Matrix&&) noexcept = default;
-  Matrix& operator=(const Matrix&) = default;
   Matrix& operator=(Matrix&&) noexcept = default;
 
   IndexType nrows() const { return nrows_; }
@@ -58,6 +77,7 @@ class Matrix {
     gpu_sim::fill(row_offsets_, IndexType{0});
     col_indices_.clear();
     values_.clear();
+    invalidate_csc();
   }
 
   /// GrB_Matrix_resize: a device pipeline — flag in-bounds entries, compact
@@ -187,6 +207,7 @@ class Matrix {
     const IndexType pos = find_position(i, j);
     if (pos != kNotFound) {
       ctx_->copy_h2d(values_.data() + pos, &v, sizeof(T));
+      invalidate_csc();  // CSC mirrors values too, not just structure
       return;
     }
     HostCoo coo = to_host_coo();
@@ -219,6 +240,25 @@ class Matrix {
   }
   const gpu_sim::device_vector<T>& values() const { return values_; }
 
+  // --- Transpose-side (CSC) view for pull-direction kernels ---------------
+  // Lazily derived from CSR on first use (one accounted device pipeline:
+  // expand + radix sort + gathers + lower_bound), then cached until any
+  // structural or value mutation. The pull kernel walks column j of A —
+  // i.e. the in-edges of destination j — via these three arrays.
+  const gpu_sim::device_vector<IndexType>& col_offsets() const {
+    ensure_csc();
+    return csc_offsets_;
+  }
+  const gpu_sim::device_vector<IndexType>& csc_row_indices() const {
+    ensure_csc();
+    return csc_rows_;
+  }
+  const gpu_sim::device_vector<T>& csc_values() const {
+    ensure_csc();
+    return csc_vals_;
+  }
+  bool csc_cached() const { return csc_valid_; }
+
   /// Adopt device CSR arrays produced by an operation pipeline.
   void adopt(gpu_sim::device_vector<IndexType>&& row_offsets,
              gpu_sim::device_vector<IndexType>&& col_indices,
@@ -226,11 +266,13 @@ class Matrix {
     row_offsets_ = std::move(row_offsets);
     col_indices_ = std::move(col_indices);
     values_ = std::move(values);
+    invalidate_csc();
   }
 
   /// Adopt flattened (row*ncols+col)-sorted key/value arrays.
   void load_from_sorted_keys(const gpu_sim::device_vector<IndexType>& keys,
                              const gpu_sim::device_vector<T>& vals) {
+    invalidate_csc();
     const IndexType n = keys.size();
     col_indices_.resize(n);
     values_ = vals;
@@ -267,6 +309,64 @@ class Matrix {
  private:
   static constexpr IndexType kNotFound = ~IndexType{0};
 
+  void invalidate_csc() {
+    csc_valid_ = false;
+    csc_offsets_ = gpu_sim::device_vector<IndexType>();
+    csc_rows_ = gpu_sim::device_vector<IndexType>();
+    csc_vals_ = gpu_sim::device_vector<T>();
+  }
+
+  /// Materialize the CSC view from CSR: expand per-entry coordinates,
+  /// flatten column-major (col * nrows + row), radix-sort, gather the value
+  /// payload along, and derive column offsets with a vectorized
+  /// lower_bound — the same CUSP-style pipeline build() uses for CSR.
+  void ensure_csc() const {
+    if (csc_valid_) return;
+    const IndexType n = nvals();
+    gpu_sim::device_vector<IndexType> keys(n, *ctx_);
+    {
+      const IndexType* offs = row_offsets_.data();
+      const IndexType* cols = col_indices_.data();
+      IndexType* out = keys.data();
+      const IndexType nr = nrows_;
+      ctx_->launch_n(nrows_,
+                     gpu_sim::LaunchStats{n + nrows_,
+                                          (nrows_ + n) * sizeof(IndexType),
+                                          n * sizeof(IndexType)},
+                     [=](std::size_t i) {
+                       for (IndexType k = offs[i]; k < offs[i + 1]; ++k)
+                         out[k] = cols[k] * nr + static_cast<IndexType>(i);
+                     });
+    }
+    gpu_sim::device_vector<IndexType> perm(*ctx_);
+    gpu_sim::stable_argsort(keys, perm);
+    gpu_sim::device_vector<IndexType> sorted_keys(*ctx_);
+    gpu_sim::gather(perm, keys, sorted_keys);
+    csc_vals_ = gpu_sim::device_vector<T>(*ctx_);
+    gpu_sim::gather(perm, values_, csc_vals_);
+    // Split sorted keys back into per-entry row and column streams.
+    csc_rows_ = gpu_sim::device_vector<IndexType>(n, *ctx_);
+    gpu_sim::device_vector<IndexType> sorted_cols(n, *ctx_);
+    {
+      const IndexType* sk = sorted_keys.data();
+      IndexType* r = csc_rows_.data();
+      IndexType* c = sorted_cols.data();
+      const IndexType nr = nrows_;
+      ctx_->launch_n(n,
+                     gpu_sim::LaunchStats{2 * n, n * sizeof(IndexType),
+                                          2 * n * sizeof(IndexType)},
+                     [=](std::size_t t) {
+                       r[t] = sk[t] % nr;
+                       c[t] = sk[t] / nr;
+                     });
+    }
+    gpu_sim::device_vector<IndexType> needles(ncols_ + 1, *ctx_);
+    gpu_sim::sequence(needles, IndexType{0});
+    csc_offsets_ = gpu_sim::device_vector<IndexType>(*ctx_);
+    gpu_sim::lower_bound(sorted_cols, needles, csc_offsets_);
+    csc_valid_ = true;
+  }
+
   void bounds_check(IndexType i, IndexType j) const {
     if (i >= nrows_ || j >= ncols_)
       throw IndexOutOfBoundsException("matrix element access");
@@ -294,6 +394,12 @@ class Matrix {
   gpu_sim::device_vector<IndexType> row_offsets_;
   gpu_sim::device_vector<IndexType> col_indices_;
   gpu_sim::device_vector<T> values_;
+
+  // Lazily-cached transpose (CSC) view; see ensure_csc().
+  mutable bool csc_valid_ = false;
+  mutable gpu_sim::device_vector<IndexType> csc_offsets_;
+  mutable gpu_sim::device_vector<IndexType> csc_rows_;
+  mutable gpu_sim::device_vector<T> csc_vals_;
 };
 
 }  // namespace grb::gpu_backend

@@ -516,7 +516,91 @@ void mxv(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   const std::uint64_t entry =
       sizeof(IndexType) + sizeof(AT) + sizeof(UT) + 1;
 
-  if (kind == gpu_sim::SpmvKernelKind::kCsrLoadBalanced) {
+  // Direction selection: the row-parallel gather IS the pull direction for
+  // mxv (every output row folds its inputs); the push alternative scatters
+  // the sparse u entries through the CSC columns, paying frontier-sized
+  // work when u is nearly empty. Auto proposes push only for genuinely
+  // sparse inputs (the inverse Beamer test) and the PR-1 roofline model
+  // ratifies it against the gather kernel the selector would run.
+  auto direction = gpu_sim::TraversalDirection::kPull;
+  const auto dmode = sparse::direction_mode();
+  if (dmode == sparse::DirectionMode::ForcePush) {
+    direction = gpu_sim::TraversalDirection::kPush;
+  } else if (dmode == sparse::DirectionMode::Auto && nnz > 0) {
+    // Probing u's sparsity may cost a (cached) presence recount, so only
+    // consider push at all when the gather is heavy enough that a
+    // frontier-sized alternative could amortize those fixed launches.
+    const double gather_time =
+        sparse::estimated_spmv_time(kind, deg, sizeof(ZT), ctx.properties());
+    if (gather_time > 8 * ctx.properties().kernel_launch_overhead_s) {
+      sparse::TraversalShape shape;
+      shape.frontier_rows = u.nvals();
+      shape.frontier_edges =
+          A.ncols() > 0 ? shape.frontier_rows * nnz / A.ncols() : 0;
+      shape.dest_rows = n;
+      shape.dest_edges = nnz;
+      shape.n = n;
+      shape.nnz = nnz;
+      // mxv's push scatters down CSC columns, so here the *push* side owes
+      // the transpose build when the cached view is cold.
+      double push_time = sparse::estimated_traversal_time(
+          gpu_sim::TraversalDirection::kPush, shape, sizeof(ZT),
+          ctx.properties());
+      if (!A.csc_cached())
+        push_time += sparse::estimated_transpose_build_time(
+            n, nnz, sizeof(ZT), ctx.properties());
+      if (static_cast<double>(shape.frontier_edges) * sparse::kPullAlpha <
+              static_cast<double>(nnz) &&
+          push_time < gather_time)
+        direction = gpu_sim::TraversalDirection::kPush;
+    }
+  }
+  ctx.note_direction_selection(direction);
+
+  if (direction == gpu_sim::TraversalDirection::kPush) {
+    // Push: scatter each present u entry down its CSC column. Contributions
+    // reach row i in ascending column order with a zero-seeded first fold —
+    // exactly the gather kernel's combination order, so both directions are
+    // bit-identical.
+    const auto& frontier = u.sparse_indices();
+    const IndexType frontier_rows =
+        static_cast<IndexType>(frontier.size());
+    const IndexType* fidx = frontier.data();
+    const IndexType* coffs = A.col_offsets().data();  // lazy CSC build
+    const IndexType* crows = A.csc_row_indices().data();
+    const AT* cvals = A.csc_values().data();
+    // Frontier-degree inspector over the column offsets.
+    std::uint64_t edges = 0;
+    for (IndexType r = 0; r < frontier_rows; ++r) {
+      const IndexType k = fidx[r];
+      edges += coffs[k + 1] - coffs[k];
+    }
+    ctx.account_kernel(LaunchStats{
+        frontier_rows, frontier_rows * 3 * sizeof(IndexType), 64});
+    detail::serial_kernel(
+        ctx,
+        LaunchStats{2 * edges,
+                    frontier_rows * (3 * sizeof(IndexType) + sizeof(UT)) +
+                        edges * (sizeof(IndexType) + sizeof(AT) +
+                                 sizeof(ZT) + 1),
+                    edges * (sizeof(ZT) + 1)},
+        [&] {
+          for (IndexType r = 0; r < frontier_rows; ++r) {
+            const IndexType k = fidx[r];
+            const UT uval = uv[k];
+            for (IndexType q = coffs[k]; q < coffs[k + 1]; ++q) {
+              const IndexType i = crows[q];
+              const ZT prod = sem.mult(cvals[q], uval);
+              if (tp[i]) {
+                tv[i] = sem.add(tv[i], prod);
+              } else {
+                tv[i] = sem.add(sem.zero(), prod);
+                tp[i] = 1;
+              }
+            }
+          }
+        });
+  } else if (kind == gpu_sim::SpmvKernelKind::kCsrLoadBalanced) {
     // Merge-path load-balanced schedule: fixed nnz chunks per team, direct
     // writes for rows owned by one team, spilled partials + serial fixup
     // for boundary rows. Flat traffic in nnz — no warp-padding term.
@@ -642,7 +726,6 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   using detail::LaunchStats;
   using ZT = typename SR::result_type;
   gpu_sim::Context& ctx = w.context();
-  const IndexType n = A.nrows();
   const IndexType nnz = A.nvals();
 
   gpu_sim::device_vector<ZT> t_vals(w.size(), ctx);
@@ -657,29 +740,34 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   ZT* tv = t_vals.data();
   std::uint8_t* tp = t_pres.data();
   const SR sem = sr;
-  (void)nnz;
 
-  // Inspector over the *frontier*: only rows with a present u entry are
-  // expanded, so both work and the warp-imbalance penalty are functions of
-  // the frontier's degree distribution, not the whole matrix. Reads device
-  // memory in place — no transfers in steady state.
+  // Sparse frontier: the compacted index list of u's present entries,
+  // cached on the vector (materialize-on-demand, invalidate-on-write).
+  const auto& frontier = u.sparse_indices();
+  const IndexType frontier_rows =
+      static_cast<IndexType>(frontier.size());
+  const IndexType* fidx = frontier.data();
+
+  // Inspector over the *frontier*: frontier-sized, not n-sized — only rows
+  // with a present u entry are expanded, so both work and the
+  // warp-imbalance penalty are functions of the frontier's degree
+  // distribution, not the whole matrix. Reads device memory in place — no
+  // transfers in steady state.
   std::uint64_t items = 0;       // flat frontier nnz
   std::uint64_t max_deg = 0;
   double sum_sq = 0.0;
-  IndexType frontier_rows = 0;
   std::vector<IndexType> fdeg;
-  fdeg.reserve(64);
-  for (IndexType k = 0; k < n; ++k) {
-    if (!up[k]) continue;
+  fdeg.reserve(frontier_rows);
+  for (IndexType r = 0; r < frontier_rows; ++r) {
+    const IndexType k = fidx[r];
     const IndexType d = offs[k + 1] - offs[k];
     items += d;
     max_deg = std::max<std::uint64_t>(max_deg, d);
     sum_sq += static_cast<double>(d) * static_cast<double>(d);
-    ++frontier_rows;
     fdeg.push_back(d);
   }
   ctx.account_kernel(
-      LaunchStats{n, n * (sizeof(IndexType) + 1), 64});
+      LaunchStats{frontier_rows, frontier_rows * 3 * sizeof(IndexType), 64});
   sparse::DegreeStats fstats;
   fstats.nrows = frontier_rows;
   fstats.ncols = A.ncols();
@@ -699,54 +787,138 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   fstats.warp_padded_slots = gpu_sim::warp_padded_items(
       fdeg.size(), ctx.properties().warp_size,
       [&](std::size_t i) { return fdeg[i]; });
-  const auto kind =
-      sparse::select_kernel(fstats, /*allow_format_change=*/false,
-                            sparse::spmv_mode(), &ctx.properties(),
-                            sizeof(ZT));
 
-  // Push-style scatter with atomics on real hardware; simulated serially.
-  // The declared cost models the selected schedule: warp-padded effective
-  // slots for the scalar row-per-thread kernel, flat items (+ partition
-  // search and fixup traffic) for the merge-path schedule.
-  const std::uint64_t entry =
-      sizeof(IndexType) + sizeof(AT) + sizeof(ZT) + 1;
-  std::uint64_t work_slots = fstats.warp_padded_slots;
-  std::uint64_t extra_ops = 0;
-  std::uint64_t extra_bytes = 0;
-  std::uint64_t saved = 0;
-  if (kind == gpu_sim::SpmvKernelKind::kCsrLoadBalanced) {
-    const IndexType chunk =
-        std::max<IndexType>(sparse::spmv_lb_chunk(), 1);
-    const std::uint64_t nteams = (items + chunk - 1) / chunk;
-    work_slots = items;
-    extra_ops = nteams * 8 + 8 * 2 * nteams;
-    extra_bytes = 2 * nteams * (sizeof(IndexType) + sizeof(ZT) + 1) * 2;
-    saved = fstats.warp_padded_slots > items
-                ? (fstats.warp_padded_slots - items) * entry
-                : 0;
+  // Direction selection (Beamer-style): push scatters frontier out-edges,
+  // pull gathers into the mask-allowed destinations from the CSC side and
+  // early-exits each row at the additive annihilator. The destination side
+  // is estimated from the (cached) mask nvals and the mean in-degree — an
+  // O(1) probe, so push-direction levels pay nothing for the choice.
+  sparse::TraversalShape shape;
+  shape.frontier_rows = frontier_rows;
+  shape.frontier_edges = items;
+  shape.n = w.size();
+  shape.nnz = nnz;
+  shape.can_early_exit = grb::has_annihilator_v<SR>;
+  shape.dest_rows = w.size();
+  if constexpr (!std::is_same_v<MObj, EmptyMaskObj>) {
+    if (mask.mask != nullptr) {
+      const std::uint64_t m_nvals = mask.mask->nvals();
+      shape.dest_rows = mask.complement
+                            ? (shape.n >= m_nvals ? shape.n - m_nvals : 0)
+                            : m_nvals;
+    }
   }
-  ctx.note_spmv_selection(kind, saved);
-  const std::uint64_t read = n * (sizeof(IndexType) + 1) +
-                             work_slots * entry + extra_bytes;
-  detail::serial_kernel(ctx, LaunchStats{2 * work_slots + extra_ops, read,
-                                         items * (sizeof(ZT) + 1)},
-                        [&] {
-                          for (IndexType k = 0; k < n; ++k) {
-                            if (!up[k]) continue;
-                            const UT uval = uv[k];
-                            for (IndexType q = offs[k]; q < offs[k + 1];
-                                 ++q) {
-                              const IndexType j = cols[q];
-                              const ZT prod = sem.mult(uval, avals[q]);
-                              if (tp[j]) {
-                                tv[j] = sem.add(tv[j], prod);
-                              } else {
-                                tv[j] = prod;
-                                tp[j] = 1;
+  shape.dest_edges =
+      A.ncols() > 0 ? shape.dest_rows * nnz / A.ncols() : 0;
+  shape.transpose_cached = A.csc_cached();
+  const auto direction = sparse::select_direction(
+      shape, sparse::direction_mode(), &ctx.properties(), sizeof(ZT));
+  ctx.note_direction_selection(direction);
+
+  if (direction == gpu_sim::TraversalDirection::kPush) {
+    // Push-style scatter with atomics on real hardware; simulated serially.
+    // The SpMV selector still chooses the schedule whose cost is declared:
+    // warp-padded effective slots for the scalar row-per-thread kernel,
+    // flat items (+ partition search and fixup traffic) for merge-path.
+    const auto kind =
+        sparse::select_kernel(fstats, /*allow_format_change=*/false,
+                              sparse::spmv_mode(), &ctx.properties(),
+                              sizeof(ZT));
+    const std::uint64_t entry =
+        sizeof(IndexType) + sizeof(AT) + sizeof(ZT) + 1;
+    std::uint64_t work_slots = fstats.warp_padded_slots;
+    std::uint64_t extra_ops = 0;
+    std::uint64_t extra_bytes = 0;
+    std::uint64_t saved = 0;
+    if (kind == gpu_sim::SpmvKernelKind::kCsrLoadBalanced) {
+      const IndexType chunk =
+          std::max<IndexType>(sparse::spmv_lb_chunk(), 1);
+      const std::uint64_t nteams = (items + chunk - 1) / chunk;
+      work_slots = items;
+      extra_ops = nteams * 8 + 8 * 2 * nteams;
+      extra_bytes = 2 * nteams * (sizeof(IndexType) + sizeof(ZT) + 1) * 2;
+      saved = fstats.warp_padded_slots > items
+                  ? (fstats.warp_padded_slots - items) * entry
+                  : 0;
+    }
+    ctx.note_spmv_selection(kind, saved);
+    const std::uint64_t read =
+        frontier_rows * (3 * sizeof(IndexType) + sizeof(UT)) +
+        work_slots * entry + extra_bytes;
+    detail::serial_kernel(ctx, LaunchStats{2 * work_slots + extra_ops, read,
+                                           items * (sizeof(ZT) + 1)},
+                          [&] {
+                            for (IndexType r = 0; r < frontier_rows; ++r) {
+                              const IndexType k = fidx[r];
+                              const UT uval = uv[k];
+                              for (IndexType q = offs[k]; q < offs[k + 1];
+                                   ++q) {
+                                const IndexType j = cols[q];
+                                const ZT prod = sem.mult(uval, avals[q]);
+                                if (tp[j]) {
+                                  tv[j] = sem.add(tv[j], prod);
+                                } else {
+                                  tv[j] = prod;
+                                  tp[j] = 1;
+                                }
                               }
                             }
-                          }
-                        });
+                          });
+  } else {
+    // Pull-style gather: iterate the mask-allowed destinations and fold
+    // their in-edges (CSC column) in ascending source order — the same
+    // combination order as the push scatter, so the two directions are
+    // bit-identical. With an annihilating additive monoid each row stops
+    // at its first saturating hit (the Beamer early exit). Restricting t
+    // to mask-allowed destinations is semantics-preserving: write_vector
+    // re-applies the same mask, so disallowed positions never read t.
+    auto dflags = detail::vector_mask_flags(ctx, mask, w.size());
+    gpu_sim::device_vector<IndexType> dests(ctx);
+    const std::uint64_t dest_count = gpu_sim::flagged_indices(dflags, dests);
+    const IndexType* didx = dests.data();
+    const IndexType* coffs = A.col_offsets().data();  // lazy CSC build
+    const IndexType* crows = A.csc_row_indices().data();
+    const AT* cvals = A.csc_values().data();
+    std::uint64_t scanned = 0;     // in-edges actually touched
+    std::uint64_t early_rows = 0;  // rows abandoned before exhaustion
+    std::uint64_t wrote = 0;
+    for (std::uint64_t r = 0; r < dest_count; ++r) {
+      const IndexType j = didx[r];
+      ZT acc{};
+      bool any = false;
+      IndexType q = coffs[j];
+      const IndexType q_end = coffs[j + 1];
+      for (; q < q_end; ++q) {
+        const IndexType i = crows[q];
+        if (!up[i]) continue;
+        const ZT prod = sem.mult(uv[i], cvals[q]);
+        acc = any ? sem.add(acc, prod) : prod;
+        any = true;
+        if constexpr (grb::SaturatingSemiring<SR>) {
+          if (acc == sem.annihilator()) {
+            ++q;
+            break;
+          }
+        }
+      }
+      scanned += q - coffs[j];
+      if (q < q_end) ++early_rows;
+      if (any) {
+        tv[j] = acc;
+        tp[j] = 1;
+        ++wrote;
+      }
+    }
+    // Exact post-hoc accounting (the count_if/reduce precedent): per
+    // destination the index + two offsets, per touched in-edge the source
+    // row index, matrix value, and source presence/value probes.
+    ctx.account_kernel(LaunchStats{
+        2 * scanned + dest_count,
+        dest_count * 3 * sizeof(IndexType) +
+            scanned * (sizeof(IndexType) + sizeof(AT) + sizeof(UT) + 1),
+        wrote * (sizeof(ZT) + 1)});
+    ctx.note_pull_early_exit_rows(early_rows);
+  }
 
   detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
 }

@@ -2,9 +2,14 @@
 
 /// @file backend_gpu/vector.hpp
 /// GPU-backend vector: dense value array + dense presence bitmap, both in
-/// simulated device memory. Dense storage is the standard GPU choice for
-/// GraphBLAS vectors — frontiers flip between sparse and dense across BFS
-/// levels, and a bitmap avoids device-side compaction on every step.
+/// simulated device memory, plus a lazily-materialized sparse index list.
+/// Dense storage is the standard GPU choice for GraphBLAS vectors —
+/// frontiers flip between sparse and dense across BFS levels — but the
+/// direction-optimizing traversal engine also wants the frontier as a
+/// compacted index list so push kernels can be frontier-sized instead of
+/// n-sized. The sparse form is a cache over the bitmap: materialized on
+/// demand (one stats-counted device compaction), invalidated by any write.
+/// nvals() is cached the same way — BFS polls it every level.
 
 #include <vector>
 
@@ -27,24 +32,66 @@ class Vector {
       throw InvalidValueException("vector size must be positive");
     gpu_sim::fill(values_, T{});
     gpu_sim::fill(present_, std::uint8_t{0});
+    nvals_cache_ = 0;
+    nvals_valid_ = true;
   }
 
-  Vector(const Vector&) = default;
+  // Copies carry only the canonical dense form; the sparse/nvals caches are
+  // rebuilt on demand so a copy does not pay (or distort) d2d traffic for
+  // cache state.
+  Vector(const Vector& other)
+      : size_(other.size_),
+        ctx_(other.ctx_),
+        values_(other.values_),
+        present_(other.present_) {}
+  Vector& operator=(const Vector& other) {
+    if (this != &other) {
+      size_ = other.size_;
+      ctx_ = other.ctx_;
+      values_ = other.values_;
+      present_ = other.present_;
+      invalidate_caches();
+    }
+    return *this;
+  }
   Vector(Vector&&) noexcept = default;
-  Vector& operator=(const Vector&) = default;
   Vector& operator=(Vector&&) noexcept = default;
 
   IndexType size() const { return size_; }
   gpu_sim::Context& context() const { return *ctx_; }
 
   IndexType nvals() const {
-    return gpu_sim::count_if(present_,
-                             [](std::uint8_t p) { return p != 0; });
+    if (!nvals_valid_) {
+      nvals_cache_ = static_cast<IndexType>(gpu_sim::count_if(
+          present_, [](std::uint8_t p) { return p != 0; }));
+      nvals_valid_ = true;
+      ctx_->note_nvals_recount();
+    }
+    return nvals_cache_;
+  }
+
+  /// The compacted sparse form: indices of present entries, ascending.
+  /// Materializes (and stats-counts) at most once per dirty epoch; the
+  /// element count doubles as a free nvals.
+  const gpu_sim::device_vector<IndexType>& sparse_indices() const {
+    if (!sparse_valid_) {
+      sparse_indices_ = gpu_sim::device_vector<IndexType>(*ctx_);
+      const std::size_t kept =
+          gpu_sim::flagged_indices(present_, sparse_indices_);
+      sparse_valid_ = true;
+      nvals_cache_ = static_cast<IndexType>(kept);
+      nvals_valid_ = true;
+      ctx_->note_frontier_compaction();
+    }
+    return sparse_indices_;
   }
 
   void clear() {
     gpu_sim::fill(values_, T{});
     gpu_sim::fill(present_, std::uint8_t{0});
+    invalidate_caches();
+    nvals_cache_ = 0;
+    nvals_valid_ = true;
   }
 
   /// GrB_Vector_resize: grow with empty space / shrink dropping the tail.
@@ -55,6 +102,7 @@ class Vector {
     values_.resize(size);
     present_.resize(size);
     size_ = size;
+    invalidate_caches();
     if (size > old) {
       // Zero-fill the fresh region (device kernels over the suffix).
       T* v = values_.data();
@@ -91,6 +139,7 @@ class Vector {
     }
     values_.copy_from_host(vals);
     present_.copy_from_host(pres);
+    invalidate_caches();
   }
 
   bool has_element(IndexType i) const {
@@ -113,6 +162,7 @@ class Vector {
     const std::uint8_t one = 1;
     ctx_->copy_h2d(values_.data() + i, &v, sizeof(T));
     ctx_->copy_h2d(present_.data() + i, &one, 1);
+    invalidate_caches();
   }
 
   void remove_element(IndexType i) {
@@ -121,6 +171,7 @@ class Vector {
     const T blank{};
     ctx_->copy_h2d(present_.data() + i, &zero, 1);
     ctx_->copy_h2d(values_.data() + i, &blank, sizeof(T));
+    invalidate_caches();
   }
 
   void extract_tuples(IndexArrayType& indices, std::vector<T>& values) const {
@@ -137,9 +188,17 @@ class Vector {
   }
 
   // --- Device-side access for the operation pipelines --------------------
-  gpu_sim::device_vector<T>& values() { return values_; }
+  // The non-const accessors hand out mutable storage (write_vector writes
+  // through them), so taking one dirties the caches.
+  gpu_sim::device_vector<T>& values() {
+    invalidate_caches();
+    return values_;
+  }
   const gpu_sim::device_vector<T>& values() const { return values_; }
-  gpu_sim::device_vector<std::uint8_t>& present() { return present_; }
+  gpu_sim::device_vector<std::uint8_t>& present() {
+    invalidate_caches();
+    return present_;
+  }
   const gpu_sim::device_vector<std::uint8_t>& present() const {
     return present_;
   }
@@ -162,10 +221,21 @@ class Vector {
     if (i >= size_) throw IndexOutOfBoundsException("vector element access");
   }
 
+  void invalidate_caches() {
+    nvals_valid_ = false;
+    sparse_valid_ = false;
+  }
+
   IndexType size_ = 0;
   gpu_sim::Context* ctx_ = nullptr;
   gpu_sim::device_vector<T> values_;
   gpu_sim::device_vector<std::uint8_t> present_;
+
+  // Lazy caches over the bitmap (see file comment).
+  mutable IndexType nvals_cache_ = 0;
+  mutable bool nvals_valid_ = false;
+  mutable gpu_sim::device_vector<IndexType> sparse_indices_;
+  mutable bool sparse_valid_ = false;
 };
 
 }  // namespace grb::gpu_backend

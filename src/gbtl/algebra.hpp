@@ -208,6 +208,15 @@ struct TimesMonoid {
   constexpr T operator()(const T& a, const T& b) const { return a * b; }
 };
 
+/// Some monoids also carry an *annihilator* a with op(a, x) == a for all x:
+/// once a fold reaches it no further input can change the result. Kernels
+/// exploit this to stop early (a pull-direction BFS row can quit on the
+/// first frontier hit). Monoids advertise it via an `annihilator()` member;
+/// absence of the member means "no early exit is sound". Min/max only claim
+/// one for non-floating-point types: with IEEE values, lowest()/max() are
+/// reachable-but-not-absorbing relative to infinities and NaN propagation,
+/// so floating min/max folds must always run to completion.
+
 template <typename T>
 struct MinMonoid {
   using result_type = T;
@@ -216,6 +225,11 @@ struct MinMonoid {
       return std::numeric_limits<T>::infinity();
     else
       return std::numeric_limits<T>::max();
+  }
+  constexpr T annihilator() const
+    requires(!std::is_floating_point_v<T>)
+  {
+    return std::numeric_limits<T>::lowest();
   }
   constexpr T operator()(const T& a, const T& b) const {
     return b < a ? b : a;
@@ -231,6 +245,11 @@ struct MaxMonoid {
     else
       return std::numeric_limits<T>::lowest();
   }
+  constexpr T annihilator() const
+    requires(!std::is_floating_point_v<T>)
+  {
+    return std::numeric_limits<T>::max();
+  }
   constexpr T operator()(const T& a, const T& b) const {
     return a < b ? b : a;
   }
@@ -240,6 +259,7 @@ template <typename T>
 struct LogicalOrMonoid {
   using result_type = T;
   constexpr T identity() const { return static_cast<T>(false); }
+  constexpr T annihilator() const { return static_cast<T>(true); }
   constexpr T operator()(const T& a, const T& b) const {
     return static_cast<T>(a || b);
   }
@@ -249,6 +269,7 @@ template <typename T>
 struct LogicalAndMonoid {
   using result_type = T;
   constexpr T identity() const { return static_cast<T>(true); }
+  constexpr T annihilator() const { return static_cast<T>(false); }
   constexpr T operator()(const T& a, const T& b) const {
     return static_cast<T>(a && b);
   }
@@ -270,6 +291,13 @@ struct Semiring {
   constexpr result_type zero() const { return add_monoid.identity(); }
   constexpr result_type add(const result_type& a, const result_type& b) const {
     return add_monoid(a, b);
+  }
+  /// Forwarded additive annihilator, present only when the monoid has one
+  /// (see the monoid section) — the license for pull-side early exit.
+  constexpr result_type annihilator() const
+    requires requires(const AddMonoid m) { m.annihilator(); }
+  {
+    return add_monoid.annihilator();
   }
   template <typename A, typename B>
   constexpr result_type mult(const A& a, const B& b) const {
@@ -347,5 +375,13 @@ concept SemiringFor = requires(const S s, const T a, const T b) {
 /// Either NoAccumulate or a binary operator over T.
 template <typename A, typename T>
 concept AccumulatorFor = std::same_as<A, NoAccumulate> || BinaryOpFor<A, T>;
+
+/// A semiring whose additive monoid saturates at a known annihilator —
+/// folds may stop as soon as the accumulator equals it.
+template <typename S>
+concept SaturatingSemiring = requires(const S s) { s.annihilator(); };
+
+template <typename S>
+constexpr bool has_annihilator_v = SaturatingSemiring<S>;
 
 }  // namespace grb

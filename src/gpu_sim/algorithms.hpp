@@ -206,6 +206,29 @@ std::size_t copy_flagged(const device_vector<T>& in,
   return kept;
 }
 
+/// Stream compaction of set positions: write the indices i where
+/// flags[i] != 0 to @p out in ascending order. Returns the number kept.
+/// This is the dense-bitmap -> sparse-frontier conversion of the
+/// direction-optimizing traversal engine; modeled as scan + scatter, the
+/// same two-launch shape as copy_flagged.
+template <typename F, typename I>
+std::size_t flagged_indices(const device_vector<F>& flags,
+                            device_vector<I>& out) {
+  Context& ctx = flags.context();
+  const F* f = flags.data();
+  std::vector<I> tmp;
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    if (f[i] != F{0}) tmp.push_back(static_cast<I>(i));
+  const std::size_t kept = tmp.size();
+  out.resize(kept);
+  if (kept > 0) std::copy(tmp.begin(), tmp.end(), out.data());
+  const std::uint64_t scan_traffic = 2ull * flags.size() * sizeof(F);
+  ctx.account_kernel(LaunchStats{flags.size(), scan_traffic, scan_traffic});
+  ctx.account_kernel(LaunchStats{flags.size(), flags.size() * sizeof(F),
+                                 kept * sizeof(I)});
+  return kept;
+}
+
 // ---------------------------------------------------------------------------
 // Sorting and segmented operations
 // ---------------------------------------------------------------------------

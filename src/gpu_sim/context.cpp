@@ -131,6 +131,26 @@ void Context::note_spmv_selection(SpmvKernelKind kind,
   stats_.spmv_bytes_saved_vs_baseline += bytes_saved_vs_baseline;
 }
 
+void Context::note_direction_selection(TraversalDirection direction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.direction_selections[static_cast<std::size_t>(direction)];
+}
+
+void Context::note_frontier_compaction() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.frontier_compactions;
+}
+
+void Context::note_pull_early_exit_rows(std::uint64_t rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.pull_early_exit_rows += rows;
+}
+
+void Context::note_nvals_recount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.nvals_recounts;
+}
+
 void Context::account_launch(const LaunchStats& stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.kernel_launches;

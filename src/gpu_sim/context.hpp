@@ -140,6 +140,20 @@ class Context {
   void note_spmv_selection(SpmvKernelKind kind,
                            std::uint64_t bytes_saved_vs_baseline);
 
+  /// Record one push/pull direction decision of the traversal engine
+  /// (backend_gpu/ops.hpp). Pure bookkeeping — does not advance the clock.
+  void note_direction_selection(TraversalDirection direction);
+
+  /// Record one sparse-frontier compaction actually materialized by
+  /// backend_gpu::Vector (cache misses only, not cache hits).
+  void note_frontier_compaction();
+
+  /// Record rows the pull kernel abandoned early on an annihilator hit.
+  void note_pull_early_exit_rows(std::uint64_t rows);
+
+  /// Record one presence-bitmap recount the nvals cache could not serve.
+  void note_nvals_recount();
+
   ThreadPool& pool() { return pool_; }
 
  private:

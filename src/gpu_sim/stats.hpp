@@ -36,6 +36,27 @@ inline const char* to_string(SpmvKernelKind k) {
   return "unknown";
 }
 
+/// Traversal directions the direction-optimizing vxm/mxv engine can take
+/// (backend_gpu/ops.hpp). Push scatters from the sparse frontier; pull
+/// gathers into the unvisited set from the transpose (CSC) side.
+enum class TraversalDirection : unsigned {
+  kPush = 0,  ///< frontier-sized scatter over the sparse index list
+  kPull,      ///< unvisited-row gather with per-row early exit
+  kCount
+};
+
+inline constexpr std::size_t kTraversalDirectionCount =
+    static_cast<std::size_t>(TraversalDirection::kCount);
+
+inline const char* to_string(TraversalDirection d) {
+  switch (d) {
+    case TraversalDirection::kPush: return "push";
+    case TraversalDirection::kPull: return "pull";
+    case TraversalDirection::kCount: break;
+  }
+  return "unknown";
+}
+
 struct DeviceStats {
   // Memory manager activity.
   std::uint64_t allocations = 0;
@@ -69,6 +90,21 @@ struct DeviceStats {
   std::uint64_t kernel_selections_total() const {
     std::uint64_t t = 0;
     for (auto v : kernel_selections) t += v;
+    return t;
+  }
+
+  // Direction-optimizing traversal engine activity (backend_gpu/ops.hpp):
+  // per-call push/pull decisions, sparse-frontier compactions actually
+  // materialized, rows the pull kernel left before exhausting their
+  // adjacency, and presence-bitmap recounts the nvals cache could not avoid.
+  std::array<std::uint64_t, kTraversalDirectionCount> direction_selections{};
+  std::uint64_t frontier_compactions = 0;
+  std::uint64_t pull_early_exit_rows = 0;
+  std::uint64_t nvals_recounts = 0;
+
+  std::uint64_t direction_selections_total() const {
+    std::uint64_t t = 0;
+    for (auto v : direction_selections) t += v;
     return t;
   }
 
@@ -106,6 +142,12 @@ inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
     d.kernel_selections[i] = a.kernel_selections[i] - b.kernel_selections[i];
   d.spmv_bytes_saved_vs_baseline =
       a.spmv_bytes_saved_vs_baseline - b.spmv_bytes_saved_vs_baseline;
+  for (std::size_t i = 0; i < kTraversalDirectionCount; ++i)
+    d.direction_selections[i] =
+        a.direction_selections[i] - b.direction_selections[i];
+  d.frontier_compactions = a.frontier_compactions - b.frontier_compactions;
+  d.pull_early_exit_rows = a.pull_early_exit_rows - b.pull_early_exit_rows;
+  d.nvals_recounts = a.nvals_recounts - b.nvals_recounts;
   return d;
 }
 

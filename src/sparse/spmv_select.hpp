@@ -138,6 +138,190 @@ class SpmvModeGuard {
   SpmvMode saved_;
 };
 
+// ---------------------------------------------------------------------------
+// Traversal direction selection (push/pull, backend_gpu vxm/mxv)
+// ---------------------------------------------------------------------------
+
+using gpu_sim::TraversalDirection;
+
+/// Global direction override: Auto lets the Beamer-style heuristic decide;
+/// the Force* modes pin every traversal to one direction (differential
+/// tests sweep these to prove push and pull agree bit-for-bit).
+enum class DirectionMode {
+  Auto,
+  ForcePush,
+  ForcePull,
+};
+
+inline DirectionMode& direction_mode() {
+  static DirectionMode mode = DirectionMode::Auto;
+  return mode;
+}
+
+/// RAII guard for tests/benches that pin the direction and must restore it.
+class DirectionModeGuard {
+ public:
+  explicit DirectionModeGuard(DirectionMode mode) : saved_(direction_mode()) {
+    direction_mode() = mode;
+  }
+  ~DirectionModeGuard() { direction_mode() = saved_; }
+  DirectionModeGuard(const DirectionModeGuard&) = delete;
+  DirectionModeGuard& operator=(const DirectionModeGuard&) = delete;
+
+ private:
+  DirectionMode saved_;
+};
+
+/// Beamer's direction-optimizing switch factor: pull becomes competitive
+/// once the frontier's outgoing edges exceed 1/alpha of the edges still
+/// pointing into the unvisited (mask-allowed) set, because an early-exiting
+/// pull row touches ~alpha-fold fewer edges than its full degree.
+inline constexpr double kPullAlpha = 14.0;
+
+/// Shape summary of one masked traversal step (vxm frontier expansion or
+/// its mxv transpose), gathered by the caller's inspector passes.
+struct TraversalShape {
+  std::uint64_t frontier_rows = 0;   ///< nnz of the input frontier
+  std::uint64_t frontier_edges = 0;  ///< out-edges of the frontier
+  std::uint64_t dest_rows = 0;       ///< mask-allowed destination vertices
+  std::uint64_t dest_edges = 0;      ///< in-edges of those destinations
+  std::uint64_t n = 0;               ///< vector length
+  std::uint64_t nnz = 0;             ///< matrix nonzeros
+  bool can_early_exit = false;       ///< additive monoid has an annihilator
+  bool transpose_cached = true;      ///< CSC view already materialized
+};
+
+/// Modeled one-time cost of materializing the transpose (CSC) view a pull
+/// traversal gathers through: flatten to column-major keys, 4-pass radix
+/// argsort over (key, index) pairs, two permutation gathers, a split pass,
+/// and a vectorized lower_bound for the offsets. Mirrors the LaunchStats
+/// ensure_csc actually charges so the direction choice cannot pick a pull
+/// step whose savings the build would swallow.
+inline double estimated_transpose_build_time(
+    std::uint64_t n, std::uint64_t nnz, std::size_t value_bytes,
+    const gpu_sim::DeviceProperties& props) {
+  std::uint64_t log_n = 1;
+  while ((1ull << log_n) < std::max<std::uint64_t>(nnz, 2)) ++log_n;
+  const std::uint64_t bytes =
+      nnz * (8 * (sizeof(Index) + sizeof(Index))  // radix argsort passes
+             + 3 * sizeof(Index)                  // key gather
+             + sizeof(Index) + 2 * value_bytes    // value gather
+             + 2 * sizeof(Index)                  // column-major expand
+             + 3 * sizeof(Index)) +               // row/col split
+      n * (2 * sizeof(Index) + log_n * sizeof(Index));  // expand + offsets
+  const double compute =
+      static_cast<double>(6 * nnz) / props.compute_throughput_ops_per_s;
+  const double memory =
+      static_cast<double>(bytes) / props.memory_bandwidth_bytes_per_s;
+  return 9 * props.kernel_launch_overhead_s +
+         (compute > memory ? compute : memory);
+}
+
+/// Estimated global-memory traffic of one push-direction step: the sparse
+/// index list, two offsets per frontier row, the frontier's values, and per
+/// out-edge the column index + matrix value + scattered t value/presence.
+inline std::uint64_t estimated_push_traversal_bytes(const TraversalShape& s,
+                                                    std::size_t value_bytes) {
+  return s.frontier_rows * (3 * sizeof(Index) + value_bytes) +
+         s.frontier_edges * (sizeof(Index) + 2 * value_bytes + 1);
+}
+
+/// Expected in-edges a pull step actually scans: with an annihilating
+/// additive monoid each destination row stops at its first frontier hit —
+/// ~alpha-fold fewer touched edges on traversal shapes; without one every
+/// row must fold to completion.
+inline std::uint64_t expected_pull_scanned_edges(const TraversalShape& s) {
+  if (!s.can_early_exit) return s.dest_edges;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(static_cast<double>(s.dest_edges) /
+                                 kPullAlpha);
+  return expected > s.dest_rows ? expected : s.dest_rows;
+}
+
+/// Estimated traffic of one pull-direction step: mask-flag build +
+/// destination compaction (n-sized streaming passes), two offsets + one t
+/// write per destination row, and per scanned in-edge the source row index,
+/// matrix value, and source presence/value probes.
+inline std::uint64_t estimated_pull_traversal_bytes(const TraversalShape& s,
+                                                    std::size_t value_bytes) {
+  return 3 * s.n +
+         s.dest_rows * (3 * sizeof(Index) + value_bytes + 1) +
+         expected_pull_scanned_edges(s) *
+             (sizeof(Index) + 2 * value_bytes + 1);
+}
+
+/// Modeled time of one traversal step in @p direction: fixed launch
+/// overheads (pull pays extra launches for mask flags, destination
+/// compaction, and its inspector) plus the roofline max of compute and
+/// memory time — the same shape as estimated_spmv_time so the two engines
+/// share one calibration.
+inline double estimated_traversal_time(TraversalDirection direction,
+                                       const TraversalShape& s,
+                                       std::size_t value_bytes,
+                                       const gpu_sim::DeviceProperties& props) {
+  std::uint64_t bytes = 0;
+  std::uint64_t edges = 0;
+  unsigned launches = 0;
+  if (direction == TraversalDirection::kPush) {
+    bytes = estimated_push_traversal_bytes(s, value_bytes);
+    edges = s.frontier_edges;
+    launches = 2;  // frontier-degree inspector + scatter
+  } else {
+    bytes = estimated_pull_traversal_bytes(s, value_bytes);
+    edges = expected_pull_scanned_edges(s);
+    launches = 5;  // mask flags, compaction (scan+scatter), inspector, gather
+  }
+  const double compute =
+      static_cast<double>(2 * edges) / props.compute_throughput_ops_per_s;
+  const double memory =
+      static_cast<double>(bytes) / props.memory_bandwidth_bytes_per_s;
+  double time = launches * props.kernel_launch_overhead_s +
+                (compute > memory ? compute : memory);
+  // A pull step against a cold transpose pays the full CSC build up front;
+  // fold it into pull's bill so Auto only flips direction once the gather
+  // view is already (or about to be) amortized.
+  if (direction == TraversalDirection::kPull && !s.transpose_cached)
+    time += estimated_transpose_build_time(s.n, s.nnz, value_bytes, props);
+  return time;
+}
+
+/// Pick the traversal direction for one masked vxm/mxv step.
+///
+/// Beamer's inequality proposes: pull once frontier out-edges exceed
+/// dest_edges / alpha (the frontier is "heavy" relative to what remains).
+/// When device properties are supplied the roofline model ratifies the
+/// proposal — pull's extra fixed launches must actually be paid for — the
+/// same propose-then-ratify structure as select_kernel. Pull is only
+/// proposed when the semiring's additive monoid can early-exit; a
+/// non-annihilating fold (e.g. min-plus over doubles) scans every in-edge
+/// and cannot beat a frontier-sized push.
+inline TraversalDirection select_direction(
+    const TraversalShape& s, DirectionMode mode = direction_mode(),
+    const gpu_sim::DeviceProperties* props = nullptr,
+    std::size_t value_bytes = sizeof(double)) {
+  switch (mode) {
+    case DirectionMode::ForcePush:
+      return TraversalDirection::kPush;
+    case DirectionMode::ForcePull:
+      return TraversalDirection::kPull;
+    case DirectionMode::Auto:
+      break;
+  }
+  if (!s.can_early_exit || s.dest_edges == 0)
+    return TraversalDirection::kPush;
+  const bool heavy =
+      static_cast<double>(s.frontier_edges) * kPullAlpha >=
+      static_cast<double>(s.dest_edges);
+  if (!heavy) return TraversalDirection::kPush;
+  if (props &&
+      estimated_traversal_time(TraversalDirection::kPull, s, value_bytes,
+                               *props) >
+          estimated_traversal_time(TraversalDirection::kPush, s, value_bytes,
+                                   *props))
+    return TraversalDirection::kPush;
+  return TraversalDirection::kPull;
+}
+
 // Selection thresholds. Derived from the cost model, not tuned per input:
 // ELL only pays when padding is near-free; the load-balanced schedule pays
 // once warp-granular padding inflates baseline traffic by the skew factor;

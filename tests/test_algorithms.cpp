@@ -61,6 +61,38 @@ TYPED_TEST(Algo, BfsUnreachableHoldsNoValue) {
   EXPECT_FALSE(levels.hasElement(3));
 }
 
+TYPED_TEST(Algo, BfsTerminatesWhenFrontierDiesOnBackEdges) {
+  // 0 -> 1 -> 2, and 2's only out-edge points back at 0: the last frontier
+  // {2} expands exclusively into already-visited territory. The loop must
+  // detect that no new vertex was marked and stop instead of spinning
+  // toward the depth == n safety valve.
+  grb::Matrix<double, TypeParam> a(6, 6);
+  a.build({0, 1, 2}, {1, 2, 0}, {1.0, 1.0, 1.0});
+  grb::Vector<IndexType, TypeParam> levels(6);
+  algorithms::bfs_level(a, 0, levels);
+  EXPECT_EQ(levels.extractElement(0), 1u);
+  EXPECT_EQ(levels.extractElement(1), 2u);
+  EXPECT_EQ(levels.extractElement(2), 3u);
+  EXPECT_EQ(levels.nvals(), 3u);
+}
+
+TYPED_TEST(Algo, BfsIsolatedSourceAndEmptyGraph) {
+  grb::Matrix<double, TypeParam> empty(5, 5);
+  grb::Vector<IndexType, TypeParam> levels(5);
+  algorithms::bfs_level(empty, 3, levels);
+  EXPECT_EQ(levels.nvals(), 1u);
+  EXPECT_EQ(levels.extractElement(3), 1u);
+
+  // Source with a self-loop only: the expansion re-proposes the source,
+  // which the visited mask rejects — again no new marks, must terminate.
+  grb::Matrix<double, TypeParam> loop(4, 4);
+  loop.build({2, 0}, {2, 1}, {1.0, 1.0});
+  grb::Vector<IndexType, TypeParam> self(4);
+  algorithms::bfs_level(loop, 2, self);
+  EXPECT_EQ(self.nvals(), 1u);
+  EXPECT_EQ(self.extractElement(2), 1u);
+}
+
 TYPED_TEST(Algo, BfsParentTreeIsValid) {
   auto a = wiki_graph<TypeParam>();
   grb::Vector<IndexType, TypeParam> parents(7), levels(7);

@@ -22,6 +22,8 @@
 #include <set>
 #include <vector>
 
+#include "algorithms/bfs.hpp"
+#include "algorithms/sssp.hpp"
 #include "gbtl/gbtl.hpp"
 #include "sparse/spmv_select.hpp"
 
@@ -36,6 +38,16 @@ using grb::NoMask;
 // cases per op without exploding the ctest entry count.
 constexpr unsigned kCasesPerInstance = 5;
 constexpr unsigned kInstances = 40;
+
+// mxv/vxm sweep every SpMV dispatch mode zipped with a traversal-direction
+// pin, so each run also exercises the push scatter and pull gather engines
+// alongside the kernel variants (3x3 would triple fuzz time for no new
+// code paths: direction is chosen before the SpMV kernel).
+constexpr std::pair<sparse::SpmvMode, sparse::DirectionMode> kModePairs[] = {
+    {sparse::SpmvMode::Adaptive, sparse::DirectionMode::Auto},
+    {sparse::SpmvMode::ForceCsrScalar, sparse::DirectionMode::ForcePush},
+    {sparse::SpmvMode::ForceCsrLoadBalanced, sparse::DirectionMode::ForcePull},
+};
 
 // --------------------------------------------------------------------------
 // Dense oracle
@@ -596,11 +608,11 @@ TEST_P(DifferentialFuzz, Mxv) {
                    replace ? grb::Replace : grb::Merge);
           expect_matches(sw, want, "seq mxv");
 
-          // GPU: every SpMV dispatch mode must agree with the oracle.
-          for (const auto mode :
-               {sparse::SpmvMode::Adaptive, sparse::SpmvMode::ForceCsrScalar,
-                sparse::SpmvMode::ForceCsrLoadBalanced}) {
+          // GPU: every SpMV dispatch mode (zipped with a direction pin)
+          // must agree with the oracle.
+          for (const auto& [mode, dmode] : kModePairs) {
             sparse::SpmvModeGuard guard(mode);
+            sparse::DirectionModeGuard dguard(dmode);
             auto gw = to_backend<double, grb::GpuSim>(wt);
             // Rebuild the gpu-side mask variant for this iteration.
             unsigned v = 0;
@@ -658,10 +670,9 @@ TEST_P(DifferentialFuzz, Vxm) {
                    replace ? grb::Replace : grb::Merge);
           expect_matches(sw, want, "seq vxm");
 
-          for (const auto mode :
-               {sparse::SpmvMode::Adaptive, sparse::SpmvMode::ForceCsrScalar,
-                sparse::SpmvMode::ForceCsrLoadBalanced}) {
+          for (const auto& [mode, dmode] : kModePairs) {
             sparse::SpmvModeGuard guard(mode);
+            sparse::DirectionModeGuard dguard(dmode);
             auto gw = to_backend<double, grb::GpuSim>(wt);
             unsigned v = 0;
             for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
@@ -896,6 +907,89 @@ TEST_P(DifferentialFuzz, EWiseMult) {
         });
       });
     });
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed;
+      return;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Traversal corpus: whole-algorithm differential runs
+// --------------------------------------------------------------------------
+
+template <typename T>
+void expect_same_tuples(const grb::Vector<T, grb::GpuSim>& got,
+                        const grb::Vector<T, grb::Sequential>& want,
+                        const char* what) {
+  IndexArrayType gi, wi;
+  std::vector<T> gv, wv;
+  got.extractTuples(gi, gv);
+  want.extractTuples(wi, wv);
+  ASSERT_EQ(gi, wi) << what << ": stored pattern differs from sequential";
+  for (std::size_t k = 0; k < wv.size(); ++k)
+    ASSERT_EQ(gv[k], wv[k]) << what << ": value at index " << wi[k];
+}
+
+/// Directed chain 0->1->...->n-1 with random shortcut and back edges: BFS
+/// runs ~n levels deep, so every level's direction choice (and the
+/// frontier/visited bookkeeping between levels) gets exercised repeatedly
+/// within one traversal.
+MatTuples gen_long_path(std::mt19937& rng, IndexType n) {
+  MatTuples m{n, n, {}, {}, {}};
+  std::set<std::pair<IndexType, IndexType>> cells;
+  for (IndexType i = 0; i + 1 < n; ++i) cells.emplace(i, i + 1);
+  std::uniform_int_distribution<IndexType> v(0, n - 1);
+  for (IndexType e = 0; e < n / 2; ++e) {
+    const IndexType a = v(rng), b = v(rng);
+    if (a != b) cells.emplace(a, b);
+  }
+  for (const auto& [i, j] : cells) {
+    m.rows.push_back(i);
+    m.cols.push_back(j);
+    m.vals.push_back(0.0);
+  }
+  return m;
+}
+
+/// Multi-level BFS and SSSP on power-law and long-path digraphs: the full
+/// traversal — every level's masked vxm, assign, and nvals — must end in a
+/// bit-identical result on the GPU backend under forced-push, forced-pull,
+/// and auto direction selection. Positive integer weights keep the min-plus
+/// folds exact; power-law shapes make Auto actually flip direction on the
+/// hub levels.
+TEST_P(DifferentialFuzz, Traversal) {
+  for (unsigned c = 0; c < kCasesPerInstance; ++c) {
+    const unsigned seed = 6000 + GetParam() * kCasesPerInstance + c;
+    std::mt19937 rng(seed);
+    const IndexType n = std::uniform_int_distribution<IndexType>(2, 60)(rng);
+    MatTuples at = rng() % 2 == 0 ? gen_matrix(rng, n, n, Family::PowerLaw)
+                                  : gen_long_path(rng, n);
+    for (auto& w : at.vals)
+      w = static_cast<double>(
+          std::uniform_int_distribution<int>(1, 4)(rng));
+    const IndexType source =
+        std::uniform_int_distribution<IndexType>(0, n - 1)(rng);
+
+    auto sa = to_backend<double, grb::Sequential>(at);
+    auto ga = to_backend<double, grb::GpuSim>(at);
+
+    grb::Vector<IndexType, grb::Sequential> slv(n);
+    algorithms::bfs_level(sa, source, slv);
+    grb::Vector<double, grb::Sequential> sdist(n);
+    algorithms::sssp(sa, source, sdist);
+
+    for (const auto dmode :
+         {sparse::DirectionMode::ForcePush, sparse::DirectionMode::ForcePull,
+          sparse::DirectionMode::Auto}) {
+      sparse::DirectionModeGuard dguard(dmode);
+      grb::Vector<IndexType, grb::GpuSim> glv(n);
+      algorithms::bfs_level(ga, source, glv);
+      expect_same_tuples(glv, slv, "gpu bfs_level");
+      grb::Vector<double, grb::GpuSim> gdist(n);
+      algorithms::sssp(ga, source, gdist);
+      expect_same_tuples(gdist, sdist, "gpu sssp");
+    }
     if (::testing::Test::HasFatalFailure()) {
       ADD_FAILURE() << "seed " << seed;
       return;

@@ -11,6 +11,7 @@
 #include "gpu_sim/context.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_matrix.hpp"
+#include "sparse/spmv_select.hpp"
 
 namespace {
 
@@ -199,6 +200,69 @@ TEST(GpuDeterminism, SimulatedTimeIsReproducible) {
   const double first = run_once();
   const double second = run_once();
   EXPECT_NEAR(first, second, 1e-12);
+}
+
+TEST(GpuVectorCache, NvalsRecountsOncePerDirtyEpoch) {
+  grb::Vector<double, grb::GpuSim> v(256);
+  v.build({3, 17, 99}, {1.0, 2.0, 3.0});
+
+  // First nvals() after a structural write runs the count kernel; repeats
+  // within the same epoch are served from the cache.
+  auto d = run_and_measure([&] {
+    EXPECT_EQ(v.nvals(), 3u);
+    EXPECT_EQ(v.nvals(), 3u);
+    EXPECT_EQ(v.nvals(), 3u);
+  });
+  EXPECT_LE(d.nvals_recounts, 1u);
+
+  // A write opens a new dirty epoch: exactly one recount, however many
+  // queries follow.
+  v.setElement(5, 9.0);
+  d = run_and_measure([&] {
+    EXPECT_EQ(v.nvals(), 4u);
+    EXPECT_EQ(v.nvals(), 4u);
+  });
+  EXPECT_EQ(d.nvals_recounts, 1u);
+
+  // Value-preserving queries must not invalidate: still zero recounts.
+  d = run_and_measure([&] { EXPECT_EQ(v.nvals(), 4u); });
+  EXPECT_EQ(d.nvals_recounts, 0u);
+
+  // removeElement dirties again.
+  v.removeElement(17);
+  d = run_and_measure([&] {
+    EXPECT_EQ(v.nvals(), 3u);
+    EXPECT_EQ(v.nvals(), 3u);
+  });
+  EXPECT_EQ(d.nvals_recounts, 1u);
+}
+
+TEST(GpuTraversal, DirectionCountersTrackForcedModes) {
+  auto g = gbtl_graph::deduplicate(gbtl_graph::remove_self_loops(
+      gbtl_graph::rmat(8, 8, 77)));
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<IndexType, grb::GpuSim> levels(a.nrows());
+  using gpu_sim::TraversalDirection;
+  constexpr auto kPush = static_cast<std::size_t>(TraversalDirection::kPush);
+  constexpr auto kPull = static_cast<std::size_t>(TraversalDirection::kPull);
+
+  {
+    sparse::DirectionModeGuard guard(sparse::DirectionMode::ForcePush);
+    const auto d = run_and_measure([&] { algorithms::bfs_level(a, 0, levels); });
+    EXPECT_GT(d.direction_selections[kPush], 0u);
+    EXPECT_EQ(d.direction_selections[kPull], 0u);
+    EXPECT_EQ(d.pull_early_exit_rows, 0u);
+    // Push levels compact the frontier into its sparse index list.
+    EXPECT_GT(d.frontier_compactions, 0u);
+  }
+  {
+    sparse::DirectionModeGuard guard(sparse::DirectionMode::ForcePull);
+    const auto d = run_and_measure([&] { algorithms::bfs_level(a, 0, levels); });
+    EXPECT_GT(d.direction_selections[kPull], 0u);
+    // The boolean or-and semiring saturates at true, so on a connected
+    // R-MAT at least one pulled row must have early-exited.
+    EXPECT_GT(d.pull_early_exit_rows, 0u);
+  }
 }
 
 TEST(GpuBuild, DuplicatesCombineWithDupOp) {
