@@ -42,13 +42,10 @@ void run_mxv_gpu_mode(benchmark::State& state, sparse::SpmvMode mode) {
                                      0.0);
   grb::Vector<double, grb::GpuSim> w(a.nrows());
   sparse::SpmvModeGuard guard(mode);
-  auto& dev = gpu_sim::device();
-  const auto before = dev.stats();
-  benchx::run_simulated(state, [&] {
+  const auto delta = benchx::run_simulated(state, [&] {
     grb::mxv(w, grb::NoMask{}, grb::NoAccumulate{},
              grb::ArithmeticSemiring<double>{}, a, u, grb::Replace);
   });
-  const auto delta = dev.stats() - before;
   benchx::annotate(state, a.nrows(), a.nvals());
   benchx::report_teps(state, a.nvals());
   state.counters["lb_selected"] = benchmark::Counter(

@@ -39,10 +39,8 @@ void bfs_gpu_directed(benchmark::State& state, sparse::DirectionMode mode) {
   (void)a.impl().col_offsets();
   grb::Vector<grb::IndexType, grb::GpuSim> levels(a.nrows());
   sparse::DirectionModeGuard guard(mode);
-  auto& dev = gpu_sim::device();
-  const auto s0 = dev.stats();
-  benchx::run_simulated(state, [&] { algorithms::bfs_level(a, 0, levels); });
-  const auto delta = dev.stats() - s0;
+  const auto delta = benchx::run_simulated(
+      state, [&] { algorithms::bfs_level(a, 0, levels); });
   benchx::annotate(state, a.nrows(), a.nvals());
   benchx::report_teps(state, a.nvals());
   state.counters["reached"] =

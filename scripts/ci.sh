@@ -31,10 +31,18 @@ if [[ "${1:-}" == "--fast" ]]; then
 fi
 
 echo "==> bench smoke"
-# One filtered small-scale pass each through the SpMV benches and the BFS
-# direction engine (bench_table2_bfs push_only + auto rows at scale 8,
-# Iterations(1)); registration lives in bench/CMakeLists.txt.
+# One filtered small-scale pass each through the SpMV benches, the BFS
+# direction engine, and PageRank (smallest scale, Iterations(1));
+# registration lives in bench/CMakeLists.txt.
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L bench-smoke
+
+echo "==> pool leak check"
+# gtest_discover_tests gives every test its own process, which makes the
+# device-heap leak invariant vacuous. Run the full fuzz binary in ONE
+# process so its final ZPoolLeak test sees the heap after the whole sweep:
+# bytes_in_use must be back to zero and Context::trim() must return every
+# cached pool block.
+"${BUILD_DIR}/tests/test_differential_fuzz" --gtest_brief=1
 
 echo "==> sanitizers: ASan/UBSan fuzz config (${SAN_BUILD_DIR})"
 cmake -B "${SAN_BUILD_DIR}" -S . \

@@ -23,7 +23,9 @@
 #include "gbtl/algebra.hpp"
 #include "gbtl/mask.hpp"
 #include "gbtl/types.hpp"
+#include "gbtl/write_rules.hpp"
 #include "gpu_sim/algorithms.hpp"
+#include "sparse/output_pipeline.hpp"
 #include "sparse/spmv_select.hpp"
 
 namespace grb::gpu_backend {
@@ -45,248 +47,9 @@ void serial_kernel(Context& ctx, const LaunchStats& stats, Body&& body) {
              [&](const gpu_sim::ThreadId&) { body(); });
 }
 
-// --------------------------------------------------------------------------
-// Mask plumbing
-// --------------------------------------------------------------------------
-
-/// Presence flags (post complement/structural interpretation) for a vector
-/// mask, as a device bitmap.
-template <typename MObj>
-device_vector<std::uint8_t> vector_mask_flags(Context& ctx,
-                                              const MaskDesc<MObj>& m,
-                                              IndexType n) {
-  device_vector<std::uint8_t> flags(n, ctx);
-  if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
-    gpu_sim::fill(flags, std::uint8_t{1});
-  } else {
-    if (m.mask == nullptr) {
-      gpu_sim::fill(flags, std::uint8_t{1});
-      return flags;
-    }
-    const std::uint8_t* pres = m.mask->present().data();
-    const auto* vals = m.mask->values().data();
-    std::uint8_t* out = flags.data();
-    const bool structural = m.structural;
-    const bool complement = m.complement;
-    ctx.launch_n(n, LaunchStats{n, n * 2, n},
-                 [=](std::size_t i) {
-                   bool a = pres[i] != 0 &&
-                            (structural || static_cast<bool>(vals[i]));
-                   out[i] = static_cast<std::uint8_t>(complement ? !a : a);
-                 });
-  }
-  return flags;
-}
-
-/// Device-side matrix mask probe: allows(i, j) via binary search into the
-/// mask's CSR. Copyable into kernels.
-template <typename MV>
-struct MatrixMaskProbe {
-  const IndexType* offs = nullptr;
-  const IndexType* cols = nullptr;
-  const MV* vals = nullptr;
-  bool structural = false;
-  bool complement = false;
-  bool unmasked = true;
-
-  bool operator()(IndexType i, IndexType j) const {
-    if (unmasked) return true;
-    bool present = false;
-    IndexType lo = offs[i], hi = offs[i + 1];
-    while (lo < hi) {
-      const IndexType mid = lo + (hi - lo) / 2;
-      if (cols[mid] < j)
-        lo = mid + 1;
-      else
-        hi = mid;
-    }
-    if (lo < offs[i + 1] && cols[lo] == j)
-      present = structural || static_cast<bool>(vals[lo]);
-    return complement ? !present : present;
-  }
-};
-
-template <typename MObj>
-auto matrix_mask_probe(const MaskDesc<MObj>& m) {
-  if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
-    (void)m;
-    return MatrixMaskProbe<std::uint8_t>{};  // unmasked
-  } else {
-    using MV = typename MObj::ScalarType;
-    MatrixMaskProbe<MV> probe;
-    if (m.mask == nullptr) return probe;
-    probe.offs = m.mask->row_offsets().data();
-    probe.cols = m.mask->col_indices().data();
-    probe.vals = m.mask->values().data();
-    probe.structural = m.structural;
-    probe.complement = m.complement;
-    probe.unmasked = false;
-    return probe;
-  }
-}
-
-// --------------------------------------------------------------------------
-// COO key helpers
-// --------------------------------------------------------------------------
-
-/// Flattened row-major keys (row * ncols + col) for every stored entry.
-template <typename T>
-device_vector<IndexType> coo_keys(const Matrix<T>& A) {
-  Context& ctx = A.context();
-  const IndexType n = A.nrows();
-  const IndexType nnz = A.nvals();
-  device_vector<IndexType> keys(nnz, ctx);
-  const IndexType* offs = A.row_offsets().data();
-  const IndexType* cols = A.col_indices().data();
-  IndexType* out = keys.data();
-  const IndexType ncols = A.ncols();
-  // Row-parallel expansion of the offsets array.
-  ctx.launch_n(n,
-               LaunchStats{nnz + n, (n + nnz) * sizeof(IndexType),
-                           nnz * sizeof(IndexType)},
-               [=](std::size_t i) {
-                 for (IndexType k = offs[i]; k < offs[i + 1]; ++k)
-                   out[k] = static_cast<IndexType>(i) * ncols + cols[k];
-               });
-  return keys;
-}
-
-// --------------------------------------------------------------------------
-// Write-back: Z = accum(C, T); C<mask,replace> = Z
-// --------------------------------------------------------------------------
-
-/// Vector write-back as one elementwise kernel.
-template <typename WT, typename TT, typename MObj, typename Accum>
-void write_vector(Vector<WT>& w, const device_vector<TT>& t_vals,
-                  const device_vector<std::uint8_t>& t_pres,
-                  const MaskDesc<MObj>& mask, Accum accum, bool replace) {
-  Context& ctx = w.context();
-  const IndexType n = w.size();
-  auto flags = vector_mask_flags(ctx, mask, n);
-  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
-  WT* wv = w.values().data();
-  std::uint8_t* wp = w.present().data();
-  const TT* tv = t_vals.data();
-  const std::uint8_t* tp = t_pres.data();
-  const std::uint8_t* f = flags.data();
-  ctx.launch_n(
-      n,
-      LaunchStats{3 * n,
-                  n * (sizeof(WT) + sizeof(TT) + 3),
-                  n * (sizeof(WT) + 1)},
-      [=](std::size_t i) {
-        if (f[i]) {
-          if constexpr (kAccum) {
-            if (wp[i] && tp[i])
-              wv[i] = static_cast<WT>(accum(wv[i], static_cast<WT>(tv[i])));
-            else if (tp[i]) {
-              wv[i] = static_cast<WT>(tv[i]);
-              wp[i] = 1;
-            }
-          } else {
-            if (tp[i]) {
-              wv[i] = static_cast<WT>(tv[i]);
-              wp[i] = 1;
-            } else if (wp[i]) {
-              wp[i] = 0;
-              wv[i] = WT{};
-            }
-          }
-        } else if (wp[i] && replace) {
-          wp[i] = 0;
-          wv[i] = WT{};
-        }
-      });
-}
-
-/// Matrix write-back: serial merge of C's and T's sorted COO streams under
-/// the mask probe (merge-path kernel in real CUDA).
-template <typename CT, typename TT, typename MObj, typename Accum>
-void write_matrix(Matrix<CT>& C, const device_vector<IndexType>& t_keys,
-                  const device_vector<TT>& t_vals,
-                  const MaskDesc<MObj>& mask, Accum accum, bool replace) {
-  Context& ctx = C.context();
-  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
-  auto c_keys = coo_keys(C);
-  device_vector<CT> c_vals = C.values();  // d2d snapshot
-
-  const IndexType nc = c_keys.size();
-  const IndexType nt = t_keys.size();
-  device_vector<IndexType> out_keys(nc + nt, ctx);
-  device_vector<CT> out_vals(nc + nt, ctx);
-
-  auto probe = matrix_mask_probe(mask);
-  const IndexType ncols = C.ncols();
-  const IndexType* ck = c_keys.data();
-  const CT* cv = c_vals.data();
-  const IndexType* tk = t_keys.data();
-  const TT* tv = t_vals.data();
-  IndexType* ok = out_keys.data();
-  CT* ov = out_vals.data();
-  IndexType kept = 0;
-
-  const std::uint64_t read =
-      (nc + nt) * (sizeof(IndexType) + sizeof(CT));
-  const std::uint64_t written = (nc + nt) * (sizeof(IndexType) + sizeof(CT));
-  serial_kernel(ctx, LaunchStats{2 * (nc + nt), read, written}, [&] {
-    IndexType ci = 0, ti = 0;
-    while (ci < nc || ti < nt) {
-      bool has_c = false, has_t = false;
-      IndexType key;
-      if (ci < nc && ti < nt) {
-        if (ck[ci] < tk[ti]) {
-          key = ck[ci];
-          has_c = true;
-        } else if (tk[ti] < ck[ci]) {
-          key = tk[ti];
-          has_t = true;
-        } else {
-          key = ck[ci];
-          has_c = has_t = true;
-        }
-      } else if (ci < nc) {
-        key = ck[ci];
-        has_c = true;
-      } else {
-        key = tk[ti];
-        has_t = true;
-      }
-      const CT cval = has_c ? cv[ci] : CT{};
-      const TT tval = has_t ? tv[ti] : TT{};
-      if (has_c) ++ci;
-      if (has_t) ++ti;
-
-      const IndexType i = key / ncols;
-      const IndexType j = key % ncols;
-      if (probe(i, j)) {
-        if constexpr (kAccum) {
-          if (has_c && has_t) {
-            ok[kept] = key;
-            ov[kept++] = static_cast<CT>(accum(cval, static_cast<CT>(tval)));
-          } else if (has_t) {
-            ok[kept] = key;
-            ov[kept++] = static_cast<CT>(tval);
-          } else {
-            ok[kept] = key;
-            ov[kept++] = cval;
-          }
-        } else {
-          if (has_t) {
-            ok[kept] = key;
-            ov[kept++] = static_cast<CT>(tval);
-          }
-        }
-      } else if (has_c && !replace) {
-        ok[kept] = key;
-        ov[kept++] = cval;
-      }
-    }
-  });
-
-  out_keys.resize(kept);
-  out_vals.resize(kept);
-  C.load_from_sorted_keys(out_keys, out_vals);
-}
+// Mask plumbing, COO key expansion, and the masked-accumulate write-back
+// epilogues all live in the shared output pipeline (grb::pipeline in
+// sparse/output_pipeline.hpp); the op bodies below only compute T̃.
 
 // --------------------------------------------------------------------------
 // Host fallback plumbing (for ops without device pipelines)
@@ -333,32 +96,19 @@ void upload(Vector<T>& dst, const seq_backend::Vector<T>& src) {
             [](const T&, const T& b) { return b; });
 }
 
-/// Lower a GPU mask descriptor to a sequential one for fallback execution.
-/// Returns a pair (owning storage, descriptor viewing it).
+/// Lower a GPU output descriptor to a sequential one for fallback
+/// execution: the (matrix) mask is downloaded to the host, the
+/// complement/structural/replace flags carry over unchanged.
 template <typename MObj, typename Fn>
-decltype(auto) with_seq_matrix_mask(const MaskDesc<MObj>& m, Fn&& fn) {
+decltype(auto) with_seq_output(const OutputDescriptor<MObj>& out, Fn&& fn) {
   if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
-    return fn(NoMaskDesc{});
+    return fn(NoMaskOutputDesc{{}, out.replace});
   } else {
     using MV = typename MObj::ScalarType;
-    if (m.mask == nullptr) return fn(NoMaskDesc{});
-    seq_backend::Matrix<MV> host_mask = download(*m.mask);
-    MaskDesc<seq_backend::Matrix<MV>> desc{&host_mask, m.complement,
-                                           m.structural};
-    return fn(desc);
-  }
-}
-
-template <typename MObj, typename Fn>
-decltype(auto) with_seq_vector_mask(const MaskDesc<MObj>& m, Fn&& fn) {
-  if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
-    return fn(NoMaskDesc{});
-  } else {
-    using MV = typename MObj::ScalarType;
-    if (m.mask == nullptr) return fn(NoMaskDesc{});
-    seq_backend::Vector<MV> host_mask = download(*m.mask);
-    MaskDesc<seq_backend::Vector<MV>> desc{&host_mask, m.complement,
-                                           m.structural};
+    if (out.mask.mask == nullptr) return fn(NoMaskOutputDesc{{}, out.replace});
+    seq_backend::Matrix<MV> host_mask = download(*out.mask.mask);
+    OutputDescriptor<seq_backend::Matrix<MV>> desc{
+        {&host_mask, out.mask.complement, out.mask.structural}, out.replace};
     return fn(desc);
   }
 }
@@ -371,8 +121,8 @@ decltype(auto) with_seq_vector_mask(const MaskDesc<MObj>& m, Fn&& fn) {
 
 template <typename CT, typename MObj, typename Accum, typename SR,
           typename AT, typename BT>
-void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
-         const Matrix<AT>& A, const Matrix<BT>& B, bool replace) {
+void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
+         const Matrix<AT>& A, const Matrix<BT>& B) {
   using detail::LaunchStats;
   using ZT = typename SR::result_type;
   gpu_sim::Context& ctx = C.context();
@@ -401,7 +151,7 @@ void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   gpu_sim::device_vector<IndexType> keys(total_products, ctx);
   gpu_sim::device_vector<ZT> vals(total_products, ctx);
   {
-    auto a_keys = detail::coo_keys(A);
+    auto a_keys = pipeline::coo_keys(A);
     const IndexType* ak = a_keys.data();
     const AT* avals = A.values().data();
     const IndexType* acols = A.col_indices().data();
@@ -437,8 +187,8 @@ void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   // paying for the sort. Only valid for non-complemented masks.
   bool prefiltered = false;
   if constexpr (!std::is_same_v<MObj, EmptyMaskObj>) {
-    if (mask.mask != nullptr && !mask.complement) {
-      auto probe = detail::matrix_mask_probe(mask);
+    if (out.mask.mask != nullptr && !out.mask.complement) {
+      auto probe = pipeline::matrix_mask_probe(out.mask);
       gpu_sim::device_vector<std::uint8_t> flags(total_products, ctx);
       const IndexType* kk = keys.data();
       std::uint8_t* fl = flags.data();
@@ -470,7 +220,7 @@ void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   gpu_sim::reduce_by_key(keys, vals, u_keys, u_vals,
                          [sem](ZT a, ZT b) { return sem.add(a, b); });
 
-  detail::write_matrix(C, u_keys, u_vals, mask, accum, replace);
+  pipeline::write_matrix(C, u_keys, u_vals, out, accum);
 }
 
 // ===========================================================================
@@ -479,8 +229,8 @@ void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
 
 template <typename WT, typename MObj, typename Accum, typename SR,
           typename AT, typename UT>
-void mxv(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
-         const Matrix<AT>& A, const Vector<UT>& u, bool replace) {
+void mxv(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
+         const Matrix<AT>& A, const Vector<UT>& u) {
   using detail::LaunchStats;
   using ZT = typename SR::result_type;
   gpu_sim::Context& ctx = w.context();
@@ -716,13 +466,13 @@ void mxv(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
     ctx.note_spmv_selection(gpu_sim::SpmvKernelKind::kCsrScalar, 0);
   }
 
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 template <typename WT, typename MObj, typename Accum, typename SR,
           typename UT, typename AT>
-void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
-         const Vector<UT>& u, const Matrix<AT>& A, bool replace) {
+void vxm(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
+         const Vector<UT>& u, const Matrix<AT>& A) {
   using detail::LaunchStats;
   using ZT = typename SR::result_type;
   gpu_sim::Context& ctx = w.context();
@@ -801,9 +551,9 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
   shape.can_early_exit = grb::has_annihilator_v<SR>;
   shape.dest_rows = w.size();
   if constexpr (!std::is_same_v<MObj, EmptyMaskObj>) {
-    if (mask.mask != nullptr) {
-      const std::uint64_t m_nvals = mask.mask->nvals();
-      shape.dest_rows = mask.complement
+    if (out.mask.mask != nullptr) {
+      const std::uint64_t m_nvals = out.mask.mask->nvals();
+      shape.dest_rows = out.mask.complement
                             ? (shape.n >= m_nvals ? shape.n - m_nvals : 0)
                             : m_nvals;
     }
@@ -872,7 +622,7 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
     // at its first saturating hit (the Beamer early exit). Restricting t
     // to mask-allowed destinations is semantics-preserving: write_vector
     // re-applies the same mask, so disallowed positions never read t.
-    auto dflags = detail::vector_mask_flags(ctx, mask, w.size());
+    auto dflags = pipeline::vector_mask_flags(ctx, out.mask, w.size());
     gpu_sim::device_vector<IndexType> dests(ctx);
     const std::uint64_t dest_count = gpu_sim::flagged_indices(dflags, dests);
     const IndexType* didx = dests.data();
@@ -920,7 +670,7 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
     ctx.note_pull_early_exit_rows(early_rows);
   }
 
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 // ===========================================================================
@@ -929,9 +679,9 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
 
 template <typename WT, typename MObj, typename Accum, typename Op,
           typename UT, typename VT>
-void ewise_add_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                   Op op, const Vector<UT>& u, const Vector<VT>& v,
-                   bool replace) {
+void ewise_add_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                   Accum accum, Op op, const Vector<UT>& u,
+                   const Vector<VT>& v) {
   using detail::LaunchStats;
   using ZT = std::common_type_t<UT, VT>;
   gpu_sim::Context& ctx = w.context();
@@ -964,14 +714,14 @@ void ewise_add_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    tp[i] = 0;
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 template <typename WT, typename MObj, typename Accum, typename Op,
           typename UT, typename VT>
-void ewise_mult_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                    Op op, const Vector<UT>& u, const Vector<VT>& v,
-                    bool replace) {
+void ewise_mult_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                    Accum accum, Op op, const Vector<UT>& u,
+                    const Vector<VT>& v) {
   using detail::LaunchStats;
   using ZT = std::common_type_t<UT, VT>;
   gpu_sim::Context& ctx = w.context();
@@ -997,7 +747,7 @@ void ewise_mult_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    tp[i] = 0;
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 namespace detail {
@@ -1009,8 +759,8 @@ void ewise_mat_compute(const Matrix<AT>& A, const Matrix<BT>& B, Op op,
                        device_vector<IndexType>& out_keys,
                        device_vector<ZT>& out_vals) {
   Context& ctx = A.context();
-  auto a_keys = coo_keys(A);
-  auto b_keys = coo_keys(B);
+  auto a_keys = pipeline::coo_keys(A);
+  auto b_keys = pipeline::coo_keys(B);
   const IndexType na = a_keys.size();
   const IndexType nb = b_keys.size();
 
@@ -1113,26 +863,26 @@ void ewise_mat_compute(const Matrix<AT>& A, const Matrix<BT>& B, Op op,
 
 template <typename CT, typename MObj, typename Accum, typename Op,
           typename AT, typename BT>
-void ewise_add_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                   Op op, const Matrix<AT>& A, const Matrix<BT>& B,
-                   bool replace) {
+void ewise_add_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                   Accum accum, Op op, const Matrix<AT>& A,
+                   const Matrix<BT>& B) {
   using ZT = std::common_type_t<AT, BT>;
   gpu_sim::device_vector<IndexType> keys(C.context());
   gpu_sim::device_vector<ZT> vals(C.context());
   detail::ewise_mat_compute<true, ZT>(A, B, op, keys, vals);
-  detail::write_matrix(C, keys, vals, mask, accum, replace);
+  pipeline::write_matrix(C, keys, vals, out, accum);
 }
 
 template <typename CT, typename MObj, typename Accum, typename Op,
           typename AT, typename BT>
-void ewise_mult_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                    Op op, const Matrix<AT>& A, const Matrix<BT>& B,
-                    bool replace) {
+void ewise_mult_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                    Accum accum, Op op, const Matrix<AT>& A,
+                    const Matrix<BT>& B) {
   using ZT = std::common_type_t<AT, BT>;
   gpu_sim::device_vector<IndexType> keys(C.context());
   gpu_sim::device_vector<ZT> vals(C.context());
   detail::ewise_mat_compute<false, ZT>(A, B, op, keys, vals);
-  detail::write_matrix(C, keys, vals, mask, accum, replace);
+  pipeline::write_matrix(C, keys, vals, out, accum);
 }
 
 // ===========================================================================
@@ -1141,8 +891,8 @@ void ewise_mult_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
 
 template <typename WT, typename MObj, typename Accum, typename UnaryOp,
           typename UT>
-void apply_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-               UnaryOp f, const Vector<UT>& u, bool replace) {
+void apply_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
+               UnaryOp f, const Vector<UT>& u) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   const IndexType n = u.size();
@@ -1163,27 +913,27 @@ void apply_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    tp[i] = 0;
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 template <typename CT, typename MObj, typename Accum, typename UnaryOp,
           typename AT>
-void apply_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-               UnaryOp f, const Matrix<AT>& A, bool replace) {
+void apply_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
+               UnaryOp f, const Matrix<AT>& A) {
   gpu_sim::Context& ctx = C.context();
-  auto keys = detail::coo_keys(A);
+  auto keys = pipeline::coo_keys(A);
   gpu_sim::device_vector<CT> vals(ctx);
   const UnaryOp fn = f;
   gpu_sim::transform(A.values(), vals,
                      [fn](AT x) { return static_cast<CT>(fn(x)); });
-  detail::write_matrix(C, keys, vals, mask, accum, replace);
+  pipeline::write_matrix(C, keys, vals, out, accum);
 }
 
 /// Index-aware apply (IndexUnaryOp extension): one elementwise kernel.
 template <typename WT, typename MObj, typename Accum, typename IdxOp,
           typename UT>
-void apply_indexed_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                       IdxOp f, const Vector<UT>& u, bool replace) {
+void apply_indexed_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                       Accum accum, IdxOp f, const Vector<UT>& u) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   const IndexType n = u.size();
@@ -1206,17 +956,17 @@ void apply_indexed_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    tp[i] = 0;
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 /// Matrix form: transform over the COO expansion.
 template <typename CT, typename MObj, typename Accum, typename IdxOp,
           typename AT>
-void apply_indexed_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                       IdxOp f, const Matrix<AT>& A, bool replace) {
+void apply_indexed_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                       Accum accum, IdxOp f, const Matrix<AT>& A) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = C.context();
-  auto keys = detail::coo_keys(A);
+  auto keys = pipeline::coo_keys(A);
   const IndexType nnz = A.nvals();
   gpu_sim::device_vector<CT> vals(nnz, ctx);
   const IndexType* k = keys.data();
@@ -1232,7 +982,7 @@ void apply_indexed_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
                  ov[p] = static_cast<CT>(
                      fn(k[p] / ncols, k[p] % ncols, av[p]));
                });
-  detail::write_matrix(C, keys, vals, mask, accum, replace);
+  pipeline::write_matrix(C, keys, vals, out, accum);
 }
 
 // ===========================================================================
@@ -1241,8 +991,8 @@ void apply_indexed_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
 
 template <typename WT, typename MObj, typename Accum, typename Monoid,
           typename AT>
-void reduce_mat_to_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                       Monoid monoid, const Matrix<AT>& A, bool replace) {
+void reduce_mat_to_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                       Accum accum, Monoid monoid, const Matrix<AT>& A) {
   using detail::LaunchStats;
   using ZT = typename Monoid::result_type;
   gpu_sim::Context& ctx = w.context();
@@ -1269,7 +1019,7 @@ void reduce_mat_to_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                  tv[i] = acc;
                  tp[i] = 1;
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 template <typename ST, typename Accum, typename Monoid, typename UT>
@@ -1316,12 +1066,12 @@ void reduce_mat_to_scalar(ST& s, Accum accum, Monoid monoid,
 // ===========================================================================
 
 template <typename CT, typename MObj, typename Accum, typename AT>
-void transpose_op(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                  const Matrix<AT>& A, bool replace) {
+void transpose_op(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                  Accum accum, const Matrix<AT>& A) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = C.context();
   const IndexType nnz = A.nvals();
-  auto keys = detail::coo_keys(A);
+  auto keys = pipeline::coo_keys(A);
   // Swap (i, j): key' = j * A.nrows + i.
   gpu_sim::device_vector<IndexType> t_keys(nnz, ctx);
   {
@@ -1342,14 +1092,14 @@ void transpose_op(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
   gpu_sim::transform(A.values(), t_vals,
                      [](AT x) { return static_cast<CT>(x); });
   gpu_sim::sort_by_key(t_keys, t_vals);
-  detail::write_matrix(C, t_keys, t_vals, mask, accum, replace);
+  pipeline::write_matrix(C, t_keys, t_vals, out, accum);
 }
 
 /// Materialized plain transpose (TransposeView lowering helper).
 template <typename T>
 Matrix<T> transposed(const Matrix<T>& A) {
   Matrix<T> At(A.ncols(), A.nrows(), A.context());
-  transpose_op(At, NoMaskDesc{}, NoAccumulate{}, A, true);
+  transpose_op(At, NoMaskOutputDesc{{}, true}, NoAccumulate{}, A);
   return At;
 }
 
@@ -1358,9 +1108,9 @@ Matrix<T> transposed(const Matrix<T>& A) {
 // ===========================================================================
 
 template <typename WT, typename MObj, typename Accum, typename UT>
-void extract_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                 const Vector<UT>& u, const IndexArrayType& indices,
-                 bool replace) {
+void extract_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                 Accum accum, const Vector<UT>& u,
+                 const IndexArrayType& indices) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   for (IndexType src : indices)
@@ -1387,13 +1137,12 @@ void extract_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    tp[k] = 1;
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 template <typename WT, typename MObj, typename Accum, typename UT>
-void assign_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                const Vector<UT>& u, const IndexArrayType& indices,
-                bool replace) {
+void assign_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
+                const Vector<UT>& u, const IndexArrayType& indices) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   for (IndexType dst : indices)
@@ -1438,13 +1187,13 @@ void assign_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    }
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, NoAccumulate{}, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, NoAccumulate{});
 }
 
 template <typename WT, typename MObj, typename Accum>
-void assign_vec_constant(Vector<WT>& w, const MaskDesc<MObj>& mask,
+void assign_vec_constant(Vector<WT>& w, const OutputDescriptor<MObj>& out,
                          Accum accum, const WT& value,
-                         const IndexArrayType& indices, bool replace) {
+                         const IndexArrayType& indices) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   for (IndexType dst : indices)
@@ -1474,13 +1223,13 @@ void assign_vec_constant(Vector<WT>& w, const MaskDesc<MObj>& mask,
                  tv[dst] = val;
                  tp[dst] = 1;
                });
-  detail::write_vector(w, t_vals, t_pres, mask, NoAccumulate{}, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, NoAccumulate{});
 }
 
 template <typename WT, typename MObj, typename Accum, typename Pred,
           typename UT>
-void select_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                Pred pred, const Vector<UT>& u, bool replace) {
+void select_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
+                Pred pred, const Vector<UT>& u) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   const IndexType n = u.size();
@@ -1502,21 +1251,22 @@ void select_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    tp[i] = 0;
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 // --- Host fallbacks (documented substitution: GBTL-CUDA routed rare
 // structural ops through the host; every byte of transfer is accounted). ---
 
 template <typename CT, typename MObj, typename Accum, typename AT>
-void extract_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                 const Matrix<AT>& A, const IndexArrayType& row_indices,
-                 const IndexArrayType& col_indices, bool replace) {
+void extract_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                 Accum accum, const Matrix<AT>& A,
+                 const IndexArrayType& row_indices,
+                 const IndexArrayType& col_indices) {
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
-  detail::with_seq_matrix_mask(mask, [&](const auto& seq_mask) {
-    seq_backend::extract_mat(host_c, seq_mask, accum, host_a, row_indices,
-                             col_indices, replace);
+  detail::with_seq_output(out, [&](const auto& seq_out) {
+    seq_backend::extract_mat(host_c, seq_out, accum, host_a, row_indices,
+                             col_indices);
   });
   detail::upload(C, host_c);
 }
@@ -1525,9 +1275,9 @@ void extract_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
 /// each selected row's CSR segment. (Row gathers via transpose(A) lower to
 /// this after the frontend materializes the transpose.)
 template <typename WT, typename MObj, typename Accum, typename AT>
-void extract_col(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                 const Matrix<AT>& A, const IndexArrayType& row_indices,
-                 IndexType col, bool replace) {
+void extract_col(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                 Accum accum, const Matrix<AT>& A,
+                 const IndexArrayType& row_indices, IndexType col) {
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   if (col >= A.ncols())
@@ -1566,18 +1316,18 @@ void extract_col(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                    tp[k] = 1;
                  }
                });
-  detail::write_vector(w, t_vals, t_pres, mask, accum, replace);
+  pipeline::write_vector(w, t_vals, t_pres, out, accum);
 }
 
 template <typename CT, typename MObj, typename Accum, typename AT>
-void assign_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+void assign_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
                 const Matrix<AT>& A, const IndexArrayType& row_indices,
-                const IndexArrayType& col_indices, bool replace) {
+                const IndexArrayType& col_indices) {
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
-  detail::with_seq_matrix_mask(mask, [&](const auto& seq_mask) {
-    seq_backend::assign_mat(host_c, seq_mask, accum, host_a, row_indices,
-                            col_indices, replace);
+  detail::with_seq_output(out, [&](const auto& seq_out) {
+    seq_backend::assign_mat(host_c, seq_out, accum, host_a, row_indices,
+                            col_indices);
   });
   detail::upload(C, host_c);
 }
@@ -1594,25 +1344,25 @@ inline bool is_identity(const IndexArrayType& idx, IndexType n) {
 }  // namespace detail
 
 template <typename CT, typename MObj, typename Accum>
-void assign_mat_constant(Matrix<CT>& C, const MaskDesc<MObj>& mask,
+void assign_mat_constant(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                          Accum accum, const CT& value,
                          const IndexArrayType& row_indices,
-                         const IndexArrayType& col_indices, bool replace) {
+                         const IndexArrayType& col_indices) {
   // Device fast path for the dominant idiom (e.g. level stamping in
   // batched BFS): full-grid constant assign under a non-complemented mask.
   // The allowed positions are exactly the mask's (truthy) entries, so T̃'s
   // keys come straight off the mask's structure — no host round-trip.
   if constexpr (!std::is_same_v<MObj, EmptyMaskObj> &&
                 std::is_same_v<Accum, NoAccumulate>) {
-    if (mask.mask != nullptr && !mask.complement &&
+    if (out.mask.mask != nullptr && !out.mask.complement &&
         detail::is_identity(row_indices, C.nrows()) &&
         detail::is_identity(col_indices, C.ncols())) {
       gpu_sim::Context& ctx = C.context();
-      auto keys = detail::coo_keys(*mask.mask);
-      if (!mask.structural) {
+      auto keys = pipeline::coo_keys(*out.mask.mask);
+      if (!out.mask.structural) {
         using MV = typename MObj::ScalarType;
         gpu_sim::device_vector<std::uint8_t> flags(ctx);
-        gpu_sim::transform(mask.mask->values(), flags, [](MV v) {
+        gpu_sim::transform(out.mask.mask->values(), flags, [](MV v) {
           return static_cast<std::uint8_t>(static_cast<bool>(v));
         });
         gpu_sim::device_vector<IndexType> kept(ctx);
@@ -1621,40 +1371,39 @@ void assign_mat_constant(Matrix<CT>& C, const MaskDesc<MObj>& mask,
       }
       gpu_sim::device_vector<CT> vals(keys.size(), ctx);
       gpu_sim::fill(vals, value);
-      detail::write_matrix(C, keys, vals, mask, NoAccumulate{}, replace);
+      pipeline::write_matrix(C, keys, vals, out, NoAccumulate{});
       return;
     }
   }
   auto host_c = detail::download(C);
-  detail::with_seq_matrix_mask(mask, [&](const auto& seq_mask) {
-    seq_backend::assign_mat_constant(host_c, seq_mask, accum, value,
-                                     row_indices, col_indices, replace);
+  detail::with_seq_output(out, [&](const auto& seq_out) {
+    seq_backend::assign_mat_constant(host_c, seq_out, accum, value,
+                                     row_indices, col_indices);
   });
   detail::upload(C, host_c);
 }
 
 template <typename CT, typename MObj, typename Accum, typename Op,
           typename AT, typename BT>
-void kronecker(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, Op op,
-               const Matrix<AT>& A, const Matrix<BT>& B, bool replace) {
+void kronecker(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
+               Op op, const Matrix<AT>& A, const Matrix<BT>& B) {
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
   const auto host_b = detail::download(B);
-  detail::with_seq_matrix_mask(mask, [&](const auto& seq_mask) {
-    seq_backend::kronecker(host_c, seq_mask, accum, op, host_a, host_b,
-                           replace);
+  detail::with_seq_output(out, [&](const auto& seq_out) {
+    seq_backend::kronecker(host_c, seq_out, accum, op, host_a, host_b);
   });
   detail::upload(C, host_c);
 }
 
 template <typename CT, typename MObj, typename Accum, typename Pred,
           typename AT>
-void select_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                Pred pred, const Matrix<AT>& A, bool replace) {
+void select_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
+                Pred pred, const Matrix<AT>& A) {
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
-  detail::with_seq_matrix_mask(mask, [&](const auto& seq_mask) {
-    seq_backend::select_mat(host_c, seq_mask, accum, pred, host_a, replace);
+  detail::with_seq_output(out, [&](const auto& seq_out) {
+    seq_backend::select_mat(host_c, seq_out, accum, pred, host_a);
   });
   detail::upload(C, host_c);
 }

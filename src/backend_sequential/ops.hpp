@@ -4,12 +4,10 @@
 /// Sequential implementations of every GraphBLAS operation, written for
 /// clarity: these are the semantic oracle the GPU backend is tested against.
 ///
-/// Every operation follows the GraphBLAS evaluation pipeline:
-///   1. compute the raw result T̃;
-///   2. Z = accum ? merge(C, T̃, accum) : T̃;
-///   3. write back under mask: allowed positions take Z, disallowed keep C
-///      (Merge) or are deleted (Replace).
-/// Steps 2 & 3 are centralized in write_matrix / write_vector below.
+/// Every operation computes its raw result T̃ and hands it, together with
+/// the frontend's OutputDescriptor, to the shared epilogue executors in
+/// sparse/output_pipeline.hpp — accumulate/mask/replace handling lives
+/// there (and in gbtl/write_rules.hpp), not in the per-op bodies.
 
 #include <algorithm>
 #include <optional>
@@ -21,132 +19,12 @@
 #include "gbtl/algebra.hpp"
 #include "gbtl/mask.hpp"
 #include "gbtl/types.hpp"
+#include "gbtl/write_rules.hpp"
+#include "sparse/output_pipeline.hpp"
 
 namespace grb::seq_backend {
 
 namespace detail {
-
-template <typename V>
-bool truthy(const V& v) {
-  return static_cast<bool>(v);
-}
-
-/// Does the mask allow writing matrix position (i, j)?
-template <typename MObj>
-bool allows(const MaskDesc<MObj>& m, IndexType i, IndexType j) {
-  if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
-    (void)m, (void)i, (void)j;
-    return true;
-  } else {
-    if (m.mask == nullptr) return true;
-    const auto* v = m.mask->find(i, j);
-    const bool present = (v != nullptr) && (m.structural || truthy(*v));
-    return m.complement ? !present : present;
-  }
-}
-
-/// Does the mask allow writing vector position i?
-template <typename MObj>
-bool allows(const MaskDesc<MObj>& m, IndexType i) {
-  if constexpr (std::is_same_v<MObj, EmptyMaskObj>) {
-    (void)m, (void)i;
-    return true;
-  } else {
-    if (m.mask == nullptr) return true;
-    const bool present =
-        m.mask->present_unchecked(i) &&
-        (m.structural || truthy(m.mask->value_unchecked(i)));
-    return m.complement ? !present : present;
-  }
-}
-
-/// Step 2+3 of the pipeline for matrices. @p T holds the computed result.
-template <typename CT, typename TT, typename MObj, typename Accum>
-void write_matrix(Matrix<CT>& C, const Matrix<TT>& T,
-                  const MaskDesc<MObj>& mask, Accum accum, bool replace) {
-  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
-  for (IndexType i = 0; i < C.nrows(); ++i) {
-    const auto& crow = C.row(i);
-    const auto& trow = T.row(i);
-    typename Matrix<CT>::Row out;
-    out.reserve(crow.size() + trow.size());
-    std::size_t ci = 0, ti = 0;
-    while (ci < crow.size() || ti < trow.size()) {
-      IndexType j;
-      bool has_c = false, has_t = false;
-      if (ci < crow.size() && ti < trow.size()) {
-        if (crow[ci].first < trow[ti].first) {
-          j = crow[ci].first;
-          has_c = true;
-        } else if (trow[ti].first < crow[ci].first) {
-          j = trow[ti].first;
-          has_t = true;
-        } else {
-          j = crow[ci].first;
-          has_c = has_t = true;
-        }
-      } else if (ci < crow.size()) {
-        j = crow[ci].first;
-        has_c = true;
-      } else {
-        j = trow[ti].first;
-        has_t = true;
-      }
-
-      const CT* cval = has_c ? &crow[ci].second : nullptr;
-      const TT* tval = has_t ? &trow[ti].second : nullptr;
-      if (has_c) ++ci;
-      if (has_t) ++ti;
-
-      if (allows(mask, i, j)) {
-        if constexpr (kAccum) {
-          if (has_c && has_t)
-            out.emplace_back(j, static_cast<CT>(accum(*cval, static_cast<CT>(
-                                                               *tval))));
-          else if (has_t)
-            out.emplace_back(j, static_cast<CT>(*tval));
-          else
-            out.emplace_back(j, *cval);
-        } else {
-          if (has_t) out.emplace_back(j, static_cast<CT>(*tval));
-          // has_c only: deleted — Z has no value here.
-        }
-      } else {
-        if (has_c && !replace) out.emplace_back(j, *cval);
-      }
-    }
-    C.set_row(i, std::move(out));
-  }
-}
-
-/// Step 2+3 for vectors.
-template <typename WT, typename TT, typename MObj, typename Accum>
-void write_vector(Vector<WT>& w, const Vector<TT>& T,
-                  const MaskDesc<MObj>& mask, Accum accum, bool replace) {
-  constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
-  for (IndexType i = 0; i < w.size(); ++i) {
-    const bool has_w = w.present_unchecked(i);
-    const bool has_t = T.present_unchecked(i);
-    if (allows(mask, i)) {
-      if constexpr (kAccum) {
-        if (has_w && has_t)
-          w.set_unchecked(i, static_cast<WT>(accum(
-                                 w.value_unchecked(i),
-                                 static_cast<WT>(T.value_unchecked(i)))));
-        else if (has_t)
-          w.set_unchecked(i, static_cast<WT>(T.value_unchecked(i)));
-        // has_w only: keep.
-      } else {
-        if (has_t)
-          w.set_unchecked(i, static_cast<WT>(T.value_unchecked(i)));
-        else if (has_w)
-          w.erase_unchecked(i);
-      }
-    } else {
-      if (has_w && replace) w.erase_unchecked(i);
-    }
-  }
-}
 
 /// Materialized transpose (helper for TransposeView lowering and the
 /// dot-product mxm path).
@@ -169,21 +47,21 @@ Matrix<T> transposed(const Matrix<T>& A) {
 /// positions (the "masked early exit" the paper's triangle-count relies on).
 template <typename CT, typename MObj, typename Accum, typename SR,
           typename AT, typename BT>
-void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
-         const Matrix<AT>& A, const Matrix<BT>& B, bool replace) {
+void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
+         const Matrix<AT>& A, const Matrix<BT>& B) {
   using ZT = typename SR::result_type;
   Matrix<ZT> T(C.nrows(), C.ncols());
 
   constexpr bool kHasMaskObj = !std::is_same_v<MObj, EmptyMaskObj>;
   bool used_dot_path = false;
   if constexpr (kHasMaskObj) {
-    if (mask.mask != nullptr && !mask.complement) {
+    if (out.mask.mask != nullptr && !out.mask.complement) {
       // Compute only where the mask allows: T(i,j) = A(i,:) dot B(:,j).
       const Matrix<BT> Bt = detail::transposed(B);
       for (IndexType i = 0; i < C.nrows(); ++i) {
         typename Matrix<ZT>::Row trow;
-        for (const auto& [j, mv] : mask.mask->row(i)) {
-          if (!mask.structural && !detail::truthy(mv)) continue;
+        for (const auto& [j, mv] : out.mask.mask->row(i)) {
+          if (!out.mask.structural && !write_rules::truthy(mv)) continue;
           const auto& arow = A.row(i);
           const auto& bcol = Bt.row(j);
           std::size_t ai = 0, bi = 0;
@@ -238,7 +116,7 @@ void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
     }
   }
 
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 // ===========================================================================
@@ -247,8 +125,8 @@ void mxm(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, SR sr,
 
 template <typename WT, typename MObj, typename Accum, typename SR,
           typename AT, typename UT>
-void mxv(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
-         const Matrix<AT>& A, const Vector<UT>& u, bool replace) {
+void mxv(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
+         const Matrix<AT>& A, const Vector<UT>& u) {
   using ZT = typename SR::result_type;
   Vector<ZT> T(w.size());
   for (IndexType i = 0; i < A.nrows(); ++i) {
@@ -262,13 +140,13 @@ void mxv(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
     }
     if (any) T.set_unchecked(i, acc);
   }
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 template <typename WT, typename MObj, typename Accum, typename SR,
           typename UT, typename AT>
-void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
-         const Vector<UT>& u, const Matrix<AT>& A, bool replace) {
+void vxm(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
+         const Vector<UT>& u, const Matrix<AT>& A) {
   using ZT = typename SR::result_type;
   Vector<ZT> T(w.size());
   std::vector<std::uint8_t> occupied(w.size(), 0);
@@ -285,7 +163,7 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
       }
     }
   }
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 // ===========================================================================
@@ -294,9 +172,9 @@ void vxm(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum, SR sr,
 
 template <typename WT, typename MObj, typename Accum, typename Op,
           typename UT, typename VT>
-void ewise_add_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                   Op op, const Vector<UT>& u, const Vector<VT>& v,
-                   bool replace) {
+void ewise_add_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                   Accum accum, Op op, const Vector<UT>& u,
+                   const Vector<VT>& v) {
   using ZT = std::common_type_t<UT, VT>;
   Vector<ZT> T(w.size());
   for (IndexType i = 0; i < w.size(); ++i) {
@@ -310,14 +188,14 @@ void ewise_add_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
     else if (hv)
       T.set_unchecked(i, static_cast<ZT>(v.value_unchecked(i)));
   }
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 template <typename WT, typename MObj, typename Accum, typename Op,
           typename UT, typename VT>
-void ewise_mult_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                    Op op, const Vector<UT>& u, const Vector<VT>& v,
-                    bool replace) {
+void ewise_mult_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                    Accum accum, Op op, const Vector<UT>& u,
+                    const Vector<VT>& v) {
   using ZT = std::common_type_t<UT, VT>;
   Vector<ZT> T(w.size());
   for (IndexType i = 0; i < w.size(); ++i) {
@@ -326,52 +204,52 @@ void ewise_mult_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
                              static_cast<ZT>(u.value_unchecked(i)),
                              static_cast<ZT>(v.value_unchecked(i)))));
   }
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 template <typename CT, typename MObj, typename Accum, typename Op,
           typename AT, typename BT>
-void ewise_add_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                   Op op, const Matrix<AT>& A, const Matrix<BT>& B,
-                   bool replace) {
+void ewise_add_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                   Accum accum, Op op, const Matrix<AT>& A,
+                   const Matrix<BT>& B) {
   using ZT = std::common_type_t<AT, BT>;
   Matrix<ZT> T(C.nrows(), C.ncols());
   for (IndexType i = 0; i < C.nrows(); ++i) {
     const auto& ar = A.row(i);
     const auto& br = B.row(i);
-    typename Matrix<ZT>::Row out;
-    out.reserve(ar.size() + br.size());
+    typename Matrix<ZT>::Row merged;
+    merged.reserve(ar.size() + br.size());
     std::size_t ai = 0, bi = 0;
     while (ai < ar.size() || bi < br.size()) {
       if (bi >= br.size() || (ai < ar.size() && ar[ai].first < br[bi].first)) {
-        out.emplace_back(ar[ai].first, static_cast<ZT>(ar[ai].second));
+        merged.emplace_back(ar[ai].first, static_cast<ZT>(ar[ai].second));
         ++ai;
       } else if (ai >= ar.size() || br[bi].first < ar[ai].first) {
-        out.emplace_back(br[bi].first, static_cast<ZT>(br[bi].second));
+        merged.emplace_back(br[bi].first, static_cast<ZT>(br[bi].second));
         ++bi;
       } else {
-        out.emplace_back(ar[ai].first,
-                         static_cast<ZT>(op(static_cast<ZT>(ar[ai].second),
-                                            static_cast<ZT>(br[bi].second))));
+        merged.emplace_back(
+            ar[ai].first, static_cast<ZT>(op(static_cast<ZT>(ar[ai].second),
+                                             static_cast<ZT>(br[bi].second))));
         ++ai, ++bi;
       }
     }
-    T.set_row(i, std::move(out));
+    T.set_row(i, std::move(merged));
   }
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 template <typename CT, typename MObj, typename Accum, typename Op,
           typename AT, typename BT>
-void ewise_mult_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                    Op op, const Matrix<AT>& A, const Matrix<BT>& B,
-                    bool replace) {
+void ewise_mult_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                    Accum accum, Op op, const Matrix<AT>& A,
+                    const Matrix<BT>& B) {
   using ZT = std::common_type_t<AT, BT>;
   Matrix<ZT> T(C.nrows(), C.ncols());
   for (IndexType i = 0; i < C.nrows(); ++i) {
     const auto& ar = A.row(i);
     const auto& br = B.row(i);
-    typename Matrix<ZT>::Row out;
+    typename Matrix<ZT>::Row merged;
     std::size_t ai = 0, bi = 0;
     while (ai < ar.size() && bi < br.size()) {
       if (ar[ai].first < br[bi].first) {
@@ -379,15 +257,15 @@ void ewise_mult_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
       } else if (br[bi].first < ar[ai].first) {
         ++bi;
       } else {
-        out.emplace_back(ar[ai].first,
-                         static_cast<ZT>(op(static_cast<ZT>(ar[ai].second),
-                                            static_cast<ZT>(br[bi].second))));
+        merged.emplace_back(
+            ar[ai].first, static_cast<ZT>(op(static_cast<ZT>(ar[ai].second),
+                                             static_cast<ZT>(br[bi].second))));
         ++ai, ++bi;
       }
     }
-    T.set_row(i, std::move(out));
+    T.set_row(i, std::move(merged));
   }
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 // ===========================================================================
@@ -396,57 +274,57 @@ void ewise_mult_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
 
 template <typename WT, typename MObj, typename Accum, typename UnaryOp,
           typename UT>
-void apply_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-               UnaryOp f, const Vector<UT>& u, bool replace) {
+void apply_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
+               UnaryOp f, const Vector<UT>& u) {
   Vector<WT> T(w.size());
   for (IndexType i = 0; i < u.size(); ++i)
     if (u.present_unchecked(i))
       T.set_unchecked(i, static_cast<WT>(f(u.value_unchecked(i))));
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 template <typename CT, typename MObj, typename Accum, typename UnaryOp,
           typename AT>
-void apply_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-               UnaryOp f, const Matrix<AT>& A, bool replace) {
+void apply_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
+               UnaryOp f, const Matrix<AT>& A) {
   Matrix<CT> T(C.nrows(), C.ncols());
   for (IndexType i = 0; i < A.nrows(); ++i) {
-    typename Matrix<CT>::Row out;
-    out.reserve(A.row(i).size());
+    typename Matrix<CT>::Row trow;
+    trow.reserve(A.row(i).size());
     for (const auto& [j, v] : A.row(i))
-      out.emplace_back(j, static_cast<CT>(f(v)));
-    T.set_row(i, std::move(out));
+      trow.emplace_back(j, static_cast<CT>(f(v)));
+    T.set_row(i, std::move(trow));
   }
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 /// apply with an index-aware operator: T̃[i] = f(i, u[i]) — the GraphBLAS
 /// IndexUnaryOp extension (used by BFS parent tracking, k-core peeling...).
 template <typename WT, typename MObj, typename Accum, typename IdxOp,
           typename UT>
-void apply_indexed_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                       IdxOp f, const Vector<UT>& u, bool replace) {
+void apply_indexed_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                       Accum accum, IdxOp f, const Vector<UT>& u) {
   Vector<WT> T(w.size());
   for (IndexType i = 0; i < u.size(); ++i)
     if (u.present_unchecked(i))
       T.set_unchecked(i, static_cast<WT>(f(i, u.value_unchecked(i))));
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 /// Matrix form: T̃(i,j) = f(i, j, A(i,j)).
 template <typename CT, typename MObj, typename Accum, typename IdxOp,
           typename AT>
-void apply_indexed_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                       IdxOp f, const Matrix<AT>& A, bool replace) {
+void apply_indexed_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                       Accum accum, IdxOp f, const Matrix<AT>& A) {
   Matrix<CT> T(C.nrows(), C.ncols());
   for (IndexType i = 0; i < A.nrows(); ++i) {
-    typename Matrix<CT>::Row out;
-    out.reserve(A.row(i).size());
+    typename Matrix<CT>::Row trow;
+    trow.reserve(A.row(i).size());
     for (const auto& [j, v] : A.row(i))
-      out.emplace_back(j, static_cast<CT>(f(i, j, v)));
-    T.set_row(i, std::move(out));
+      trow.emplace_back(j, static_cast<CT>(f(i, j, v)));
+    T.set_row(i, std::move(trow));
   }
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 // ===========================================================================
@@ -456,8 +334,8 @@ void apply_indexed_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
 /// Row-wise reduction of a matrix into a vector.
 template <typename WT, typename MObj, typename Accum, typename Monoid,
           typename AT>
-void reduce_mat_to_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                       Monoid monoid, const Matrix<AT>& A, bool replace) {
+void reduce_mat_to_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                       Accum accum, Monoid monoid, const Matrix<AT>& A) {
   using ZT = typename Monoid::result_type;
   Vector<ZT> T(w.size());
   for (IndexType i = 0; i < A.nrows(); ++i) {
@@ -466,7 +344,7 @@ void reduce_mat_to_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
     for (const auto& [j, v] : A.row(i)) acc = monoid(acc, static_cast<ZT>(v));
     T.set_unchecked(i, acc);
   }
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 template <typename ST, typename Accum, typename Monoid, typename UT>
@@ -501,10 +379,10 @@ void reduce_mat_to_scalar(ST& s, Accum accum, Monoid monoid,
 // ===========================================================================
 
 template <typename CT, typename MObj, typename Accum, typename AT>
-void transpose_op(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                  const Matrix<AT>& A, bool replace) {
+void transpose_op(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                  Accum accum, const Matrix<AT>& A) {
   Matrix<AT> T = detail::transposed(A);
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 // ===========================================================================
@@ -512,9 +390,9 @@ void transpose_op(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
 // ===========================================================================
 
 template <typename WT, typename MObj, typename Accum, typename UT>
-void extract_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                 const Vector<UT>& u, const IndexArrayType& indices,
-                 bool replace) {
+void extract_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                 Accum accum, const Vector<UT>& u,
+                 const IndexArrayType& indices) {
   Vector<UT> T(w.size());
   for (IndexType k = 0; k < indices.size(); ++k) {
     const IndexType src = indices[k];
@@ -523,13 +401,14 @@ void extract_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
     if (u.present_unchecked(src))
       T.set_unchecked(k, u.value_unchecked(src));
   }
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 template <typename CT, typename MObj, typename Accum, typename AT>
-void extract_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                 const Matrix<AT>& A, const IndexArrayType& row_indices,
-                 const IndexArrayType& col_indices, bool replace) {
+void extract_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
+                 Accum accum, const Matrix<AT>& A,
+                 const IndexArrayType& row_indices,
+                 const IndexArrayType& col_indices) {
   Matrix<AT> T(C.nrows(), C.ncols());
   // Position of each selected source column in the output (a source column
   // may be selected multiple times).
@@ -543,21 +422,21 @@ void extract_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
     const IndexType src = row_indices[k];
     if (src >= A.nrows())
       throw IndexOutOfBoundsException("extract: row index");
-    typename Matrix<AT>::Row out;
+    typename Matrix<AT>::Row trow;
     for (const auto& [j, v] : A.row(src))
-      for (IndexType dst_col : col_positions[j]) out.emplace_back(dst_col, v);
-    std::sort(out.begin(), out.end(),
+      for (IndexType dst_col : col_positions[j]) trow.emplace_back(dst_col, v);
+    std::sort(trow.begin(), trow.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    T.set_row(k, std::move(out));
+    T.set_row(k, std::move(trow));
   }
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 /// Column extract: w = A(row_indices, col).
 template <typename WT, typename MObj, typename Accum, typename AT>
-void extract_col(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                 const Matrix<AT>& A, const IndexArrayType& row_indices,
-                 IndexType col, bool replace) {
+void extract_col(Vector<WT>& w, const OutputDescriptor<MObj>& out,
+                 Accum accum, const Matrix<AT>& A,
+                 const IndexArrayType& row_indices, IndexType col) {
   if (col >= A.ncols())
     throw IndexOutOfBoundsException("extract: column index");
   Vector<AT> T(w.size());
@@ -567,7 +446,7 @@ void extract_col(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
     const AT* v = A.find(row_indices[k], col);
     if (v != nullptr) T.set_unchecked(k, *v);
   }
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 // ===========================================================================
@@ -575,10 +454,11 @@ void extract_col(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
 // ===========================================================================
 
 template <typename WT, typename MObj, typename Accum, typename UT>
-void assign_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                const Vector<UT>& u, const IndexArrayType& indices,
-                bool replace) {
+void assign_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
+                const Vector<UT>& u, const IndexArrayType& indices) {
   // Z starts as a copy of w; the subrange is overwritten (or accumulated).
+  // The accumulator applies during this pre-merge, so the epilogue runs
+  // without one.
   Vector<WT> T = w;
   constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
   for (IndexType k = 0; k < indices.size(); ++k) {
@@ -598,13 +478,13 @@ void assign_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
       T.erase_unchecked(dst);
     }
   }
-  detail::write_vector(w, T, mask, NoAccumulate{}, replace);
+  pipeline::write_vector(w, T, out, NoAccumulate{});
 }
 
 template <typename WT, typename MObj, typename Accum>
-void assign_vec_constant(Vector<WT>& w, const MaskDesc<MObj>& mask,
+void assign_vec_constant(Vector<WT>& w, const OutputDescriptor<MObj>& out,
                          Accum accum, const WT& value,
-                         const IndexArrayType& indices, bool replace) {
+                         const IndexArrayType& indices) {
   Vector<WT> T = w;
   constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
   for (IndexType dst : indices) {
@@ -618,13 +498,13 @@ void assign_vec_constant(Vector<WT>& w, const MaskDesc<MObj>& mask,
       T.set_unchecked(dst, value);
     }
   }
-  detail::write_vector(w, T, mask, NoAccumulate{}, replace);
+  pipeline::write_vector(w, T, out, NoAccumulate{});
 }
 
 template <typename CT, typename MObj, typename Accum, typename AT>
-void assign_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
+void assign_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
                 const Matrix<AT>& A, const IndexArrayType& row_indices,
-                const IndexArrayType& col_indices, bool replace) {
+                const IndexArrayType& col_indices) {
   constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
   Matrix<CT> T = C;
   // Without accumulate the assigned subgrid is fully replaced: clear the
@@ -658,14 +538,14 @@ void assign_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
       }
     }
   }
-  detail::write_matrix(C, T, mask, NoAccumulate{}, replace);
+  pipeline::write_matrix(C, T, out, NoAccumulate{});
 }
 
 template <typename CT, typename MObj, typename Accum>
-void assign_mat_constant(Matrix<CT>& C, const MaskDesc<MObj>& mask,
+void assign_mat_constant(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                          Accum accum, const CT& value,
                          const IndexArrayType& row_indices,
-                         const IndexArrayType& col_indices, bool replace) {
+                         const IndexArrayType& col_indices) {
   constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
   Matrix<CT> T = C;
   for (IndexType ri : row_indices) {
@@ -683,7 +563,7 @@ void assign_mat_constant(Matrix<CT>& C, const MaskDesc<MObj>& mask,
       }
     }
   }
-  detail::write_matrix(C, T, mask, NoAccumulate{}, replace);
+  pipeline::write_matrix(C, T, out, NoAccumulate{});
 }
 
 // ===========================================================================
@@ -692,25 +572,25 @@ void assign_mat_constant(Matrix<CT>& C, const MaskDesc<MObj>& mask,
 
 template <typename CT, typename MObj, typename Accum, typename Op,
           typename AT, typename BT>
-void kronecker(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, Op op,
-               const Matrix<AT>& A, const Matrix<BT>& B, bool replace) {
+void kronecker(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
+               Op op, const Matrix<AT>& A, const Matrix<BT>& B) {
   using ZT = std::common_type_t<AT, BT>;
   Matrix<ZT> T(C.nrows(), C.ncols());
   for (IndexType ia = 0; ia < A.nrows(); ++ia) {
     for (IndexType ib = 0; ib < B.nrows(); ++ib) {
-      typename Matrix<ZT>::Row out;
+      typename Matrix<ZT>::Row trow;
       for (const auto& [ja, va] : A.row(ia))
         for (const auto& [jb, vb] : B.row(ib))
-          out.emplace_back(ja * B.ncols() + jb,
-                           static_cast<ZT>(op(static_cast<ZT>(va),
-                                              static_cast<ZT>(vb))));
-      std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+          trow.emplace_back(ja * B.ncols() + jb,
+                            static_cast<ZT>(op(static_cast<ZT>(va),
+                                               static_cast<ZT>(vb))));
+      std::sort(trow.begin(), trow.end(), [](const auto& a, const auto& b) {
         return a.first < b.first;
       });
-      T.set_row(ia * B.nrows() + ib, std::move(out));
+      T.set_row(ia * B.nrows() + ib, std::move(trow));
     }
   }
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 // ===========================================================================
@@ -719,27 +599,27 @@ void kronecker(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum, Op op,
 
 template <typename CT, typename MObj, typename Accum, typename Pred,
           typename AT>
-void select_mat(Matrix<CT>& C, const MaskDesc<MObj>& mask, Accum accum,
-                Pred pred, const Matrix<AT>& A, bool replace) {
+void select_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
+                Pred pred, const Matrix<AT>& A) {
   Matrix<AT> T(C.nrows(), C.ncols());
   for (IndexType i = 0; i < A.nrows(); ++i) {
-    typename Matrix<AT>::Row out;
+    typename Matrix<AT>::Row trow;
     for (const auto& [j, v] : A.row(i))
-      if (pred(i, j, v)) out.emplace_back(j, v);
-    T.set_row(i, std::move(out));
+      if (pred(i, j, v)) trow.emplace_back(j, v);
+    T.set_row(i, std::move(trow));
   }
-  detail::write_matrix(C, T, mask, accum, replace);
+  pipeline::write_matrix(C, T, out, accum);
 }
 
 template <typename WT, typename MObj, typename Accum, typename Pred,
           typename UT>
-void select_vec(Vector<WT>& w, const MaskDesc<MObj>& mask, Accum accum,
-                Pred pred, const Vector<UT>& u, bool replace) {
+void select_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
+                Pred pred, const Vector<UT>& u) {
   Vector<UT> T(w.size());
   for (IndexType i = 0; i < u.size(); ++i)
     if (u.present_unchecked(i) && pred(i, u.value_unchecked(i)))
       T.set_unchecked(i, u.value_unchecked(i));
-  detail::write_vector(w, T, mask, accum, replace);
+  pipeline::write_vector(w, T, out, accum);
 }
 
 }  // namespace grb::seq_backend

@@ -12,7 +12,9 @@
 ///            deletes them.
 ///
 /// Matrix operands may be wrapped in transpose(A). The frontend validates
-/// shapes and lowers the call onto the backend selected by the output's tag.
+/// shapes (every dimension failure names the op and both offending sizes)
+/// and lowers {mask, outp} into one OutputDescriptor — the backends never
+/// see the raw mask argument or OutputControl.
 
 #include "gbtl/algebra.hpp"
 #include "gbtl/backend.hpp"
@@ -20,6 +22,7 @@
 #include "gbtl/types.hpp"
 #include "gbtl/vector.hpp"
 #include "gbtl/views.hpp"
+#include "gbtl/write_rules.hpp"
 
 namespace grb {
 
@@ -32,16 +35,19 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void mxm(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
          const SR& semiring, const AMat& A, const BMat& B,
          OutputControl outp = Merge) {
-  detail::check(detail::nrows_of(A) == C.nrows(), "mxm: C.nrows != A.nrows");
-  detail::check(detail::ncols_of(B) == C.ncols(), "mxm: C.ncols != B.ncols");
-  detail::check(detail::ncols_of(A) == detail::nrows_of(B),
-                "mxm: A.ncols != B.nrows");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "mxm: mask shape");
+  detail::check_dims(detail::nrows_of(A) == C.nrows(), "mxm",
+                     "C.nrows != A.nrows", C.nrows(), detail::nrows_of(A));
+  detail::check_dims(detail::ncols_of(B) == C.ncols(), "mxm",
+                     "C.ncols != B.ncols", C.ncols(), detail::ncols_of(B));
+  detail::check_dims(detail::ncols_of(A) == detail::nrows_of(B), "mxm",
+                     "A.ncols != B.nrows", detail::ncols_of(A),
+                     detail::nrows_of(B));
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "mxm", C.nrows(), C.ncols());
   auto&& a = detail::lower_operand(A);
   auto&& b = detail::lower_operand(B);
-  backend_ops<Tag>::mxm(C.impl(), detail::lower_mask(Mask), accum, semiring,
-                        a, b, outp == Replace);
+  backend_ops<Tag>::mxm(C.impl(), detail::lower_output(Mask, outp), accum,
+                        semiring, a, b);
 }
 
 // ===========================================================================
@@ -53,12 +59,15 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void mxv(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
          const SR& semiring, const AMat& A, const Vector<UT, Tag>& u,
          OutputControl outp = Merge) {
-  detail::check(detail::nrows_of(A) == w.size(), "mxv: w.size != A.nrows");
-  detail::check(detail::ncols_of(A) == u.size(), "mxv: u.size != A.ncols");
-  detail::check(detail::mask_size_ok(mask, w.size()), "mxv: mask size");
+  detail::check_dims(detail::nrows_of(A) == w.size(), "mxv",
+                     "w.size != A.nrows", w.size(), detail::nrows_of(A));
+  detail::check_dims(detail::ncols_of(A) == u.size(), "mxv",
+                     "u.size != A.ncols", u.size(), detail::ncols_of(A));
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "mxv",
+                          w.size());
   auto&& a = detail::lower_operand(A);
-  backend_ops<Tag>::mxv(w.impl(), detail::lower_mask(mask), accum, semiring,
-                        a, u.impl(), outp == Replace);
+  backend_ops<Tag>::mxv(w.impl(), detail::lower_output(mask, outp), accum,
+                        semiring, a, u.impl());
 }
 
 // ===========================================================================
@@ -70,12 +79,15 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void vxm(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
          const SR& semiring, const Vector<UT, Tag>& u, const AMat& A,
          OutputControl outp = Merge) {
-  detail::check(detail::ncols_of(A) == w.size(), "vxm: w.size != A.ncols");
-  detail::check(detail::nrows_of(A) == u.size(), "vxm: u.size != A.nrows");
-  detail::check(detail::mask_size_ok(mask, w.size()), "vxm: mask size");
+  detail::check_dims(detail::ncols_of(A) == w.size(), "vxm",
+                     "w.size != A.ncols", w.size(), detail::ncols_of(A));
+  detail::check_dims(detail::nrows_of(A) == u.size(), "vxm",
+                     "u.size != A.nrows", u.size(), detail::nrows_of(A));
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "vxm",
+                          w.size());
   auto&& a = detail::lower_operand(A);
-  backend_ops<Tag>::vxm(w.impl(), detail::lower_mask(mask), accum, semiring,
-                        u.impl(), a, outp == Replace);
+  backend_ops<Tag>::vxm(w.impl(), detail::lower_output(mask, outp), accum,
+                        semiring, u.impl(), a);
 }
 
 // ===========================================================================
@@ -87,11 +99,14 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void eWiseAdd(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
               const Op& op, const Vector<UT, Tag>& u,
               const Vector<VT, Tag>& v, OutputControl outp = Merge) {
-  detail::check(u.size() == w.size() && v.size() == w.size(),
-                "eWiseAdd: size mismatch");
-  detail::check(detail::mask_size_ok(mask, w.size()), "eWiseAdd: mask size");
-  backend_ops<Tag>::ewise_add_vec(w.impl(), detail::lower_mask(mask), accum,
-                                  op, u.impl(), v.impl(), outp == Replace);
+  detail::check_dims(u.size() == w.size(), "eWiseAdd", "u.size != w.size",
+                     u.size(), w.size());
+  detail::check_dims(v.size() == w.size(), "eWiseAdd", "v.size != w.size",
+                     v.size(), w.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "eWiseAdd",
+                          w.size());
+  backend_ops<Tag>::ewise_add_vec(w.impl(), detail::lower_output(mask, outp),
+                                  accum, op, u.impl(), v.impl());
 }
 
 template <typename WT, typename Tag, typename MaskT, typename Accum,
@@ -99,29 +114,46 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void eWiseMult(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
                const Op& op, const Vector<UT, Tag>& u,
                const Vector<VT, Tag>& v, OutputControl outp = Merge) {
-  detail::check(u.size() == w.size() && v.size() == w.size(),
-                "eWiseMult: size mismatch");
-  detail::check(detail::mask_size_ok(mask, w.size()), "eWiseMult: mask size");
-  backend_ops<Tag>::ewise_mult_vec(w.impl(), detail::lower_mask(mask), accum,
-                                   op, u.impl(), v.impl(), outp == Replace);
+  detail::check_dims(u.size() == w.size(), "eWiseMult", "u.size != w.size",
+                     u.size(), w.size());
+  detail::check_dims(v.size() == w.size(), "eWiseMult", "v.size != w.size",
+                     v.size(), w.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "eWiseMult",
+                          w.size());
+  backend_ops<Tag>::ewise_mult_vec(w.impl(), detail::lower_output(mask, outp),
+                                   accum, op, u.impl(), v.impl());
 }
+
+namespace detail {
+
+/// Shared shape validation for the binary matrix eWise ops.
+template <typename CMat, typename AMat, typename BMat>
+void check_ewise_mat_shapes(const char* op_name, const CMat& C, const AMat& A,
+                            const BMat& B) {
+  check_dims(nrows_of(A) == C.nrows(), op_name, "A.nrows != C.nrows",
+             nrows_of(A), C.nrows());
+  check_dims(ncols_of(A) == C.ncols(), op_name, "A.ncols != C.ncols",
+             ncols_of(A), C.ncols());
+  check_dims(nrows_of(B) == C.nrows(), op_name, "B.nrows != C.nrows",
+             nrows_of(B), C.nrows());
+  check_dims(ncols_of(B) == C.ncols(), op_name, "B.ncols != C.ncols",
+             ncols_of(B), C.ncols());
+}
+
+}  // namespace detail
 
 template <typename CT, typename Tag, typename MaskT, typename Accum,
           typename Op, typename AMat, typename BMat>
 void eWiseAdd(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
               const Op& op, const AMat& A, const BMat& B,
               OutputControl outp = Merge) {
-  detail::check(detail::nrows_of(A) == C.nrows() &&
-                    detail::ncols_of(A) == C.ncols() &&
-                    detail::nrows_of(B) == C.nrows() &&
-                    detail::ncols_of(B) == C.ncols(),
-                "eWiseAdd: shape mismatch");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "eWiseAdd: mask shape");
+  detail::check_ewise_mat_shapes("eWiseAdd", C, A, B);
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "eWiseAdd", C.nrows(), C.ncols());
   auto&& a = detail::lower_operand(A);
   auto&& b = detail::lower_operand(B);
-  backend_ops<Tag>::ewise_add_mat(C.impl(), detail::lower_mask(Mask), accum,
-                                  op, a, b, outp == Replace);
+  backend_ops<Tag>::ewise_add_mat(C.impl(), detail::lower_output(Mask, outp),
+                                  accum, op, a, b);
 }
 
 template <typename CT, typename Tag, typename MaskT, typename Accum,
@@ -129,17 +161,13 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void eWiseMult(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
                const Op& op, const AMat& A, const BMat& B,
                OutputControl outp = Merge) {
-  detail::check(detail::nrows_of(A) == C.nrows() &&
-                    detail::ncols_of(A) == C.ncols() &&
-                    detail::nrows_of(B) == C.nrows() &&
-                    detail::ncols_of(B) == C.ncols(),
-                "eWiseMult: shape mismatch");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "eWiseMult: mask shape");
+  detail::check_ewise_mat_shapes("eWiseMult", C, A, B);
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "eWiseMult", C.nrows(), C.ncols());
   auto&& a = detail::lower_operand(A);
   auto&& b = detail::lower_operand(B);
-  backend_ops<Tag>::ewise_mult_mat(C.impl(), detail::lower_mask(Mask), accum,
-                                   op, a, b, outp == Replace);
+  backend_ops<Tag>::ewise_mult_mat(C.impl(), detail::lower_output(Mask, outp),
+                                   accum, op, a, b);
 }
 
 // ===========================================================================
@@ -151,24 +179,27 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void apply(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
            const UnaryOp& op, const Vector<UT, Tag>& u,
            OutputControl outp = Merge) {
-  detail::check(u.size() == w.size(), "apply: size mismatch");
-  detail::check(detail::mask_size_ok(mask, w.size()), "apply: mask size");
-  backend_ops<Tag>::apply_vec(w.impl(), detail::lower_mask(mask), accum, op,
-                              u.impl(), outp == Replace);
+  detail::check_dims(u.size() == w.size(), "apply", "u.size != w.size",
+                     u.size(), w.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "apply",
+                          w.size());
+  backend_ops<Tag>::apply_vec(w.impl(), detail::lower_output(mask, outp),
+                              accum, op, u.impl());
 }
 
 template <typename CT, typename Tag, typename MaskT, typename Accum,
           typename UnaryOp, typename AMat>
 void apply(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
            const UnaryOp& op, const AMat& A, OutputControl outp = Merge) {
-  detail::check(detail::nrows_of(A) == C.nrows() &&
-                    detail::ncols_of(A) == C.ncols(),
-                "apply: shape mismatch");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "apply: mask shape");
+  detail::check_dims(detail::nrows_of(A) == C.nrows(), "apply",
+                     "A.nrows != C.nrows", detail::nrows_of(A), C.nrows());
+  detail::check_dims(detail::ncols_of(A) == C.ncols(), "apply",
+                     "A.ncols != C.ncols", detail::ncols_of(A), C.ncols());
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "apply", C.nrows(), C.ncols());
   auto&& a = detail::lower_operand(A);
-  backend_ops<Tag>::apply_mat(C.impl(), detail::lower_mask(Mask), accum, op,
-                              a, outp == Replace);
+  backend_ops<Tag>::apply_mat(C.impl(), detail::lower_output(Mask, outp),
+                              accum, op, a);
 }
 
 // ===========================================================================
@@ -182,11 +213,13 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void applyIndexed(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
                   const IdxOp& op, const Vector<UT, Tag>& u,
                   OutputControl outp = Merge) {
-  detail::check(u.size() == w.size(), "applyIndexed: size mismatch");
-  detail::check(detail::mask_size_ok(mask, w.size()),
-                "applyIndexed: mask size");
-  backend_ops<Tag>::apply_indexed_vec(w.impl(), detail::lower_mask(mask),
-                                      accum, op, u.impl(), outp == Replace);
+  detail::check_dims(u.size() == w.size(), "applyIndexed",
+                     "u.size != w.size", u.size(), w.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()),
+                          "applyIndexed", w.size());
+  backend_ops<Tag>::apply_indexed_vec(w.impl(),
+                                      detail::lower_output(mask, outp), accum,
+                                      op, u.impl());
 }
 
 /// C<M,z> = accum(C, f(i, j, A(i,j))).
@@ -195,12 +228,15 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void applyIndexed(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
                   const IdxOp& op, const Matrix<AT, Tag>& A,
                   OutputControl outp = Merge) {
-  detail::check(A.nrows() == C.nrows() && A.ncols() == C.ncols(),
-                "applyIndexed: shape mismatch");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "applyIndexed: mask shape");
-  backend_ops<Tag>::apply_indexed_mat(C.impl(), detail::lower_mask(Mask),
-                                      accum, op, A.impl(), outp == Replace);
+  detail::check_dims(A.nrows() == C.nrows(), "applyIndexed",
+                     "A.nrows != C.nrows", A.nrows(), C.nrows());
+  detail::check_dims(A.ncols() == C.ncols(), "applyIndexed",
+                     "A.ncols != C.ncols", A.ncols(), C.ncols());
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "applyIndexed", C.nrows(), C.ncols());
+  backend_ops<Tag>::apply_indexed_mat(C.impl(),
+                                      detail::lower_output(Mask, outp), accum,
+                                      op, A.impl());
 }
 
 // ===========================================================================
@@ -212,12 +248,14 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
           typename Monoid, typename AMat>
 void reduce(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
             const Monoid& monoid, const AMat& A, OutputControl outp = Merge) {
-  detail::check(detail::nrows_of(A) == w.size(),
-                "reduce: w.size != A.nrows");
-  detail::check(detail::mask_size_ok(mask, w.size()), "reduce: mask size");
+  detail::check_dims(detail::nrows_of(A) == w.size(), "reduce",
+                     "w.size != A.nrows", w.size(), detail::nrows_of(A));
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "reduce",
+                          w.size());
   auto&& a = detail::lower_operand(A);
-  backend_ops<Tag>::reduce_mat_to_vec(w.impl(), detail::lower_mask(mask),
-                                      accum, monoid, a, outp == Replace);
+  backend_ops<Tag>::reduce_mat_to_vec(w.impl(),
+                                      detail::lower_output(mask, outp), accum,
+                                      monoid, a);
 }
 
 /// Vector to scalar.
@@ -244,12 +282,14 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
           typename AT>
 void transpose(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
                const Matrix<AT, Tag>& A, OutputControl outp = Merge) {
-  detail::check(C.nrows() == A.ncols() && C.ncols() == A.nrows(),
-                "transpose: shape mismatch");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "transpose: mask shape");
-  backend_ops<Tag>::transpose_op(C.impl(), detail::lower_mask(Mask), accum,
-                                 A.impl(), outp == Replace);
+  detail::check_dims(C.nrows() == A.ncols(), "transpose",
+                     "C.nrows != A.ncols", C.nrows(), A.ncols());
+  detail::check_dims(C.ncols() == A.nrows(), "transpose",
+                     "C.ncols != A.nrows", C.ncols(), A.nrows());
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "transpose", C.nrows(), C.ncols());
+  backend_ops<Tag>::transpose_op(C.impl(), detail::lower_output(Mask, outp),
+                                 accum, A.impl());
 }
 
 // ===========================================================================
@@ -262,11 +302,12 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void extract(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
              const Vector<UT, Tag>& u, const IndexArrayType& indices,
              OutputControl outp = Merge) {
-  detail::check(indices.size() == w.size(),
-                "extract: w.size != indices.size");
-  detail::check(detail::mask_size_ok(mask, w.size()), "extract: mask size");
-  backend_ops<Tag>::extract_vec(w.impl(), detail::lower_mask(mask), accum,
-                                u.impl(), indices, outp == Replace);
+  detail::check_dims(indices.size() == w.size(), "extract",
+                     "w.size != indices.size", w.size(), indices.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "extract",
+                          w.size());
+  backend_ops<Tag>::extract_vec(w.impl(), detail::lower_output(mask, outp),
+                                accum, u.impl(), indices);
 }
 
 /// C = A(row_indices, col_indices).
@@ -275,14 +316,16 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void extract(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
              const Matrix<AT, Tag>& A, const IndexArrayType& row_indices,
              const IndexArrayType& col_indices, OutputControl outp = Merge) {
-  detail::check(row_indices.size() == C.nrows() &&
-                    col_indices.size() == C.ncols(),
-                "extract: output shape != index set sizes");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "extract: mask shape");
-  backend_ops<Tag>::extract_mat(C.impl(), detail::lower_mask(Mask), accum,
-                                A.impl(), row_indices, col_indices,
-                                outp == Replace);
+  detail::check_dims(row_indices.size() == C.nrows(), "extract",
+                     "C.nrows != row_indices.size", C.nrows(),
+                     row_indices.size());
+  detail::check_dims(col_indices.size() == C.ncols(), "extract",
+                     "C.ncols != col_indices.size", C.ncols(),
+                     col_indices.size());
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "extract", C.nrows(), C.ncols());
+  backend_ops<Tag>::extract_mat(C.impl(), detail::lower_output(Mask, outp),
+                                accum, A.impl(), row_indices, col_indices);
 }
 
 /// w = A(row_indices, col) — a single-column gather (pass transpose(A) to
@@ -292,12 +335,14 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void extract(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
              const AMat& A, const IndexArrayType& row_indices, IndexType col,
              OutputControl outp = Merge) {
-  detail::check(row_indices.size() == w.size(),
-                "extract: w.size != row_indices.size");
-  detail::check(detail::mask_size_ok(mask, w.size()), "extract: mask size");
+  detail::check_dims(row_indices.size() == w.size(), "extract",
+                     "w.size != row_indices.size", w.size(),
+                     row_indices.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "extract",
+                          w.size());
   auto&& a = detail::lower_operand(A);
-  backend_ops<Tag>::extract_col(w.impl(), detail::lower_mask(mask), accum, a,
-                                row_indices, col, outp == Replace);
+  backend_ops<Tag>::extract_col(w.impl(), detail::lower_output(mask, outp),
+                                accum, a, row_indices, col);
 }
 
 // ===========================================================================
@@ -310,11 +355,12 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void assign(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
             const Vector<UT, Tag>& u, const IndexArrayType& indices,
             OutputControl outp = Merge) {
-  detail::check(indices.size() == u.size(),
-                "assign: u.size != indices.size");
-  detail::check(detail::mask_size_ok(mask, w.size()), "assign: mask size");
-  backend_ops<Tag>::assign_vec(w.impl(), detail::lower_mask(mask), accum,
-                               u.impl(), indices, outp == Replace);
+  detail::check_dims(indices.size() == u.size(), "assign",
+                     "u.size != indices.size", u.size(), indices.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "assign",
+                          w.size());
+  backend_ops<Tag>::assign_vec(w.impl(), detail::lower_output(mask, outp),
+                               accum, u.impl(), indices);
 }
 
 /// w(indices) = value (scalar broadcast).
@@ -324,10 +370,12 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void assign(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
             const ValT& value, const IndexArrayType& indices,
             OutputControl outp = Merge) {
-  detail::check(detail::mask_size_ok(mask, w.size()), "assign: mask size");
-  backend_ops<Tag>::assign_vec_constant(w.impl(), detail::lower_mask(mask),
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "assign",
+                          w.size());
+  backend_ops<Tag>::assign_vec_constant(w.impl(),
+                                        detail::lower_output(mask, outp),
                                         accum, static_cast<WT>(value),
-                                        indices, outp == Replace);
+                                        indices);
 }
 
 /// C(row_indices, col_indices) = A.
@@ -336,14 +384,16 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void assign(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
             const Matrix<AT, Tag>& A, const IndexArrayType& row_indices,
             const IndexArrayType& col_indices, OutputControl outp = Merge) {
-  detail::check(row_indices.size() == A.nrows() &&
-                    col_indices.size() == A.ncols(),
-                "assign: A shape != index set sizes");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "assign: mask shape");
-  backend_ops<Tag>::assign_mat(C.impl(), detail::lower_mask(Mask), accum,
-                               A.impl(), row_indices, col_indices,
-                               outp == Replace);
+  detail::check_dims(row_indices.size() == A.nrows(), "assign",
+                     "A.nrows != row_indices.size", A.nrows(),
+                     row_indices.size());
+  detail::check_dims(col_indices.size() == A.ncols(), "assign",
+                     "A.ncols != col_indices.size", A.ncols(),
+                     col_indices.size());
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "assign", C.nrows(), C.ncols());
+  backend_ops<Tag>::assign_mat(C.impl(), detail::lower_output(Mask, outp),
+                               accum, A.impl(), row_indices, col_indices);
 }
 
 /// C(row_indices, col_indices) = value (scalar broadcast).
@@ -353,12 +403,12 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void assign(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
             const ValT& value, const IndexArrayType& row_indices,
             const IndexArrayType& col_indices, OutputControl outp = Merge) {
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "assign: mask shape");
-  backend_ops<Tag>::assign_mat_constant(C.impl(), detail::lower_mask(Mask),
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "assign", C.nrows(), C.ncols());
+  backend_ops<Tag>::assign_mat_constant(C.impl(),
+                                        detail::lower_output(Mask, outp),
                                         accum, static_cast<CT>(value),
-                                        row_indices, col_indices,
-                                        outp == Replace);
+                                        row_indices, col_indices);
 }
 
 // ===========================================================================
@@ -370,13 +420,16 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void kronecker(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
                const Op& op, const Matrix<AT, Tag>& A,
                const Matrix<BT, Tag>& B, OutputControl outp = Merge) {
-  detail::check(C.nrows() == A.nrows() * B.nrows() &&
-                    C.ncols() == A.ncols() * B.ncols(),
-                "kronecker: shape mismatch");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "kronecker: mask shape");
-  backend_ops<Tag>::kronecker(C.impl(), detail::lower_mask(Mask), accum, op,
-                              A.impl(), B.impl(), outp == Replace);
+  detail::check_dims(C.nrows() == A.nrows() * B.nrows(), "kronecker",
+                     "C.nrows != A.nrows * B.nrows", C.nrows(),
+                     A.nrows() * B.nrows());
+  detail::check_dims(C.ncols() == A.ncols() * B.ncols(), "kronecker",
+                     "C.ncols != A.ncols * B.ncols", C.ncols(),
+                     A.ncols() * B.ncols());
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "kronecker", C.nrows(), C.ncols());
+  backend_ops<Tag>::kronecker(C.impl(), detail::lower_output(Mask, outp),
+                              accum, op, A.impl(), B.impl());
 }
 
 // ===========================================================================
@@ -389,12 +442,14 @@ template <typename CT, typename Tag, typename MaskT, typename Accum,
 void select(Matrix<CT, Tag>& C, const MaskT& Mask, const Accum& accum,
             const Pred& pred, const Matrix<AT, Tag>& A,
             OutputControl outp = Merge) {
-  detail::check(C.nrows() == A.nrows() && C.ncols() == A.ncols(),
-                "select: shape mismatch");
-  detail::check(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
-                "select: mask shape");
-  backend_ops<Tag>::select_mat(C.impl(), detail::lower_mask(Mask), accum,
-                               pred, A.impl(), outp == Replace);
+  detail::check_dims(C.nrows() == A.nrows(), "select", "C.nrows != A.nrows",
+                     C.nrows(), A.nrows());
+  detail::check_dims(C.ncols() == A.ncols(), "select", "C.ncols != A.ncols",
+                     C.ncols(), A.ncols());
+  detail::check_mask_shape(detail::mask_shape_ok(Mask, C.nrows(), C.ncols()),
+                           "select", C.nrows(), C.ncols());
+  backend_ops<Tag>::select_mat(C.impl(), detail::lower_output(Mask, outp),
+                               accum, pred, A.impl());
 }
 
 /// Vector select: pred(i, value) -> bool.
@@ -403,10 +458,12 @@ template <typename WT, typename Tag, typename MaskT, typename Accum,
 void select(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
             const Pred& pred, const Vector<UT, Tag>& u,
             OutputControl outp = Merge) {
-  detail::check(w.size() == u.size(), "select: size mismatch");
-  detail::check(detail::mask_size_ok(mask, w.size()), "select: mask size");
-  backend_ops<Tag>::select_vec(w.impl(), detail::lower_mask(mask), accum,
-                               pred, u.impl(), outp == Replace);
+  detail::check_dims(w.size() == u.size(), "select", "w.size != u.size",
+                     w.size(), u.size());
+  detail::check_mask_size(detail::mask_size_ok(mask, w.size()), "select",
+                          w.size());
+  backend_ops<Tag>::select_vec(w.impl(), detail::lower_output(mask, outp),
+                               accum, pred, u.impl());
 }
 
 // ===========================================================================

@@ -84,6 +84,38 @@ inline void check(bool ok, const char* msg) {
   if (!ok) throw DimensionException(msg);
 }
 
+/// Shape check with uniform diagnostics: every message names the operation,
+/// the violated relation, and both offending dimensions, e.g.
+///   "mxm: C.nrows != A.nrows (3 vs 4)".
+/// The string is only assembled on failure.
+inline void check_dims(bool ok, const char* op, const char* relation,
+                       IndexType got, IndexType want) {
+  if (ok) return;
+  throw DimensionException(std::string(op) + ": " + relation + " (" +
+                           std::to_string(got) + " vs " +
+                           std::to_string(want) + ")");
+}
+
+/// Mask-shape check for matrix outputs:
+///   "mxm: mask shape must match output (3x4)".
+inline void check_mask_shape(bool ok, const char* op, IndexType nrows,
+                             IndexType ncols) {
+  if (ok) return;
+  throw DimensionException(std::string(op) +
+                           ": mask shape must match output (" +
+                           std::to_string(nrows) + "x" +
+                           std::to_string(ncols) + ")");
+}
+
+/// Mask-size check for vector outputs:
+///   "mxv: mask size must match output (5)".
+inline void check_mask_size(bool ok, const char* op, IndexType n) {
+  if (ok) return;
+  throw DimensionException(std::string(op) +
+                           ": mask size must match output (" +
+                           std::to_string(n) + ")");
+}
+
 }  // namespace detail
 
 }  // namespace grb

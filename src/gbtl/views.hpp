@@ -11,6 +11,7 @@
 #include "gbtl/mask.hpp"
 #include "gbtl/types.hpp"
 #include "gbtl/vector.hpp"
+#include "gbtl/write_rules.hpp"
 
 namespace grb {
 
@@ -123,6 +124,22 @@ auto lower_mask(const StructureView<Masked>& m) {
   auto desc = lower_mask(*m.inner);
   desc.structural = true;
   return desc;
+}
+
+// ---- Output lowering: {mask argument, OutputControl} -> OutputDescriptor -
+
+/// Capture the whole output side of a call — mask interpretation plus the
+/// Merge/Replace choice — in one descriptor at the frontend boundary. The
+/// backends never see the raw mask argument or OutputControl again.
+template <typename MObj>
+OutputDescriptor<MObj> describe_output(MaskDesc<MObj> mask,
+                                       OutputControl outp) {
+  return {mask, outp == OutputControl::Replace};
+}
+
+template <typename MaskT>
+auto lower_output(const MaskT& m, OutputControl outp) {
+  return describe_output(lower_mask(m), outp);
 }
 
 // ---- Mask dimension probing ----------------------------------------------

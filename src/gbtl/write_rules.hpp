@@ -1,0 +1,120 @@
+#pragma once
+
+/// @file write_rules.hpp
+/// The single source of truth for GraphBLAS output semantics. Every
+/// operation ends with the same three-step pipeline:
+///
+///   1. compute the raw result T̃;
+///   2. Z = accum ? merge(C, T̃, accum) : T̃;
+///   3. write back under the mask: allowed positions take Z, disallowed
+///      positions keep C (Merge) or are deleted (Replace).
+///
+/// The frontend lowers {mask argument, OutputControl} into one
+/// OutputDescriptor at the API boundary (views.hpp::lower_output); the
+/// backends hand it to the epilogue executors in sparse/output_pipeline.hpp.
+/// The per-position resolution functions below are shared verbatim by the
+/// sequential scalar loop and the gpu_sim scatter kernels, so steps 2+3
+/// cannot drift between backends.
+
+#include <type_traits>
+
+#include "gbtl/mask.hpp"
+#include "gbtl/types.hpp"
+
+namespace grb {
+
+/// The four mask interpretations a lowered descriptor can express (plus
+/// unmasked). Purely informational — backends branch on the MaskDesc
+/// flags — but benches, docs, and tests name cases with it.
+enum class MaskKind {
+  kNone,                 ///< no mask: every position is allowed
+  kValue,                ///< stored-and-truthy positions allowed
+  kStructure,            ///< stored positions allowed (values ignored)
+  kComplementValue,      ///< complement of kValue
+  kComplementStructure,  ///< complement of kStructure
+};
+
+inline const char* to_string(MaskKind k) {
+  switch (k) {
+    case MaskKind::kNone: return "none";
+    case MaskKind::kValue: return "value";
+    case MaskKind::kStructure: return "structure";
+    case MaskKind::kComplementValue: return "complement";
+    case MaskKind::kComplementStructure: return "complement-structure";
+  }
+  return "unknown";
+}
+
+/// Everything the output side of an operation needs, captured once at the
+/// frontend boundary: how to interpret the mask and what happens to
+/// mask-disallowed output entries. The accumulator stays a separate typed
+/// argument (it participates in step 2's arithmetic, so erasing its type
+/// here would cost an indirect call per element).
+template <typename MObj>
+struct OutputDescriptor {
+  MaskDesc<MObj> mask{};
+  /// Replace: mask-disallowed output entries are deleted. Merge (false):
+  /// they are kept.
+  bool replace = false;
+
+  bool unmasked() const { return mask.unmasked(); }
+
+  MaskKind kind() const {
+    if (mask.unmasked()) return MaskKind::kNone;
+    if (mask.complement)
+      return mask.structural ? MaskKind::kComplementStructure
+                             : MaskKind::kComplementValue;
+    return mask.structural ? MaskKind::kStructure : MaskKind::kValue;
+  }
+};
+
+/// Descriptor used when the caller passed grb::NoMask.
+using NoMaskOutputDesc = OutputDescriptor<EmptyMaskObj>;
+
+namespace write_rules {
+
+template <typename V>
+constexpr bool truthy(const V& v) {
+  return static_cast<bool>(v);
+}
+
+/// Outcome of resolving one output position: either an entry with a value,
+/// or no entry (deleted / never present).
+template <typename CT>
+struct Entry {
+  bool present = false;
+  CT value{};
+};
+
+/// Resolve a mask-ALLOWED position. `has_c`/`cval` describe C's old entry,
+/// `has_t`/`tval` describe T̃'s computed entry. Implements step 2 (accum
+/// merge) and the allowed half of step 3.
+template <typename Accum, typename CT, typename TT>
+constexpr Entry<CT> resolve_allowed(const Accum& accum, bool has_c,
+                                    const CT& cval, bool has_t,
+                                    const TT& tval) {
+  if constexpr (!std::is_same_v<Accum, NoAccumulate>) {
+    if (has_c && has_t)
+      return {true, static_cast<CT>(accum(cval, static_cast<CT>(tval)))};
+    if (has_t) return {true, static_cast<CT>(tval)};
+    if (has_c) return {true, cval};
+  } else {
+    (void)accum;
+    // Without an accumulator Z is exactly T̃: a C-only entry is deleted.
+    if (has_t) return {true, static_cast<CT>(tval)};
+  }
+  return {};
+}
+
+/// Resolve a mask-DISALLOWED position: Merge keeps C's entry, Replace
+/// deletes it. T̃'s value never reaches a disallowed position.
+template <typename CT>
+constexpr Entry<CT> resolve_disallowed(bool replace, bool has_c,
+                                       const CT& cval) {
+  if (has_c && !replace) return {true, cval};
+  return {};
+}
+
+}  // namespace write_rules
+
+}  // namespace grb

@@ -8,7 +8,11 @@ namespace gpu_sim {
 Context::Context(DeviceProperties props, std::size_t worker_count)
     : props_(props), pool_(worker_count) {}
 
-Context::~Context() = default;
+Context::~Context() {
+  // Cached pool blocks have no client owner left to release them.
+  std::lock_guard<std::mutex> lock(mutex_);
+  trim_locked();
+}
 
 DeviceStats Context::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -18,9 +22,11 @@ DeviceStats Context::stats() const {
 void Context::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t in_use = stats_.bytes_in_use;
+  const std::size_t held = stats_.pool_bytes_held;
   stats_ = DeviceStats{};
   stats_.bytes_in_use = in_use;  // live allocations survive a stats reset
   stats_.peak_bytes_in_use = in_use;
+  stats_.pool_bytes_held = held;  // cached blocks do too
 }
 
 double Context::simulated_time_s() const {
@@ -28,9 +34,7 @@ double Context::simulated_time_s() const {
   return stats_.simulated_kernel_time_s + stats_.simulated_transfer_time_s;
 }
 
-void* Context::malloc_bytes(std::size_t bytes) {
-  if (bytes == 0) bytes = 1;  // cudaMalloc(0) returns a unique pointer too
-  std::lock_guard<std::mutex> lock(mutex_);
+void* Context::malloc_locked(std::size_t bytes) {
   if (stats_.bytes_in_use + bytes > props_.total_global_memory) {
     throw DeviceBadAlloc("requested " + std::to_string(bytes) +
                          " bytes with " +
@@ -47,6 +51,79 @@ void* Context::malloc_bytes(std::size_t bytes) {
   if (stats_.bytes_in_use > stats_.peak_bytes_in_use)
     stats_.peak_bytes_in_use = stats_.bytes_in_use;
   return ptr;
+}
+
+void* Context::malloc_bytes(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;  // cudaMalloc(0) returns a unique pointer too
+  std::lock_guard<std::mutex> lock(mutex_);
+  return malloc_locked(bytes);
+}
+
+std::size_t Context::pool_class_bytes(std::size_t bytes) {
+  std::size_t cls = kMinPoolClassBytes;
+  while (cls < bytes) cls <<= 1;
+  return cls;
+}
+
+void* Context::pool_alloc(std::size_t bytes) {
+  const std::size_t cls = pool_class_bytes(bytes == 0 ? 1 : bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pool_free_lists_.find(cls);
+  if (it != pool_free_lists_.end() && !it->second.empty()) {
+    // Freelist hit: adopt the cached block. It re-enters allocations_ as a
+    // client-owned allocation; total_bytes_allocated does NOT grow because
+    // no new device memory was carved out.
+    void* ptr = it->second.back();
+    it->second.pop_back();
+    ++stats_.pool_hits;
+    stats_.pool_bytes_held -= cls;
+    allocations_.emplace(ptr, cls);
+    ++stats_.allocations;
+    stats_.bytes_in_use += cls;
+    if (stats_.bytes_in_use > stats_.peak_bytes_in_use)
+      stats_.peak_bytes_in_use = stats_.bytes_in_use;
+    return ptr;
+  }
+  ++stats_.pool_misses;
+  // Cached blocks count against device memory too; if the request only
+  // fails because of them, release the cache and retry (the behavior of
+  // cudaMallocAsync when the pool's reserve blocks a fresh allocation).
+  if (stats_.bytes_in_use + stats_.pool_bytes_held + cls >
+          props_.total_global_memory &&
+      stats_.pool_bytes_held > 0) {
+    trim_locked();
+  }
+  return malloc_locked(cls);
+}
+
+void Context::pool_free(void* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocations_.find(ptr);
+  if (it == allocations_.end())
+    throw InvalidDevicePointer("pool_free of unknown pointer");
+  const std::size_t cls = it->second;
+  stats_.bytes_in_use -= cls;
+  ++stats_.frees;
+  allocations_.erase(it);
+  pool_free_lists_[cls].push_back(ptr);
+  stats_.pool_bytes_held += cls;
+}
+
+void Context::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trim_locked();
+}
+
+void Context::trim_locked() {
+  for (auto& [cls, list] : pool_free_lists_) {
+    (void)cls;
+    for (void* ptr : list) std::free(ptr);
+    list.clear();
+  }
+  pool_free_lists_.clear();
+  stats_.pool_bytes_held = 0;
+  ++stats_.pool_trims;
 }
 
 void Context::free_bytes(void* ptr) {

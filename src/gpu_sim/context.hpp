@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "gpu_sim/device_properties.hpp"
 #include "gpu_sim/error.hpp"
@@ -76,6 +77,28 @@ class Context {
   void free_bytes(void* ptr);
   /// Size of the allocation that starts at @p ptr; throws if unknown.
   std::size_t allocation_size(const void* ptr) const;
+
+  // --- Size-class memory pool (cudaMallocAsync / caching allocator) ------
+  /// Allocate through the pool: the request is rounded up to a power-of-two
+  /// size class (min kMinPoolClassBytes) and served from that class's
+  /// freelist when possible. Reuse is ordered with respect to kernel work
+  /// because the simulated device is single-stream and launches complete
+  /// before returning — a freed block can never be recycled under a kernel
+  /// still reading it, the guarantee stream-ordered allocators provide on
+  /// real hardware.
+  void* pool_alloc(std::size_t bytes);
+  /// Return a pool allocation to its class freelist (the bytes stay
+  /// allocated from the device heap, counted in pool_bytes_held).
+  void pool_free(void* ptr);
+  /// Release every cached freelist block back to the device heap
+  /// (cudaMemPoolTrimTo(0)). Also runs automatically when an allocation
+  /// would exceed device memory only because of cached blocks.
+  void trim();
+
+  /// Smallest pool size class, in bytes.
+  static constexpr std::size_t kMinPoolClassBytes = 64;
+  /// The power-of-two size class serving a request of @p bytes.
+  static std::size_t pool_class_bytes(std::size_t bytes);
 
   // --- Transfers (cudaMemcpy analogue) -----------------------------------
   void copy_h2d(void* dst_device, const void* src_host, std::size_t bytes);
@@ -161,6 +184,10 @@ class Context {
   void account_launch(const LaunchStats& stats);
   void check_device_range(const void* ptr, std::size_t bytes,
                           const char* what) const;
+  // Unlocked internals shared by the raw and pooled entry points (the pool
+  // must allocate under the lock it already holds).
+  void* malloc_locked(std::size_t bytes);
+  void trim_locked();
 
   DeviceProperties props_;
   ThreadPool pool_;
@@ -168,6 +195,9 @@ class Context {
   mutable std::mutex mutex_;
   DeviceStats stats_;
   std::unordered_map<const void*, std::size_t> allocations_;
+  /// Freelists of cached blocks, keyed by size class. Entries here are NOT
+  /// in allocations_ (they have no client owner).
+  std::unordered_map<std::size_t, std::vector<void*>> pool_free_lists_;
 };
 
 /// Process-wide default device, analogous to CUDA's implicit device 0.

@@ -28,7 +28,10 @@ class device_vector {
 
   explicit device_vector(std::size_t n, Context& ctx = device())
       : ctx_(&ctx), size_(n), capacity_(n) {
-    if (n > 0) data_ = static_cast<T*>(ctx_->malloc_bytes(n * sizeof(T)));
+    // Allocations route through the context's size-class pool so the
+    // transient vectors GraphBLAS ops churn through (frontiers, COO keys,
+    // scratch flags) recycle device blocks instead of hitting the heap.
+    if (n > 0) data_ = static_cast<T*>(ctx_->pool_alloc(n * sizeof(T)));
   }
 
   /// Construct by uploading host data (one accounted H2D transfer).
@@ -79,14 +82,19 @@ class device_vector {
 
   /// Resize, preserving the prefix (device-to-device copy when growing past
   /// capacity, as cudaMalloc+cudaMemcpyD2D would).
+  ///
+  /// Strong exception guarantee: the new block is acquired *before* the old
+  /// one is touched, so if the allocation throws (DeviceBadAlloc on a full
+  /// card) the vector still owns its original buffer with its original
+  /// contents — callers can catch, shrink something else, and retry.
   void resize(std::size_t n) {
     if (n <= capacity_) {
       size_ = n;
       return;
     }
-    T* fresh = static_cast<T*>(ctx_->malloc_bytes(n * sizeof(T)));
+    T* fresh = static_cast<T*>(ctx_->pool_alloc(n * sizeof(T)));
     if (size_ > 0) ctx_->copy_d2d(fresh, data_, bytes());
-    if (data_ != nullptr) ctx_->free_bytes(data_);
+    if (data_ != nullptr) ctx_->pool_free(data_);
     data_ = fresh;
     size_ = n;
     capacity_ = n;
@@ -136,9 +144,9 @@ class device_vector {
 
   void release() noexcept {
     if (data_ != nullptr) {
-      // free_bytes only throws for foreign pointers, which cannot happen
+      // pool_free only throws for foreign pointers, which cannot happen
       // for a pointer we allocated; terminate would be correct if it did.
-      ctx_->free_bytes(data_);
+      ctx_->pool_free(data_);
       data_ = nullptr;
     }
     size_ = 0;

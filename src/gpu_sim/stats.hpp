@@ -65,6 +65,22 @@ struct DeviceStats {
   std::size_t peak_bytes_in_use = 0;
   std::uint64_t total_bytes_allocated = 0;
 
+  // Size-class memory pool activity (Context::pool_alloc / pool_free).
+  // pool_bytes_held is point-in-time: bytes cached on the freelists,
+  // allocated from the device heap but not owned by any client.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_trims = 0;
+  std::size_t pool_bytes_held = 0;
+
+  /// Fraction of pool allocations served from a freelist.
+  double pool_hit_rate() const {
+    const std::uint64_t total = pool_hits + pool_misses;
+    return total > 0 ? static_cast<double>(pool_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+
   // Kernel activity.
   std::uint64_t kernel_launches = 0;
   std::uint64_t kernel_ops = 0;
@@ -124,6 +140,10 @@ inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
   d.bytes_in_use = a.bytes_in_use;  // point-in-time, not differenced
   d.peak_bytes_in_use = a.peak_bytes_in_use;
   d.total_bytes_allocated = a.total_bytes_allocated - b.total_bytes_allocated;
+  d.pool_hits = a.pool_hits - b.pool_hits;
+  d.pool_misses = a.pool_misses - b.pool_misses;
+  d.pool_trims = a.pool_trims - b.pool_trims;
+  d.pool_bytes_held = a.pool_bytes_held;  // point-in-time, not differenced
   d.kernel_launches = a.kernel_launches - b.kernel_launches;
   d.kernel_ops = a.kernel_ops - b.kernel_ops;
   d.kernel_bytes_read = a.kernel_bytes_read - b.kernel_bytes_read;

@@ -1000,4 +1000,18 @@ TEST_P(DifferentialFuzz, Traversal) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
                          ::testing::Range(0u, kInstances));
 
+// Registered after the sweep so that in a single-process run of this binary
+// (scripts/ci.sh's pool-leak stage — under ctest each test is its own
+// process and the invariant is vacuous) it executes last: after every fuzz
+// case has churned the device allocator, all client allocations must be
+// back, and trimming the pool must return the cached bytes to the heap.
+TEST(ZPoolLeak, DeviceHeapReturnsToZeroAfterSweepAndTrim) {
+  auto& dev = gpu_sim::device();
+  EXPECT_EQ(dev.stats().bytes_in_use, 0u)
+      << "a fuzz case leaked a device allocation";
+  dev.trim();
+  EXPECT_EQ(dev.stats().pool_bytes_held, 0u)
+      << "trim() left cached blocks behind";
+}
+
 }  // namespace

@@ -1,0 +1,151 @@
+/// Diagnostic quality of frontend dimension checks: every
+/// DimensionException message names the operation, the violated relation,
+/// and the offending dimensions — one representative test per op family.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using grb::NoAccumulate;
+using grb::NoMask;
+
+/// Run @p body, require a DimensionException, and require every fragment
+/// of @p fragments to appear in its message.
+template <typename Body>
+void expect_message(Body&& body, std::initializer_list<const char*> fragments) {
+  try {
+    body();
+    FAIL() << "expected DimensionException";
+  } catch (const grb::DimensionException& e) {
+    const std::string msg = e.what();
+    for (const char* fragment : fragments) {
+      EXPECT_NE(msg.find(fragment), std::string::npos)
+          << "message \"" << msg << "\" lacks \"" << fragment << "\"";
+    }
+  }
+}
+
+TEST(ErrorMessages, MxmNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> c(3, 3), a(4, 3), b(3, 3);
+  expect_message(
+      [&] {
+        grb::mxm(c, NoMask{}, NoAccumulate{},
+                 grb::ArithmeticSemiring<double>{}, a, b);
+      },
+      {"mxm", "C.nrows != A.nrows", "3 vs 4"});
+}
+
+TEST(ErrorMessages, MxvNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> a(4, 6);
+  grb::Vector<double, grb::Sequential> u(6), w(5);
+  expect_message(
+      [&] {
+        grb::mxv(w, NoMask{}, NoAccumulate{},
+                 grb::ArithmeticSemiring<double>{}, a, u);
+      },
+      {"mxv", "w.size != A.nrows", "5 vs 4"});
+}
+
+TEST(ErrorMessages, EwiseNamesOpAndDimensions) {
+  grb::Vector<double, grb::Sequential> u(7), v(9), w(7);
+  expect_message(
+      [&] {
+        grb::eWiseAdd(w, NoMask{}, NoAccumulate{}, grb::Plus<double>{}, u, v);
+      },
+      {"eWiseAdd", "v.size != w.size", "9 vs 7"});
+}
+
+TEST(ErrorMessages, ApplyNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> a(2, 5), c(2, 4);
+  expect_message(
+      [&] {
+        grb::apply(c, NoMask{}, NoAccumulate{},
+                   grb::Identity<double>{}, a);
+      },
+      {"apply", "A.ncols != C.ncols", "5 vs 4"});
+}
+
+TEST(ErrorMessages, ReduceNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> a(6, 2);
+  grb::Vector<double, grb::Sequential> w(4);
+  expect_message(
+      [&] {
+        grb::reduce(w, NoMask{}, NoAccumulate{}, grb::PlusMonoid<double>{}, a);
+      },
+      {"reduce", "w.size != A.nrows", "4 vs 6"});
+}
+
+TEST(ErrorMessages, TransposeNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> a(2, 5), c(4, 2);
+  expect_message(
+      [&] { grb::transpose(c, NoMask{}, NoAccumulate{}, a); },
+      {"transpose", "C.nrows != A.ncols", "4 vs 5"});
+}
+
+TEST(ErrorMessages, ExtractNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> a(8, 8);
+  grb::Vector<double, grb::Sequential> w(3);
+  expect_message(
+      [&] {
+        grb::extract(w, NoMask{}, NoAccumulate{}, a,
+                     std::vector<grb::IndexType>{0, 1}, 0);
+      },
+      {"extract", "w.size != row_indices.size", "3 vs 2"});
+}
+
+TEST(ErrorMessages, AssignNamesOpAndDimensions) {
+  grb::Vector<double, grb::Sequential> w(8), u(3);
+  expect_message(
+      [&] {
+        grb::assign(w, NoMask{}, NoAccumulate{}, u,
+                    std::vector<grb::IndexType>{0, 1});
+      },
+      {"assign", "u.size != indices.size", "3 vs 2"});
+}
+
+TEST(ErrorMessages, KroneckerNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> a(2, 2), b(3, 3), c(5, 6);
+  expect_message(
+      [&] {
+        grb::kronecker(c, NoMask{}, NoAccumulate{}, grb::Times<double>{}, a,
+                       b);
+      },
+      {"kronecker", "C.nrows != A.nrows * B.nrows", "5 vs 6"});
+}
+
+TEST(ErrorMessages, SelectNamesOpAndDimensions) {
+  grb::Vector<double, grb::Sequential> u(4), w(6);
+  auto pred = [](grb::IndexType, double v) { return v > 0.0; };
+  expect_message(
+      [&] { grb::select(w, NoMask{}, NoAccumulate{}, pred, u); },
+      {"select", "w.size != u.size", "6 vs 4"});
+}
+
+TEST(ErrorMessages, MaskShapeNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> c(3, 4), a(3, 3), b(3, 4);
+  grb::Matrix<bool, grb::Sequential> mask(2, 2);
+  expect_message(
+      [&] {
+        grb::mxm(c, mask, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+                 a, b);
+      },
+      {"mxm", "mask shape must match output", "3x4"});
+}
+
+TEST(ErrorMessages, MaskSizeNamesOpAndDimensions) {
+  grb::Matrix<double, grb::Sequential> a(5, 5);
+  grb::Vector<double, grb::Sequential> u(5), w(5);
+  grb::Vector<bool, grb::Sequential> mask(3);
+  expect_message(
+      [&] {
+        grb::mxv(w, mask, NoAccumulate{}, grb::ArithmeticSemiring<double>{},
+                 a, u);
+      },
+      {"mxv", "mask size must match output", "(5)"});
+}
+
+}  // namespace

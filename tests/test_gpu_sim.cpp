@@ -87,8 +87,12 @@ TEST(GpuSimTransfer, TransferTimeFollowsModel) {
 TEST(GpuSimTransfer, CopyOutOfRangeThrows) {
   auto ctx = make_ctx();
   device_vector<int> d(8, ctx);
-  std::vector<int> host(16, 1);
-  EXPECT_THROW(ctx.copy_h2d(d.data(), host.data(), 16 * sizeof(int)),
+  // The pool rounds the backing allocation up to its size class, so the
+  // overrun must exceed the class, not just the logical vector length.
+  const std::size_t overrun =
+      gpu_sim::Context::pool_class_bytes(8 * sizeof(int)) + sizeof(int);
+  std::vector<int> host(overrun / sizeof(int) + 1, 1);
+  EXPECT_THROW(ctx.copy_h2d(d.data(), host.data(), overrun),
                gpu_sim::InvalidDevicePointer);
 }
 

@@ -1,0 +1,155 @@
+/// Matrix-op write-semantics sweep: every combination of
+///   mask kind   {none, value, structure, complement(value),
+///                complement(structure)}
+/// x accumulate  {none, Plus}
+/// x output ctl  {Merge, Replace}
+/// is run for mxm, eWiseAdd and eWiseMult on MATRIX outputs, differentially:
+/// the GpuSim backend must produce the sequential backend's result pattern-
+/// and value-exactly. (The sequential backend's own semantics are pinned
+/// against an independent reference model in test_mask_sweep.cpp.)
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <tuple>
+
+#include "gbtl/gbtl.hpp"
+
+namespace {
+
+using grb::IndexType;
+
+enum class MaskKind {
+  None,
+  Value,
+  Structure,
+  ComplementValue,
+  ComplementStructure
+};
+enum class AccumKind { None, Plus };
+enum class OpKind { Mxm, EwiseAdd, EwiseMult };
+
+constexpr std::size_t kDim = 8;
+
+template <typename Tag>
+struct Problem {
+  grb::Matrix<double, Tag> c0{kDim, kDim};
+  grb::Matrix<double, Tag> a{kDim, kDim};
+  grb::Matrix<double, Tag> b{kDim, kDim};
+  grb::Matrix<bool, Tag> mask{kDim, kDim};
+};
+
+/// Materialize the same random problem for either backend.
+template <typename Tag>
+Problem<Tag> make_problem(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> val(-4.0, 4.0);
+  std::bernoulli_distribution keep(0.4), truthy(0.5);
+  Problem<Tag> p;
+  for (IndexType i = 0; i < kDim; ++i)
+    for (IndexType j = 0; j < kDim; ++j) {
+      if (keep(rng)) p.c0.setElement(i, j, val(rng));
+      if (keep(rng)) p.a.setElement(i, j, val(rng));
+      if (keep(rng)) p.b.setElement(i, j, val(rng));
+      if (keep(rng)) p.mask.setElement(i, j, truthy(rng));
+    }
+  return p;
+}
+
+template <typename Tag>
+void run_op(Problem<Tag>& p, OpKind op, MaskKind mk, AccumKind ak,
+            grb::OutputControl outp) {
+  auto call = [&](const auto& m, const auto& acc) {
+    switch (op) {
+      case OpKind::Mxm:
+        grb::mxm(p.c0, m, acc, grb::ArithmeticSemiring<double>{}, p.a, p.b,
+                 outp);
+        break;
+      case OpKind::EwiseAdd:
+        grb::eWiseAdd(p.c0, m, acc, grb::Plus<double>{}, p.a, p.b, outp);
+        break;
+      case OpKind::EwiseMult:
+        grb::eWiseMult(p.c0, m, acc, grb::Times<double>{}, p.a, p.b, outp);
+        break;
+    }
+  };
+  auto with_mask = [&](const auto& acc) {
+    switch (mk) {
+      case MaskKind::None: call(grb::NoMask{}, acc); break;
+      case MaskKind::Value: call(p.mask, acc); break;
+      case MaskKind::Structure: call(grb::structure(p.mask), acc); break;
+      case MaskKind::ComplementValue:
+        call(grb::complement(p.mask), acc);
+        break;
+      case MaskKind::ComplementStructure:
+        call(grb::complement(grb::structure(p.mask)), acc);
+        break;
+    }
+  };
+  if (ak == AccumKind::None)
+    with_mask(grb::NoAccumulate{});
+  else
+    with_mask(grb::Plus<double>{});
+}
+
+void expect_same(const grb::Matrix<double, grb::GpuSim>& got,
+                 const grb::Matrix<double, grb::Sequential>& want,
+                 const std::string& label) {
+  ASSERT_EQ(got.nvals(), want.nvals()) << label;
+  for (IndexType i = 0; i < kDim; ++i)
+    for (IndexType j = 0; j < kDim; ++j) {
+      ASSERT_EQ(got.hasElement(i, j), want.hasElement(i, j))
+          << label << " at (" << i << "," << j << ")";
+      if (want.hasElement(i, j)) {
+        EXPECT_DOUBLE_EQ(got.extractElement(i, j), want.extractElement(i, j))
+            << label << " at (" << i << "," << j << ")";
+      }
+    }
+}
+
+using Combo = std::tuple<int /*op*/, int /*mask*/, int /*accum*/,
+                         int /*replace*/, unsigned /*seed*/>;
+
+class MatrixMaskSweep : public ::testing::TestWithParam<Combo> {};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  static const char* op_names[] = {"Mxm", "EwiseAdd", "EwiseMult"};
+  static const char* mask_names[] = {"NoMask", "Value", "Structure",
+                                     "ComplValue", "ComplStructure"};
+  return std::string(op_names[std::get<0>(info.param)]) + "_" +
+         mask_names[std::get<1>(info.param)] +
+         (std::get<2>(info.param) ? "_PlusAccum" : "_NoAccum") +
+         (std::get<3>(info.param) ? "_Replace" : "_Merge") + "_s" +
+         std::to_string(std::get<4>(info.param));
+}
+
+TEST_P(MatrixMaskSweep, GpuMatchesSequential) {
+  const auto [opi, mki, aki, repi, seed] = GetParam();
+  const auto op = static_cast<OpKind>(opi);
+  const auto mk = static_cast<MaskKind>(mki);
+  const auto ak = static_cast<AccumKind>(aki);
+  const auto outp = repi ? grb::Replace : grb::Merge;
+
+  const unsigned s = seed * 7919u + opi * 1031u + mki * 131u + aki * 17u +
+                     repi;
+  auto seq = make_problem<grb::Sequential>(s);
+  auto gpu = make_problem<grb::GpuSim>(s);
+
+  run_op(seq, op, mk, ak, outp);
+  run_op(gpu, op, mk, ak, outp);
+
+  expect_same(gpu.c0, seq.c0, combo_name(::testing::TestParamInfo<Combo>(
+                                  GetParam(), 0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, MatrixMaskSweep,
+    ::testing::Combine(::testing::Range(0, 3),   // op kinds
+                       ::testing::Range(0, 5),   // mask kinds
+                       ::testing::Range(0, 2),   // accum kinds
+                       ::testing::Range(0, 2),   // merge/replace
+                       ::testing::Values(1u, 2u)),
+    combo_name);
+
+}  // namespace

@@ -1,0 +1,166 @@
+/// Size-class device memory pool (gpu_sim::Context::pool_alloc /
+/// pool_free / trim): class rounding, freelist reuse, stats accounting,
+/// cache release under memory pressure, and interaction with reset_stats.
+
+#include <gtest/gtest.h>
+
+#include "gpu_sim/context.hpp"
+#include "gpu_sim/device_vector.hpp"
+
+namespace {
+
+using gpu_sim::Context;
+using gpu_sim::DeviceProperties;
+
+Context make_ctx(std::size_t total_memory = 1u << 30) {
+  DeviceProperties props;
+  props.total_global_memory = total_memory;
+  return Context{props, 1};
+}
+
+TEST(MemoryPool, ClassRoundingIsPowerOfTwoWithFloor) {
+  EXPECT_EQ(Context::pool_class_bytes(1), Context::kMinPoolClassBytes);
+  EXPECT_EQ(Context::pool_class_bytes(Context::kMinPoolClassBytes),
+            Context::kMinPoolClassBytes);
+  EXPECT_EQ(Context::pool_class_bytes(Context::kMinPoolClassBytes + 1),
+            Context::kMinPoolClassBytes * 2);
+  EXPECT_EQ(Context::pool_class_bytes(1000), 1024u);
+  EXPECT_EQ(Context::pool_class_bytes(4096), 4096u);
+  EXPECT_EQ(Context::pool_class_bytes(4097), 8192u);
+}
+
+TEST(MemoryPool, FirstAllocationMissesThenFreelistHits) {
+  auto ctx = make_ctx();
+  void* p = ctx.pool_alloc(100);  // class 128
+  EXPECT_EQ(ctx.stats().pool_misses, 1u);
+  EXPECT_EQ(ctx.stats().pool_hits, 0u);
+  EXPECT_EQ(ctx.stats().bytes_in_use, 128u);
+
+  ctx.pool_free(p);
+  EXPECT_EQ(ctx.stats().bytes_in_use, 0u);
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 128u);
+
+  // Any request in the same class is served by the cached block.
+  void* q = ctx.pool_alloc(70);  // class 128 again
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(ctx.stats().pool_hits, 1u);
+  EXPECT_EQ(ctx.stats().pool_misses, 1u);
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 0u);
+  EXPECT_EQ(ctx.stats().bytes_in_use, 128u);
+  ctx.pool_free(q);
+}
+
+TEST(MemoryPool, HitDoesNotGrowTotalBytesAllocated) {
+  auto ctx = make_ctx();
+  void* p = ctx.pool_alloc(256);
+  const auto after_miss = ctx.stats().total_bytes_allocated;
+  ctx.pool_free(p);
+  void* q = ctx.pool_alloc(256);
+  EXPECT_EQ(ctx.stats().total_bytes_allocated, after_miss)
+      << "a freelist hit carves no new device memory";
+  EXPECT_EQ(ctx.stats().allocations, 2u)
+      << "but it still counts as a client allocation";
+  ctx.pool_free(q);
+}
+
+TEST(MemoryPool, DifferentClassesDoNotShareFreelists) {
+  auto ctx = make_ctx();
+  void* p = ctx.pool_alloc(64);
+  ctx.pool_free(p);
+  ctx.pool_alloc(128);  // different class: must miss
+  EXPECT_EQ(ctx.stats().pool_misses, 2u);
+  EXPECT_EQ(ctx.stats().pool_hits, 0u);
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 64u);  // the 64-block is still cached
+}
+
+TEST(MemoryPool, TrimReleasesEveryCachedBlock) {
+  auto ctx = make_ctx();
+  void* a = ctx.pool_alloc(64);
+  void* b = ctx.pool_alloc(1024);
+  ctx.pool_free(a);
+  ctx.pool_free(b);
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 64u + 1024u);
+
+  ctx.trim();
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 0u);
+  EXPECT_EQ(ctx.stats().pool_trims, 1u);
+
+  // Post-trim allocations start cold again.
+  ctx.pool_alloc(64);
+  EXPECT_EQ(ctx.stats().pool_hits, 0u);
+  EXPECT_EQ(ctx.stats().pool_misses, 3u);
+}
+
+TEST(MemoryPool, CacheIsReleasedUnderMemoryPressure) {
+  // 4 KiB card. Fill it, return the block to the cache, then ask for a
+  // different class: the pool must trim its cache instead of failing.
+  auto ctx = make_ctx(4096);
+  void* big = ctx.pool_alloc(4096);
+  ctx.pool_free(big);
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 4096u);
+
+  void* small = ctx.pool_alloc(2048);  // would not fit with the cache held
+  EXPECT_NE(small, nullptr);
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 0u);  // cache was trimmed
+  EXPECT_GE(ctx.stats().pool_trims, 1u);
+  ctx.pool_free(small);
+}
+
+TEST(MemoryPool, ExhaustionStillThrowsWhenCacheCannotHelp) {
+  auto ctx = make_ctx(4096);
+  void* held = ctx.pool_alloc(2048);
+  EXPECT_THROW(ctx.pool_alloc(4096), gpu_sim::DeviceBadAlloc);
+  // The live allocation is untouched by the failed attempt.
+  EXPECT_EQ(ctx.stats().bytes_in_use, 2048u);
+  ctx.pool_free(held);
+}
+
+TEST(MemoryPool, ResetStatsPreservesCachedBytes) {
+  auto ctx = make_ctx();
+  void* p = ctx.pool_alloc(512);
+  ctx.pool_free(p);
+  ctx.reset_stats();
+  EXPECT_EQ(ctx.stats().pool_bytes_held, 512u)
+      << "cached blocks survive a stats reset just like live allocations";
+  EXPECT_EQ(ctx.stats().pool_hits, 0u);
+  // The cache still serves hits after the reset.
+  ctx.pool_alloc(512);
+  EXPECT_EQ(ctx.stats().pool_hits, 1u);
+}
+
+TEST(MemoryPool, HitRateReflectsHitAndMissCounts) {
+  auto ctx = make_ctx();
+  EXPECT_DOUBLE_EQ(ctx.stats().pool_hit_rate(), 0.0);
+  void* p = ctx.pool_alloc(64);
+  ctx.pool_free(p);
+  for (int i = 0; i < 3; ++i) {
+    void* q = ctx.pool_alloc(64);
+    ctx.pool_free(q);
+  }
+  // 1 miss + 3 hits.
+  EXPECT_DOUBLE_EQ(ctx.stats().pool_hit_rate(), 0.75);
+}
+
+TEST(MemoryPool, DeviceVectorChurnIsServedFromTheFreelist) {
+  // The access pattern GraphBLAS ops produce: a scratch vector per call,
+  // same size every iteration. After the first, every allocation must hit.
+  auto ctx = make_ctx();
+  { gpu_sim::device_vector<double> warmup(100, ctx); }
+  const auto before = ctx.stats();
+  for (int iter = 0; iter < 10; ++iter) {
+    gpu_sim::device_vector<double> scratch(100, ctx);
+  }
+  const auto delta = ctx.stats() - before;
+  EXPECT_EQ(delta.pool_hits, 10u);
+  EXPECT_EQ(delta.pool_misses, 0u);
+  EXPECT_EQ(delta.total_bytes_allocated, 0u);
+}
+
+TEST(MemoryPool, PoolFreeOfForeignPointerThrows) {
+  auto ctx = make_ctx();
+  int local = 0;
+  EXPECT_THROW(ctx.pool_free(&local), gpu_sim::InvalidDevicePointer);
+  EXPECT_NO_THROW(ctx.pool_free(nullptr));  // cudaFreeAsync(nullptr) no-op
+}
+
+}  // namespace

@@ -110,4 +110,30 @@ TEST(OomInjection, FreeingRecoversCapacity) {
   EXPECT_EQ(b.size(), 200u);
 }
 
+TEST(OomInjection, FailedResizeLeavesVectorIntact) {
+  // device_vector::resize gives the strong exception guarantee: the fresh
+  // block is acquired before the old one is released, so a DeviceBadAlloc
+  // mid-grow must leave the original buffer owned, sized, and bit-identical.
+  gpu_sim::DeviceProperties tiny;
+  tiny.total_global_memory = 64 * 1024;
+  gpu_sim::Context ctx{tiny, 1};
+
+  std::vector<int> seed(1024);
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = static_cast<int>(i * 3 + 1);
+  gpu_sim::device_vector<int> v(seed, ctx);
+
+  EXPECT_THROW(v.resize(1u << 20), gpu_sim::DeviceBadAlloc);
+
+  EXPECT_EQ(v.size(), seed.size());
+  EXPECT_EQ(v.to_host(), seed) << "old contents must survive a failed grow";
+
+  // The vector is still fully functional: a grow that fits succeeds and
+  // preserves the prefix.
+  v.resize(2048);
+  EXPECT_EQ(v.size(), 2048u);
+  auto grown = v.to_host();
+  for (std::size_t i = 0; i < seed.size(); ++i) EXPECT_EQ(grown[i], seed[i]);
+}
+
 }  // namespace
