@@ -52,4 +52,12 @@ cmake -B "${SAN_BUILD_DIR}" -S . \
 cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" --target test_differential_fuzz
 ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" -L fuzz
 
+echo "==> sanitizers: hash-forced SpGEMM sweep"
+# The Auto selector keeps fuzz-sized multiplies on the ESC pipeline, so pin
+# the hash-Gustavson path explicitly and replay the mxm sweep under
+# ASan/UBSan — open-addressing probe loops and per-row table offsets are
+# exactly the code a sanitizer should stress.
+GBTL_SPGEMM_MODE=hash "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
+  --gtest_brief=1 --gtest_filter='Seeds/DifferentialFuzz.Mxm/*:ZPoolLeak.*'
+
 echo "==> all green"

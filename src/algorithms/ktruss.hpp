@@ -6,6 +6,10 @@
 /// fixed point of one masked SpGEMM per round: support(i,j) = |N(i)∩N(j)|
 /// restricted to current edges — exactly C<E> = E·E — followed by a select
 /// on the support threshold.
+///
+/// Each round's C<E> = E·E lands on the GPU backend's mask-seeded hash
+/// SpGEMM (docs/spgemm_adaptive.md): the shrinking edge mask bounds every
+/// round's hash tables, so later rounds get cheaper as edges are peeled.
 
 #include "gbtl/gbtl.hpp"
 

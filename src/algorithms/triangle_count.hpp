@@ -8,6 +8,11 @@
 ///   - unmasked-then-filter: C = L·L, then C .* L — computes the same
 ///     number while paying for the full product (the ablation baseline).
 ///   - Burkhardt: trace-style count = sum(A·A .* A) / 6.
+///
+/// On the GPU backend the masked formulation rides the adaptive SpGEMM
+/// engine's mask-seeded hash path (docs/spgemm_adaptive.md): the L mask
+/// seeds each row's hash table, so wedge products outside the mask are
+/// dropped at insertion instead of surviving to a post-product filter.
 
 #include "gbtl/gbtl.hpp"
 

@@ -4,8 +4,11 @@
 /// GPU-backend implementations of the GraphBLAS operations as simulated
 /// device pipelines, mirroring how the paper's CUDA backend composed
 /// Thrust/CUSP primitives:
-///   - mxm is ESC SpGEMM (Expansion, Sorting, Contraction), with an optional
-///     pre-sort mask filter (the masked early-exit of Abl. B);
+///   - mxm is an adaptive SpGEMM engine (sparse/spgemm_select.hpp): ESC
+///     (Expansion, Sorting, Contraction) with an optional pre-sort mask
+///     filter (the masked early-exit of Abl. B), or a row-wise
+///     hash-Gustavson accumulate with mask-seeded tables, chosen per call
+///     from the symbolic pass's compression/skew summary;
 ///   - mxv is a row-parallel CSR SpMV kernel;
 ///   - vxm is an atomic-scatter push kernel (simulated serially, modeled at
 ///     full throughput);
@@ -14,6 +17,7 @@
 ///     matrices) fall back to the host with fully accounted transfers — the
 ///     documented GBTL-CUDA practice for operations without device kernels.
 
+#include <algorithm>
 #include <type_traits>
 #include <vector>
 
@@ -26,6 +30,7 @@
 #include "gbtl/write_rules.hpp"
 #include "gpu_sim/algorithms.hpp"
 #include "sparse/output_pipeline.hpp"
+#include "sparse/spgemm_select.hpp"
 #include "sparse/spmv_select.hpp"
 
 namespace grb::gpu_backend {
@@ -116,40 +121,27 @@ decltype(auto) with_seq_output(const OutputDescriptor<MObj>& out, Fn&& fn) {
 }  // namespace detail
 
 // ===========================================================================
-// mxm — ESC (expansion / sorting / contraction) SpGEMM
+// mxm — adaptive SpGEMM: ESC (expansion / sorting / contraction) vs.
+// row-wise hash-Gustavson, selected per call by sparse/spgemm_select.hpp
 // ===========================================================================
 
-template <typename CT, typename MObj, typename Accum, typename SR,
-          typename AT, typename BT>
-void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
-         const Matrix<AT>& A, const Matrix<BT>& B) {
-  using detail::LaunchStats;
-  using ZT = typename SR::result_type;
-  gpu_sim::Context& ctx = C.context();
+namespace detail {
 
+/// ESC numeric phase: materialize every (key, product) pair, optionally
+/// pre-filter against a non-complemented mask before paying for the sort
+/// (the masked early-exit of Abl. B), then radix-sort and contract.
+template <typename ZT, typename MObj, typename SR, typename AT, typename BT,
+          typename AMat, typename BMat>
+void mxm_esc(Context& ctx, const AMat& A, const BMat& B, IndexType c_ncols,
+             const OutputDescriptor<MObj>& out, SR sr,
+             const device_vector<IndexType>& expand_offsets,
+             IndexType total_products, device_vector<IndexType>& u_keys,
+             device_vector<ZT>& u_vals) {
   const IndexType nnz_a = A.nvals();
 
-  // --- Expansion sizing: products contributed by each A-nonzero. ---------
-  gpu_sim::device_vector<IndexType> expand_counts(nnz_a, ctx);
-  {
-    const IndexType* acols = A.col_indices().data();
-    const IndexType* boffs = B.row_offsets().data();
-    IndexType* cnt = expand_counts.data();
-    ctx.launch_n(nnz_a,
-                 LaunchStats{nnz_a, nnz_a * 3 * sizeof(IndexType),
-                             nnz_a * sizeof(IndexType)},
-                 [=](std::size_t p) {
-                   const IndexType k = acols[p];
-                   cnt[p] = boffs[k + 1] - boffs[k];
-                 });
-  }
-  gpu_sim::device_vector<IndexType> expand_offsets(ctx);
-  const IndexType total_products =
-      gpu_sim::exclusive_scan(expand_counts, expand_offsets);
-
   // --- Expansion: emit (key, product) pairs. ------------------------------
-  gpu_sim::device_vector<IndexType> keys(total_products, ctx);
-  gpu_sim::device_vector<ZT> vals(total_products, ctx);
+  device_vector<IndexType> keys(total_products, ctx);
+  device_vector<ZT> vals(total_products, ctx);
   {
     auto a_keys = pipeline::coo_keys(A);
     const IndexType* ak = a_keys.data();
@@ -162,7 +154,6 @@ void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
     IndexType* ok = keys.data();
     ZT* ov = vals.data();
     const IndexType a_ncols = A.ncols();
-    const IndexType c_ncols = C.ncols();
     const SR sem = sr;
     const std::uint64_t traffic =
         total_products * (sizeof(IndexType) + sizeof(ZT) + sizeof(BT)) +
@@ -185,14 +176,12 @@ void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
 
   // --- Masked early exit (Abl. B): drop products outside the mask before
   // paying for the sort. Only valid for non-complemented masks.
-  bool prefiltered = false;
   if constexpr (!std::is_same_v<MObj, EmptyMaskObj>) {
     if (out.mask.mask != nullptr && !out.mask.complement) {
       auto probe = pipeline::matrix_mask_probe(out.mask);
-      gpu_sim::device_vector<std::uint8_t> flags(total_products, ctx);
+      device_vector<std::uint8_t> flags(total_products, ctx);
       const IndexType* kk = keys.data();
       std::uint8_t* fl = flags.data();
-      const IndexType c_ncols = C.ncols();
       // ~log(row nnz) search per product.
       ctx.launch_n(total_products,
                    LaunchStats{8 * total_products,
@@ -201,24 +190,412 @@ void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
                    [=](std::size_t p) {
                      fl[p] = probe(kk[p] / c_ncols, kk[p] % c_ncols) ? 1 : 0;
                    });
-      gpu_sim::device_vector<IndexType> kept_keys(ctx);
-      gpu_sim::device_vector<ZT> kept_vals(ctx);
-      gpu_sim::copy_flagged(keys, flags, kept_keys);
+      device_vector<IndexType> kept_keys(ctx);
+      device_vector<ZT> kept_vals(ctx);
+      const std::uint64_t kept =
+          gpu_sim::copy_flagged(keys, flags, kept_keys);
       gpu_sim::copy_flagged(vals, flags, kept_vals);
       keys = std::move(kept_keys);
       vals = std::move(kept_vals);
-      prefiltered = true;
+      ctx.note_spgemm_masked_products_avoided(total_products - kept);
     }
   }
-  (void)prefiltered;
 
   // --- Sorting + contraction. ---------------------------------------------
   gpu_sim::sort_by_key(keys, vals);
-  gpu_sim::device_vector<IndexType> u_keys(ctx);
-  gpu_sim::device_vector<ZT> u_vals(ctx);
   const SR sem = sr;
   gpu_sim::reduce_by_key(keys, vals, u_keys, u_vals,
                          [sem](ZT a, ZT b) { return sem.add(a, b); });
+}
+
+/// Hash-Gustavson numeric phase: per output row an open-addressing table
+/// sized by the symbolic pass absorbs the partial products as they are
+/// produced — no materialized expansion, no sort. Rows are binned by FLOP
+/// count (short / medium / long, long rows split into fixed-FLOP chunks
+/// across virtual workers) so SIMT lockstep is charged per bin, not across
+/// the whole skewed row distribution. Under a non-complemented mask the
+/// tables are pre-seeded with the rows' allowed columns and a product whose
+/// key is absent is dropped at probe time — disallowed entries are never
+/// inserted.
+///
+/// Bit-exactness: products of one output slot arrive in ascending A-column
+/// order (p ascending, then q ascending) and fold left with the first
+/// product stored directly — the exact combination order of ESC's stable
+/// sort + reduce_by_key, so the strategies agree bit-for-bit.
+template <typename ZT, typename MObj, typename SR, typename AT, typename BT,
+          typename AMat, typename BMat>
+void mxm_hash(Context& ctx, const AMat& A, const BMat& B, IndexType c_ncols,
+              const OutputDescriptor<MObj>& out, SR sr,
+              const device_vector<IndexType>& row_flops,
+              const device_vector<IndexType>& row_caps, bool seeded,
+              device_vector<IndexType>& u_keys, device_vector<ZT>& u_vals) {
+  const IndexType nrows = A.nrows();
+  constexpr std::uint64_t kHashMult = 0x9E3779B97F4A7C15ull;
+  const std::uint64_t slot_bytes = sizeof(IndexType) + sizeof(ZT) + 1;
+
+  // --- Table sizing from the symbolic bounds. -----------------------------
+  device_vector<IndexType> slot_counts(nrows, ctx);
+  {
+    const IndexType* rf = row_flops.data();
+    const IndexType* rc = row_caps.data();
+    IndexType* sc = slot_counts.data();
+    ctx.launch_n(nrows,
+                 LaunchStats{4 * nrows, 2 * nrows * sizeof(IndexType),
+                             nrows * sizeof(IndexType)},
+                 [=](std::size_t i) {
+                   sc[i] = rf[i] > 0 ? sparse::hash_table_slots(rc[i]) : 0;
+                 });
+  }
+  device_vector<IndexType> table_offsets(ctx);
+  const IndexType total_slots =
+      gpu_sim::exclusive_scan(slot_counts, table_offsets);
+
+  device_vector<IndexType> tkeys(total_slots, ctx);
+  device_vector<ZT> tvals(total_slots, ctx);
+  // Slot state: 0 = empty, 1 = mask seed (no value yet), 2 = filled.
+  device_vector<std::uint8_t> tstate(total_slots, ctx);
+  gpu_sim::fill(tstate, std::uint8_t{0});
+
+  const IndexType* sc = slot_counts.data();
+  const IndexType* toffs = table_offsets.data();
+  IndexType* tk = tkeys.data();
+  ZT* tv = tvals.data();
+  std::uint8_t* ts = tstate.data();
+
+  // --- Mask seeding: insert each row's allowed columns as empty-valued
+  // seeds. Seeds are distinct, so insertion always lands within cap probes.
+  if constexpr (!std::is_same_v<MObj, EmptyMaskObj>) {
+    if (seeded && out.mask.mask != nullptr) {
+      using MV = typename MObj::ScalarType;
+      const IndexType* moffs = out.mask.mask->row_offsets().data();
+      const IndexType* mcols = out.mask.mask->col_indices().data();
+      const MV* mvals = out.mask.mask->values().data();
+      const bool structural = out.mask.structural;
+      const IndexType m_nnz = out.mask.mask->nvals();
+      ctx.launch_n(
+          nrows,
+          LaunchStats{2 * m_nnz,
+                      nrows * 3 * sizeof(IndexType) +
+                          m_nnz * (sizeof(IndexType) + sizeof(MV)),
+                      m_nnz * (sizeof(IndexType) + 1)},
+          [=](std::size_t i) {
+            const IndexType cap = sc[i];
+            if (cap == 0) return;
+            const IndexType base = toffs[i];
+            for (IndexType q = moffs[i]; q < moffs[i + 1]; ++q) {
+              if (!structural && !static_cast<bool>(mvals[q])) continue;
+              const IndexType j = mcols[q];
+              IndexType slot =
+                  static_cast<IndexType>((j * kHashMult) & (cap - 1));
+              while (ts[base + slot] != 0)
+                slot = (slot + 1) & (cap - 1);
+              tk[base + slot] = j;
+              ts[base + slot] = 1;
+            }
+          });
+    }
+  }
+
+  // --- Row binning by FLOP count. The bin lists are built by one streaming
+  // pass over the per-row bounds (read in place, charged below); per-bin
+  // work sums feed the bin launches' declared stats.
+  std::vector<IndexType> short_bin, medium_bin, long_bin;
+  std::uint64_t medium_work = 0, long_work = 0, long_chunks = 0;
+  std::uint64_t spilled_products = 0;
+  {
+    const IndexType* rf = row_flops.data();
+    for (IndexType i = 0; i < nrows; ++i) {
+      const IndexType f = rf[i];
+      if (f == 0) continue;
+      if (f <= sparse::kShortRowMaxFlops) {
+        short_bin.push_back(i);
+      } else if (f <= sparse::kMediumRowMaxFlops) {
+        medium_bin.push_back(i);
+        medium_work += ((f + 31) / 32) * 32;
+      } else {
+        long_bin.push_back(i);
+        long_work += f;
+        long_chunks += (f + sparse::kLongRowChunkFlops - 1) /
+                       sparse::kLongRowChunkFlops;
+      }
+      if (sc[i] > sparse::kOnChipTableSlots) spilled_products += f;
+    }
+    ctx.account_kernel(LaunchStats{
+        2 * nrows, 2 * nrows * sizeof(IndexType), 6 * nrows});
+  }
+
+  // --- Numeric pass: per-row produced/collision/avoided tallies. ----------
+  device_vector<IndexType> produced(nrows, ctx);
+  device_vector<IndexType> collisions(nrows, ctx);
+  device_vector<IndexType> avoided(nrows, ctx);
+  gpu_sim::fill(produced, IndexType{0});
+  gpu_sim::fill(collisions, IndexType{0});
+  gpu_sim::fill(avoided, IndexType{0});
+
+  const IndexType* aoffs = A.row_offsets().data();
+  const IndexType* acols = A.col_indices().data();
+  const AT* avals = A.values().data();
+  const IndexType* boffs = B.row_offsets().data();
+  const IndexType* bcols = B.col_indices().data();
+  const BT* bvals = B.values().data();
+  IndexType* prod_n = produced.data();
+  IndexType* coll_n = collisions.data();
+  IndexType* avoid_n = avoided.data();
+  const SR sem = sr;
+  const bool drop_unseeded = seeded;
+
+  const auto process_row = [=](IndexType i) {
+    const IndexType cap = sc[i];
+    const IndexType base = toffs[i];
+    IndexType n_prod = 0, n_coll = 0, n_avoid = 0;
+    for (IndexType p = aoffs[i]; p < aoffs[i + 1]; ++p) {
+      const IndexType k = acols[p];
+      const AT av = avals[p];
+      for (IndexType q = boffs[k]; q < boffs[k + 1]; ++q) {
+        if (cap == 0) {  // masked row with no allowed columns
+          ++n_avoid;
+          continue;
+        }
+        const IndexType j = bcols[q];
+        const ZT prod = sem.mult(av, bvals[q]);
+        IndexType slot =
+            static_cast<IndexType>((j * kHashMult) & (cap - 1));
+        bool placed = false;
+        for (IndexType step = 0; step < cap; ++step) {
+          const std::uint8_t state = ts[base + slot];
+          if (state == 0) {
+            if (drop_unseeded) break;  // key not among the mask's seeds
+            tk[base + slot] = j;
+            tv[base + slot] = prod;
+            ts[base + slot] = 2;
+            ++n_prod;
+            placed = true;
+            break;
+          }
+          if (tk[base + slot] == j) {
+            if (state == 1) {
+              tv[base + slot] = prod;
+              ts[base + slot] = 2;
+              ++n_prod;
+            } else {
+              tv[base + slot] = sem.add(tv[base + slot], prod);
+            }
+            placed = true;
+            break;
+          }
+          ++n_coll;
+          slot = (slot + 1) & (cap - 1);
+        }
+        if (!placed && drop_unseeded) ++n_avoid;
+      }
+    }
+    prod_n[i] += n_prod;
+    coll_n[i] += n_coll;
+    avoid_n[i] += n_avoid;
+  };
+
+  const std::uint64_t row_side = 4 * sizeof(IndexType) + sizeof(AT);
+  const std::uint64_t product_side =
+      sizeof(IndexType) + sizeof(BT) + sizeof(ZT) + 1;
+  if (!short_bin.empty()) {
+    // One thread per row; a warp retires at its heaviest row's pace.
+    const IndexType* rf = row_flops.data();
+    const IndexType* bin = short_bin.data();
+    const std::uint64_t slots = gpu_sim::warp_padded_items(
+        short_bin.size(), ctx.properties().warp_size,
+        [&](std::size_t t) { return rf[bin[t]]; });
+    ctx.launch_n(short_bin.size(),
+                 LaunchStats{4 * slots,
+                             short_bin.size() * row_side +
+                                 slots * product_side,
+                             slots * (sizeof(ZT) + 1)},
+                 [=](std::size_t t) { process_row(bin[t]); });
+  }
+  if (!medium_bin.empty()) {
+    // One warp per row: work rounds up to warp granules, no cross-row pad.
+    const IndexType* bin = medium_bin.data();
+    ctx.launch_n(medium_bin.size(),
+                 LaunchStats{4 * medium_work,
+                             medium_bin.size() * row_side +
+                                 medium_work * product_side,
+                             medium_work * (sizeof(ZT) + 1)},
+                 [=](std::size_t t) { process_row(bin[t]); });
+  }
+  if (!long_bin.empty()) {
+    // Virtual workers: fixed-FLOP chunks, flat traffic plus per-chunk
+    // scheduling arithmetic; spilled tables pay global probe sectors.
+    const IndexType* bin = long_bin.data();
+    ctx.launch_n(long_bin.size(),
+                 LaunchStats{4 * long_work + 16 * long_chunks,
+                             long_bin.size() * row_side +
+                                 long_work * product_side +
+                                 2 * spilled_products *
+                                     sparse::kProbeSectorBytes,
+                             long_work * (sizeof(ZT) + 1)},
+                 [=](std::size_t t) { process_row(bin[t]); });
+  }
+
+  // --- Extraction: gather each row's filled slots in column order. Rows
+  // are emitted in ascending order, so the output keys are globally sorted
+  // — the same contract the ESC contraction hands to write_matrix.
+  device_vector<IndexType> out_offsets(ctx);
+  const IndexType total_out = gpu_sim::exclusive_scan(produced, out_offsets);
+  u_keys.resize(total_out);
+  u_vals.resize(total_out);
+  {
+    const IndexType* ooffs = out_offsets.data();
+    IndexType* ok = u_keys.data();
+    ZT* ov = u_vals.data();
+    ctx.launch_n(
+        nrows,
+        LaunchStats{4 * total_out + total_slots,
+                    total_slots * slot_bytes,
+                    total_out * (sizeof(IndexType) + sizeof(ZT))},
+        [=](std::size_t i) {
+          const IndexType cap = sc[i];
+          if (cap == 0) return;
+          const IndexType base = toffs[i];
+          std::vector<IndexType> cols_found;
+          cols_found.reserve(prod_n[i]);
+          for (IndexType s = 0; s < cap; ++s)
+            if (ts[base + s] == 2) cols_found.push_back(s);
+          std::sort(cols_found.begin(), cols_found.end(),
+                    [&](IndexType a, IndexType b) {
+                      return tk[base + a] < tk[base + b];
+                    });
+          IndexType o = ooffs[i];
+          for (const IndexType s : cols_found) {
+            ok[o] = static_cast<IndexType>(i) * c_ncols + tk[base + s];
+            ov[o] = tv[base + s];
+            ++o;
+          }
+        });
+  }
+
+  ctx.note_spgemm_hash(gpu_sim::reduce_sum(collisions),
+                       total_slots * slot_bytes);
+  if (seeded)
+    ctx.note_spgemm_masked_products_avoided(gpu_sim::reduce_sum(avoided));
+}
+
+}  // namespace detail
+
+template <typename CT, typename MObj, typename Accum, typename SR,
+          typename AT, typename BT>
+void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
+         const Matrix<AT>& A, const Matrix<BT>& B) {
+  using detail::LaunchStats;
+  using ZT = typename SR::result_type;
+  gpu_sim::Context& ctx = C.context();
+
+  const IndexType nnz_a = A.nvals();
+  const IndexType nrows = A.nrows();
+  const IndexType c_ncols = C.ncols();
+
+  // --- Symbolic pass (shared by both strategies). -------------------------
+  // Expansion sizing: products contributed by each A-nonzero.
+  gpu_sim::device_vector<IndexType> expand_counts(nnz_a, ctx);
+  {
+    const IndexType* acols = A.col_indices().data();
+    const IndexType* boffs = B.row_offsets().data();
+    IndexType* cnt = expand_counts.data();
+    ctx.launch_n(nnz_a,
+                 LaunchStats{nnz_a, nnz_a * 3 * sizeof(IndexType),
+                             nnz_a * sizeof(IndexType)},
+                 [=](std::size_t p) {
+                   const IndexType k = acols[p];
+                   cnt[p] = boffs[k + 1] - boffs[k];
+                 });
+  }
+  // Overflow guard: the grand total is accumulated in 64 bits and checked
+  // against IndexType before the scan's result is used to address buffers.
+  sparse::checked_product_total<IndexType>(expand_counts.data(), nnz_a,
+                                           "mxm");
+  gpu_sim::device_vector<IndexType> expand_offsets(ctx);
+  const IndexType total_products =
+      gpu_sim::exclusive_scan(expand_counts, expand_offsets);
+
+  // Per-row FLOP bounds, recovered from the exclusive expansion offsets.
+  gpu_sim::device_vector<IndexType> row_flops(nrows, ctx);
+  {
+    const IndexType* aoffs = A.row_offsets().data();
+    const IndexType* eoffs = expand_offsets.data();
+    IndexType* rf = row_flops.data();
+    const IndexType na = nnz_a;
+    const IndexType total = total_products;
+    ctx.launch_n(nrows,
+                 LaunchStats{2 * nrows, nrows * 4 * sizeof(IndexType),
+                             nrows * sizeof(IndexType)},
+                 [=](std::size_t i) {
+                   const IndexType b = aoffs[i], e = aoffs[i + 1];
+                   const IndexType lo = b < na ? eoffs[b] : total;
+                   const IndexType hi = e < na ? eoffs[e] : total;
+                   rf[i] = hi - lo;
+                 });
+  }
+
+  // Per-row output-nnz caps: the column count unmasked; the allowed-entry
+  // count of the mask row when a non-complemented mask can seed the hash
+  // tables (a complemented mask cannot bound the output, so it only acts at
+  // write-back).
+  bool seeded = false;
+  gpu_sim::device_vector<IndexType> row_caps(nrows, ctx);
+  if constexpr (!std::is_same_v<MObj, EmptyMaskObj>) {
+    if (out.mask.mask != nullptr && !out.mask.complement) {
+      seeded = true;
+      using MV = typename MObj::ScalarType;
+      const IndexType* moffs = out.mask.mask->row_offsets().data();
+      const MV* mvals = out.mask.mask->values().data();
+      const bool structural = out.mask.structural;
+      const IndexType m_nnz = out.mask.mask->nvals();
+      IndexType* rc = row_caps.data();
+      ctx.launch_n(nrows,
+                   LaunchStats{m_nnz + nrows,
+                               nrows * 2 * sizeof(IndexType) +
+                                   m_nnz * sizeof(MV),
+                               nrows * sizeof(IndexType)},
+                   [=](std::size_t i) {
+                     IndexType allowed = 0;
+                     for (IndexType q = moffs[i]; q < moffs[i + 1]; ++q)
+                       if (structural || static_cast<bool>(mvals[q]))
+                         ++allowed;
+                     rc[i] = allowed;
+                   });
+    }
+  }
+  if (!seeded) {
+    const IndexType* rf = row_flops.data();
+    IndexType* rc = row_caps.data();
+    const IndexType nc = c_ncols;
+    ctx.launch_n(nrows,
+                 LaunchStats{nrows, nrows * sizeof(IndexType),
+                             nrows * sizeof(IndexType)},
+                 [=](std::size_t i) {
+                   rc[i] = std::min<IndexType>(rf[i], nc);
+                 });
+  }
+
+  // --- Selection: fold the per-row bounds into the symbolic summary (read
+  // in place, charged as one streaming pass) and let the selector propose /
+  // the roofline model ratify.
+  ctx.account_kernel(
+      LaunchStats{2 * nrows, 2 * nrows * sizeof(IndexType), 64});
+  const sparse::AdaptiveSpgemm sel(row_flops.data(), row_caps.data(), nrows,
+                                   c_ncols, seeded, sizeof(ZT),
+                                   &ctx.properties());
+  ctx.note_spgemm_selection(sel.strategy());
+
+  gpu_sim::device_vector<IndexType> u_keys(ctx);
+  gpu_sim::device_vector<ZT> u_vals(ctx);
+  if (sel.strategy() == gpu_sim::SpgemmStrategy::kHash) {
+    detail::mxm_hash<ZT, MObj, SR, AT, BT>(ctx, A, B, c_ncols, out, sr,
+                                           row_flops, row_caps, seeded,
+                                           u_keys, u_vals);
+  } else {
+    detail::mxm_esc<ZT, MObj, SR, AT, BT>(ctx, A, B, c_ncols, out, sr,
+                                          expand_offsets, total_products,
+                                          u_keys, u_vals);
+  }
 
   pipeline::write_matrix(C, u_keys, u_vals, out, accum);
 }

@@ -228,6 +228,23 @@ void Context::note_nvals_recount() {
   ++stats_.nvals_recounts;
 }
 
+void Context::note_spgemm_selection(SpgemmStrategy strategy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.spgemm_selections[static_cast<std::size_t>(strategy)];
+}
+
+void Context::note_spgemm_hash(std::uint64_t collisions,
+                               std::uint64_t table_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.spgemm_hash_collisions += collisions;
+  stats_.spgemm_hash_table_bytes += table_bytes;
+}
+
+void Context::note_spgemm_masked_products_avoided(std::uint64_t products) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.spgemm_masked_products_avoided += products;
+}
+
 void Context::account_launch(const LaunchStats& stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.kernel_launches;

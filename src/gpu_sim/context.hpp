@@ -177,6 +177,20 @@ class Context {
   /// Record one presence-bitmap recount the nvals cache could not serve.
   void note_nvals_recount();
 
+  /// Record one adaptive-SpGEMM dispatch decision (sparse/spgemm_select.hpp):
+  /// which strategy served the mxm call. Pure bookkeeping — does not advance
+  /// the clock.
+  void note_spgemm_selection(SpgemmStrategy strategy);
+
+  /// Record one hash-SpGEMM numeric pass: probe-chain collisions suffered
+  /// and table storage carved for it. Pure bookkeeping.
+  void note_spgemm_hash(std::uint64_t collisions,
+                        std::uint64_t table_bytes);
+
+  /// Record partial products a mask-seeded hash table refused to insert
+  /// (the masked early exit, quantified). Pure bookkeeping.
+  void note_spgemm_masked_products_avoided(std::uint64_t products);
+
   ThreadPool& pool() { return pool_; }
 
  private:

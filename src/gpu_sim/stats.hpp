@@ -57,6 +57,27 @@ inline const char* to_string(TraversalDirection d) {
   return "unknown";
 }
 
+/// SpGEMM strategies the adaptive mxm engine (sparse/spgemm_select.hpp) can
+/// dispatch to. ESC materializes every partial product and contracts with a
+/// sort; hash accumulates per-row into an open-addressing table.
+enum class SpgemmStrategy : unsigned {
+  kEsc = 0,  ///< expansion / sorting / contraction
+  kHash,     ///< row-wise hash-Gustavson accumulate
+  kCount
+};
+
+inline constexpr std::size_t kSpgemmStrategyCount =
+    static_cast<std::size_t>(SpgemmStrategy::kCount);
+
+inline const char* to_string(SpgemmStrategy s) {
+  switch (s) {
+    case SpgemmStrategy::kEsc: return "esc";
+    case SpgemmStrategy::kHash: return "hash";
+    case SpgemmStrategy::kCount: break;
+  }
+  return "unknown";
+}
+
 struct DeviceStats {
   // Memory manager activity.
   std::uint64_t allocations = 0;
@@ -124,6 +145,21 @@ struct DeviceStats {
     return t;
   }
 
+  // Adaptive SpGEMM engine activity (sparse/spgemm_select.hpp): per-call
+  // ESC/hash strategy decisions, probe-chain collisions and table bytes the
+  // hash path paid, and partial products the mask-seeded table refused to
+  // insert (the masked early exit, quantified).
+  std::array<std::uint64_t, kSpgemmStrategyCount> spgemm_selections{};
+  std::uint64_t spgemm_hash_collisions = 0;
+  std::uint64_t spgemm_hash_table_bytes = 0;
+  std::uint64_t spgemm_masked_products_avoided = 0;
+
+  std::uint64_t spgemm_selections_total() const {
+    std::uint64_t t = 0;
+    for (auto v : spgemm_selections) t += v;
+    return t;
+  }
+
   /// Total simulated device-side time: the number the GPU columns of every
   /// table/figure report.
   double simulated_total_time_s() const {
@@ -168,6 +204,14 @@ inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
   d.frontier_compactions = a.frontier_compactions - b.frontier_compactions;
   d.pull_early_exit_rows = a.pull_early_exit_rows - b.pull_early_exit_rows;
   d.nvals_recounts = a.nvals_recounts - b.nvals_recounts;
+  for (std::size_t i = 0; i < kSpgemmStrategyCount; ++i)
+    d.spgemm_selections[i] = a.spgemm_selections[i] - b.spgemm_selections[i];
+  d.spgemm_hash_collisions =
+      a.spgemm_hash_collisions - b.spgemm_hash_collisions;
+  d.spgemm_hash_table_bytes =
+      a.spgemm_hash_table_bytes - b.spgemm_hash_table_bytes;
+  d.spgemm_masked_products_avoided =
+      a.spgemm_masked_products_avoided - b.spgemm_masked_products_avoided;
   return d;
 }
 

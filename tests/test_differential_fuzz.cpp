@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <random>
 #include <set>
@@ -25,6 +27,7 @@
 #include "algorithms/bfs.hpp"
 #include "algorithms/sssp.hpp"
 #include "gbtl/gbtl.hpp"
+#include "sparse/spgemm_select.hpp"
 #include "sparse/spmv_select.hpp"
 
 namespace {
@@ -48,6 +51,21 @@ constexpr std::pair<sparse::SpmvMode, sparse::DirectionMode> kModePairs[] = {
     {sparse::SpmvMode::ForceCsrScalar, sparse::DirectionMode::ForcePush},
     {sparse::SpmvMode::ForceCsrLoadBalanced, sparse::DirectionMode::ForcePull},
 };
+
+// mxm sweeps every SpGEMM strategy: forced ESC, forced hash, and Auto —
+// the selector's pick must be bit-exact with both forced paths and the
+// sequential oracle. scripts/ci.sh pins the sanitizer re-run to one mode
+// via GBTL_SPGEMM_MODE (the env var cannot reach ctest-discovered shards,
+// so the ASan stage invokes the binary directly).
+std::vector<sparse::SpgemmMode> spgemm_sweep_modes() {
+  if (const char* pin = std::getenv("GBTL_SPGEMM_MODE")) {
+    if (std::strcmp(pin, "esc") == 0) return {sparse::SpgemmMode::Esc};
+    if (std::strcmp(pin, "hash") == 0) return {sparse::SpgemmMode::Hash};
+    if (std::strcmp(pin, "auto") == 0) return {sparse::SpgemmMode::Auto};
+  }
+  return {sparse::SpgemmMode::Esc, sparse::SpgemmMode::Hash,
+          sparse::SpgemmMode::Auto};
+}
 
 // --------------------------------------------------------------------------
 // Dense oracle
@@ -694,6 +712,8 @@ TEST_P(DifferentialFuzz, Vxm) {
 }
 
 TEST_P(DifferentialFuzz, Mxm) {
+  const auto modes = spgemm_sweep_modes();
+  const auto before = gpu_sim::device().stats();
   for (unsigned c = 0; c < kCasesPerInstance; ++c) {
     const unsigned seed = 3000 + GetParam() * kCasesPerInstance + c;
     std::mt19937 rng(seed);
@@ -729,14 +749,19 @@ TEST_P(DifferentialFuzz, Mxm) {
                    replace ? grb::Replace : grb::Merge);
           expect_matches(sc, want, "seq mxm");
 
-          auto gc = to_backend<double, grb::GpuSim>(ct);
-          unsigned v = 0;
-          for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
-            if (v++ != variant) return;
-            grb::mxm(gc, gm, accum, sr, ga, gb,
-                     replace ? grb::Replace : grb::Merge);
-          });
-          expect_matches(gc, want, "gpu mxm");
+          // GPU: every SpGEMM strategy (forced ESC, forced hash, Auto)
+          // must agree with the oracle bit-for-bit.
+          for (const auto mode : modes) {
+            sparse::SpgemmModeGuard guard(mode);
+            auto gc = to_backend<double, grb::GpuSim>(ct);
+            unsigned v = 0;
+            for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+              if (v++ != variant) return;
+              grb::mxm(gc, gm, accum, sr, ga, gb,
+                       replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(gc, want, "gpu mxm");
+          }
           ++variant;
         });
       });
@@ -746,6 +771,12 @@ TEST_P(DifferentialFuzz, Mxm) {
       return;
     }
   }
+  // Every GPU mxm above recorded its strategy decision; the masked variants
+  // (4 of the 5 mask kinds, 2 of them non-complemented) must have exercised
+  // the mask-aware paths that skip disallowed products.
+  const auto delta = gpu_sim::device().stats() - before;
+  EXPECT_GT(delta.spgemm_selections_total(), 0u);
+  EXPECT_GT(delta.spgemm_masked_products_avoided, 0u);
 }
 
 TEST_P(DifferentialFuzz, EWiseAdd) {
@@ -1003,6 +1034,61 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
 // Registered after the sweep so that in a single-process run of this binary
 // (scripts/ci.sh's pool-leak stage — under ctest each test is its own
 // process and the invariant is vacuous) it executes last: after every fuzz
+// Deterministic counter check: a dense 4x4 multiply under a diagonal mask
+// generates 64 partial products of which only 16 (4 per row, folding into
+// the 4 diagonal outputs) are allowed — both strategies must record the
+// selection and report exactly 48 products skipped by the mask (ESC at its
+// pre-sort filter, hash at its seeded tables).
+TEST(SpgemmCounters, MaskedSweepRecordsSelectionsAndAvoidedProducts) {
+  auto& dev = gpu_sim::device();
+  grb::Matrix<double, grb::GpuSim> a(4, 4), b(4, 4), mask(4, 4);
+  IndexArrayType rows, cols;
+  std::vector<double> vals;
+  for (IndexType i = 0; i < 4; ++i)
+    for (IndexType j = 0; j < 4; ++j) {
+      rows.push_back(i);
+      cols.push_back(j);
+      vals.push_back(1.0 + static_cast<double>(i + 2 * j));
+    }
+  a.build(rows, cols, vals);
+  b.build(rows, cols, vals);
+  mask.build({0, 1, 2, 3}, {0, 1, 2, 3}, {1.0, 1.0, 1.0, 1.0});
+
+  grb::Matrix<double, grb::GpuSim> want(4, 4);
+  {
+    sparse::SpgemmModeGuard guard(sparse::SpgemmMode::Esc);
+    grb::mxm(want, grb::structure(mask), grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, a, b, grb::Replace);
+  }
+  for (const auto mode :
+       {sparse::SpgemmMode::Esc, sparse::SpgemmMode::Hash}) {
+    sparse::SpgemmModeGuard guard(mode);
+    const auto before = dev.stats();
+    grb::Matrix<double, grb::GpuSim> c(4, 4);
+    grb::mxm(c, grb::structure(mask), grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, a, b, grb::Replace);
+    const auto delta = dev.stats() - before;
+    const auto strategy = mode == sparse::SpgemmMode::Esc
+                              ? gpu_sim::SpgemmStrategy::kEsc
+                              : gpu_sim::SpgemmStrategy::kHash;
+    EXPECT_EQ(delta.spgemm_selections[static_cast<std::size_t>(strategy)],
+              1u);
+    EXPECT_EQ(delta.spgemm_masked_products_avoided, 48u)
+        << gpu_sim::to_string(strategy);
+    if (mode == sparse::SpgemmMode::Hash) {
+      EXPECT_GT(delta.spgemm_hash_table_bytes, 0u);
+    }
+    // Both strategies must land on the identical stored result.
+    IndexArrayType cr, cc, wr, wc;
+    std::vector<double> cv, wv;
+    c.extractTuples(cr, cc, cv);
+    want.extractTuples(wr, wc, wv);
+    EXPECT_EQ(cr, wr);
+    EXPECT_EQ(cc, wc);
+    EXPECT_EQ(cv, wv);
+  }
+}
+
 // case has churned the device allocator, all client allocations must be
 // back, and trimming the pool must return the cached bytes to the heap.
 TEST(ZPoolLeak, DeviceHeapReturnsToZeroAfterSweepAndTrim) {

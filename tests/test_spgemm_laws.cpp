@@ -1,0 +1,193 @@
+/// Algebraic-law property tests for SpGEMM: identities every correct mxm
+/// must satisfy regardless of strategy — (A·B)ᵀ = Bᵀ·Aᵀ (the arithmetic
+/// semiring's multiply commutes, so values match too, not just patterns),
+/// A·I = A, annihilator-row propagation (an empty A row yields an empty C
+/// row), and empty-matrix absorption. Each law runs on the sequential
+/// backend and on the GPU backend under every SpGEMM strategy (forced ESC,
+/// forced hash, Auto), so a strategy that breaks an identity cannot hide
+/// behind the differential sweep's random shapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "gbtl/gbtl.hpp"
+#include "sparse/spgemm_select.hpp"
+
+namespace {
+
+using grb::IndexArrayType;
+using grb::IndexType;
+
+using Tuples = std::vector<std::tuple<IndexType, IndexType, double>>;
+
+template <typename M>
+Tuples tuples_of(const M& m) {
+  IndexArrayType r, c;
+  std::vector<double> v;
+  m.extractTuples(r, c, v);
+  Tuples t;
+  t.reserve(v.size());
+  for (std::size_t p = 0; p < v.size(); ++p) t.emplace_back(r[p], c[p], v[p]);
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+Tuples transposed(Tuples t) {
+  for (auto& [i, j, v] : t) std::swap(i, j);
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+struct Coo {
+  IndexType nr = 0, nc = 0;
+  IndexArrayType r, c;
+  std::vector<double> v;
+};
+
+/// Seeded random COO with integer-valued entries (exact float arithmetic,
+/// so both strategies' summation orders must agree bit-for-bit).
+Coo gen_coo(std::mt19937& rng, IndexType nr, IndexType nc, double density) {
+  Coo m;
+  m.nr = nr;
+  m.nc = nc;
+  const auto target = static_cast<std::size_t>(
+      density * static_cast<double>(nr) * static_cast<double>(nc));
+  std::set<std::pair<IndexType, IndexType>> used;
+  std::uniform_int_distribution<IndexType> ri(0, nr - 1), ci(0, nc - 1);
+  std::uniform_int_distribution<int> vi(-4, 4);
+  for (std::size_t k = 0; k < target; ++k) {
+    const auto pos = std::make_pair(ri(rng), ci(rng));
+    if (!used.insert(pos).second) continue;
+    m.r.push_back(pos.first);
+    m.c.push_back(pos.second);
+    m.v.push_back(static_cast<double>(vi(rng)));
+  }
+  return m;
+}
+
+template <typename Tag>
+grb::Matrix<double, Tag> to_matrix(const Coo& m) {
+  grb::Matrix<double, Tag> out(m.nr, m.nc);
+  if (!m.v.empty()) out.build(m.r, m.c, m.v);
+  return out;
+}
+
+/// Run @p law once per engine: the sequential backend, then the GPU backend
+/// pinned to each SpGEMM strategy. The law receives a tag type and a label.
+template <typename Law>
+void for_each_engine(Law&& law) {
+  law.template operator()<grb::Sequential>("sequential");
+  for (const auto mode : {sparse::SpgemmMode::Esc, sparse::SpgemmMode::Hash,
+                          sparse::SpgemmMode::Auto}) {
+    sparse::SpgemmModeGuard guard(mode);
+    law.template operator()<grb::GpuSim>(
+        mode == sparse::SpgemmMode::Esc    ? "gpu/esc"
+        : mode == sparse::SpgemmMode::Hash ? "gpu/hash"
+                                           : "gpu/auto");
+  }
+}
+
+// --------------------------------------------------------------------------
+// (A·B)ᵀ = Bᵀ·Aᵀ
+// --------------------------------------------------------------------------
+
+TEST(SpgemmLaws, TransposeOfProductEqualsReversedTransposeProduct) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    std::mt19937 rng(900 + seed);
+    const Coo a = gen_coo(rng, 9, 7, 0.3);
+    const Coo b = gen_coo(rng, 7, 11, 0.3);
+    for_each_engine([&]<typename Tag>(const char* label) {
+      const auto ga = to_matrix<Tag>(a);
+      const auto gb = to_matrix<Tag>(b);
+      grb::Matrix<double, Tag> ab(9, 11), btat(11, 9);
+      grb::mxm(ab, grb::NoMask{}, grb::NoAccumulate{},
+               grb::ArithmeticSemiring<double>{}, ga, gb);
+      grb::mxm(btat, grb::NoMask{}, grb::NoAccumulate{},
+               grb::ArithmeticSemiring<double>{}, grb::transpose(gb),
+               grb::transpose(ga));
+      EXPECT_EQ(transposed(tuples_of(ab)), tuples_of(btat))
+          << label << " seed " << seed;
+    });
+  }
+}
+
+// --------------------------------------------------------------------------
+// A·I = A, I·A = A
+// --------------------------------------------------------------------------
+
+TEST(SpgemmLaws, IdentityIsNeutral) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    std::mt19937 rng(930 + seed);
+    const Coo a = gen_coo(rng, 10, 6, 0.35);
+    for_each_engine([&]<typename Tag>(const char* label) {
+      const auto ga = to_matrix<Tag>(a);
+      const auto right = grb::identity<double, Tag>(6);
+      const auto left = grb::identity<double, Tag>(10);
+      grb::Matrix<double, Tag> ai(10, 6), ia(10, 6);
+      grb::mxm(ai, grb::NoMask{}, grb::NoAccumulate{},
+               grb::ArithmeticSemiring<double>{}, ga, right);
+      grb::mxm(ia, grb::NoMask{}, grb::NoAccumulate{},
+               grb::ArithmeticSemiring<double>{}, left, ga);
+      EXPECT_EQ(tuples_of(ai), tuples_of(ga)) << label << " seed " << seed;
+      EXPECT_EQ(tuples_of(ia), tuples_of(ga)) << label << " seed " << seed;
+    });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Annihilator rows: an empty A row can produce no C entries
+// --------------------------------------------------------------------------
+
+TEST(SpgemmLaws, EmptyARowYieldsEmptyCRow) {
+  std::mt19937 rng(960);
+  Coo a = gen_coo(rng, 8, 8, 0.5);
+  // Annihilate rows 0 and 5.
+  Coo holed;
+  holed.nr = a.nr;
+  holed.nc = a.nc;
+  for (std::size_t p = 0; p < a.v.size(); ++p) {
+    if (a.r[p] == 0 || a.r[p] == 5) continue;
+    holed.r.push_back(a.r[p]);
+    holed.c.push_back(a.c[p]);
+    holed.v.push_back(a.v[p]);
+  }
+  const Coo b = gen_coo(rng, 8, 8, 0.6);
+  for_each_engine([&]<typename Tag>(const char* label) {
+    const auto ga = to_matrix<Tag>(holed);
+    const auto gb = to_matrix<Tag>(b);
+    grb::Matrix<double, Tag> c(8, 8);
+    grb::mxm(c, grb::NoMask{}, grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, ga, gb);
+    for (const auto& [i, j, v] : tuples_of(c)) {
+      EXPECT_NE(i, 0u) << label;
+      EXPECT_NE(i, 5u) << label;
+    }
+  });
+}
+
+// --------------------------------------------------------------------------
+// Empty-matrix absorption: A·0 = 0, 0·B = 0
+// --------------------------------------------------------------------------
+
+TEST(SpgemmLaws, EmptyMatrixAbsorbs) {
+  std::mt19937 rng(990);
+  const Coo a = gen_coo(rng, 7, 5, 0.5);
+  for_each_engine([&]<typename Tag>(const char* label) {
+    const auto ga = to_matrix<Tag>(a);
+    grb::Matrix<double, Tag> zero_b(5, 9), zero_a(4, 7);
+    grb::Matrix<double, Tag> c1(7, 9), c2(4, 5);
+    grb::mxm(c1, grb::NoMask{}, grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, ga, zero_b);
+    grb::mxm(c2, grb::NoMask{}, grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, zero_a, ga);
+    EXPECT_EQ(c1.nvals(), 0u) << label;
+    EXPECT_EQ(c2.nvals(), 0u) << label;
+  });
+}
+
+}  // namespace
