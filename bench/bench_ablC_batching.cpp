@@ -17,9 +17,7 @@ namespace {
 constexpr grb::IndexType kBatch = 16;
 
 grb::IndexArrayType batch_sources(grb::IndexType n) {
-  grb::IndexArrayType s;
-  for (grb::IndexType i = 0; i < kBatch; ++i) s.push_back((i * 37) % n);
-  return s;
+  return benchx::batch_sources(n, kBatch);
 }
 
 template <typename Tag>

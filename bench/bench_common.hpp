@@ -84,6 +84,18 @@ gpu_sim::DeviceStats run_simulated(benchmark::State& state, Fn&& work) {
   return delta;
 }
 
+/// Deterministic spread of @p count traversal sources over [0, n): the
+/// stride-37 pattern the batching ablation introduced, shared so every
+/// multi-source bench (and the serving-layer benches) draws the same
+/// workload instead of re-rolling its own.
+inline grb::IndexArrayType batch_sources(grb::IndexType n,
+                                         grb::IndexType count = 16) {
+  grb::IndexArrayType s;
+  s.reserve(count);
+  for (grb::IndexType i = 0; i < count; ++i) s.push_back((i * 37) % n);
+  return s;
+}
+
 /// Standard per-benchmark counters so every table row carries its workload.
 inline void annotate(benchmark::State& state, grb::IndexType vertices,
                      grb::IndexType edges) {

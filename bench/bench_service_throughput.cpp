@@ -1,0 +1,140 @@
+/// Serving-layer throughput & tail-latency bench. Unlike the paper-figure
+/// benches (simulated device seconds), this one measures REAL wall time:
+/// the serving layer's product is concurrency on the host — admission,
+/// scheduling, and N workers with private simulated devices — so QPS and
+/// p50/p95/p99 are host-side quantities.
+///
+/// Two experiments:
+///  - BM_service_throughput/<workers>: closed-loop mixed BFS + PageRank
+///    workload; reports qps and latency quantiles per worker count.
+///  - BM_service_deadline_sweep/<timeout_us>: the same workload under a
+///    per-query deadline; reports how the completed/cancelled/shed split
+///    moves as the deadline tightens (timeout 0 = every query born
+///    expired, nothing completes).
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "service/executor.hpp"
+#include "service/graph_store.hpp"
+#include "service/query.hpp"
+
+namespace {
+
+constexpr unsigned kScale = 8;
+constexpr grb::IndexType kEdgeFactor = 8;
+constexpr std::size_t kQueries = 48;
+
+std::shared_ptr<service::GraphStore> shared_store() {
+  static auto store = [] {
+    auto s = std::make_shared<service::GraphStore>();
+    s->add("rmat", benchx::rmat_graph(kScale, kEdgeFactor));
+    return s;
+  }();
+  return store;
+}
+
+/// Alternating BFS / PageRank over the shared graph, sources spread with
+/// the common stride pattern.
+std::vector<service::QueryRequest> mixed_workload() {
+  const auto sources = benchx::batch_sources(
+      grb::IndexType{1} << kScale, static_cast<grb::IndexType>(kQueries));
+  std::vector<service::QueryRequest> reqs(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    auto& r = reqs[i];
+    r.graph = "rmat";
+    if (i % 2 == 0) {
+      r.kind = service::QueryKind::kBfs;
+      r.source = sources[i];
+    } else {
+      r.kind = service::QueryKind::kPageRank;
+      r.max_iterations = 15;
+    }
+  }
+  return reqs;
+}
+
+void report_service_counters(benchmark::State& state,
+                             const service::ServiceStats& stats,
+                             double seconds) {
+  state.counters["qps"] = benchmark::Counter(stats.qps(
+      std::chrono::duration<double>(seconds)));
+  state.counters["p50_us"] = benchmark::Counter(stats.latency.quantile(0.50));
+  state.counters["p95_us"] = benchmark::Counter(stats.latency.quantile(0.95));
+  state.counters["p99_us"] = benchmark::Counter(stats.latency.quantile(0.99));
+  state.counters["completed"] =
+      benchmark::Counter(static_cast<double>(stats.completed));
+  state.counters["cancelled"] =
+      benchmark::Counter(static_cast<double>(stats.cancelled));
+  state.counters["shed"] = benchmark::Counter(static_cast<double>(stats.shed));
+}
+
+void BM_service_throughput(benchmark::State& state) {
+  const auto workload = mixed_workload();
+  service::ServiceStats last{};
+  double seconds = 0.0;
+  for (auto _ : state) {
+    service::ExecutorOptions opts;
+    opts.workers = static_cast<std::size_t>(state.range(0));
+    opts.queue_capacity = kQueries;  // closed loop: nothing sheds
+    service::QueryExecutor exec(shared_store(), opts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<service::QueryResult>> futures;
+    futures.reserve(workload.size());
+    for (const auto& req : workload) futures.push_back(exec.submit(req));
+    for (auto& f : futures) f.get();
+    seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    last = exec.stats();
+  }
+  report_service_counters(state, last, seconds);
+}
+BENCHMARK(BM_service_throughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_service_deadline_sweep(benchmark::State& state) {
+  const auto timeout = std::chrono::microseconds(state.range(0));
+  auto workload = mixed_workload();
+  for (auto& req : workload)
+    req.timeout =
+        std::chrono::duration_cast<std::chrono::milliseconds>(timeout);
+  service::ServiceStats last{};
+  double seconds = 0.0;
+  for (auto _ : state) {
+    service::ExecutorOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = 16;  // small queue: overload can shed
+    service::QueryExecutor exec(shared_store(), opts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<service::QueryResult>> futures;
+    futures.reserve(workload.size());
+    for (const auto& req : workload) futures.push_back(exec.submit(req));
+    for (auto& f : futures) f.get();
+    seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    last = exec.stats();
+  }
+  report_service_counters(state, last, seconds);
+}
+BENCHMARK(BM_service_deadline_sweep)
+    ->Arg(0)        // born expired: everything cancelled or shed
+    ->Arg(2000)     // 2 ms: tight — partial completion
+    ->Arg(1000000)  // 1 s: loose — everything completes
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

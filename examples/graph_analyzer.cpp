@@ -163,9 +163,12 @@ int main(int argc, char** argv) {
   try {
     const auto g = load_graph(argv[1]);
     if (backend == "gpu") {
-      gpu_sim::device().reset_stats();
+      // Private context for the run (ScopedDevice): counters start at zero
+      // without the reset_stats() dance.
+      gpu_sim::Context ctx;
+      gpu_sim::ScopedDevice bind(ctx);
       const int rc = run<grb::GpuSim>(g, argv[2], source, "gpu-sim");
-      const auto s = gpu_sim::device().stats();
+      const auto s = ctx.stats();
       std::printf("simulated device: %.3f ms kernels (%llu launches) + "
                   "%.3f ms transfers (%llu MB moved)\n",
                   s.simulated_kernel_time_s * 1e3,

@@ -51,10 +51,15 @@ void demo(const char* name) {
 int main() {
   demo<grb::Sequential>("sequential (CPU reference)");
 
-  gpu_sim::device().reset_stats();
-  demo<grb::GpuSim>("gpu-sim (simulated CUDA backend)");
+  // A fresh context scoped to the GpuSim run: its counters start at zero,
+  // so no reset_stats() bookkeeping and nothing else can bleed into them.
+  gpu_sim::Context ctx;
+  {
+    gpu_sim::ScopedDevice bind(ctx);
+    demo<grb::GpuSim>("gpu-sim (simulated CUDA backend)");
+  }
 
-  const auto stats = gpu_sim::device().stats();
+  const auto stats = ctx.stats();
   std::printf("\nsimulated device activity for the GpuSim run:\n");
   std::printf("  kernel launches:  %llu\n",
               static_cast<unsigned long long>(stats.kernel_launches));

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate + sanitized fuzz pass.
 #
-#   scripts/ci.sh            # full: tier-1 build/test, bench smoke, ASan/UBSan fuzz
+#   scripts/ci.sh            # full: tier-1 build/test, bench smoke,
+#                            #   ASan/UBSan fuzz, TSan concurrency stage
 #   scripts/ci.sh --fast     # tier-1 only
 #
 # Tier-1 is the contract every change must keep green: configure, build,
@@ -16,6 +17,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 SAN_BUILD_DIR=${SAN_BUILD_DIR:-build-asan}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 
 echo "==> tier-1: configure + build (${BUILD_DIR})"
@@ -23,7 +25,7 @@ cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 echo "==> tier-1: ctest"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L 'unit|fuzz'
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L 'unit|fuzz|stress'
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "==> done (fast mode: sanitizers and bench smoke skipped)"
@@ -59,5 +61,20 @@ echo "==> sanitizers: hash-forced SpGEMM sweep"
 # exactly the code a sanitizer should stress.
 GBTL_SPGEMM_MODE=hash "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
   --gtest_brief=1 --gtest_filter='Seeds/DifferentialFuzz.Mxm/*:ZPoolLeak.*'
+
+echo "==> sanitizers: TSan concurrency config (${TSAN_BUILD_DIR})"
+# The serving layer is the one place this code base runs concurrent device
+# work on purpose: rebuild the thread-pool substrate test and the executor
+# stress test under ThreadSanitizer and run them in-process. Any data race
+# between worker contexts, the graph store, the admission queue, or the
+# stats block fires here.
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  >/dev/null
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target test_thread_pool --target test_service_stress
+"${TSAN_BUILD_DIR}/tests/test_thread_pool" --gtest_brief=1
+"${TSAN_BUILD_DIR}/tests/test_service_stress" --gtest_brief=1
 
 echo "==> all green"

@@ -17,9 +17,13 @@ namespace algorithms {
 ///               interpreted structurally.
 /// @param source starting vertex.
 /// @param levels output vector of size n.
+/// @param policy deadline / cancellation checkpoint, polled once per level;
+///               on cancellation levels holds depths 1..k of the k levels
+///               that completed (see gbtl/execution_policy.hpp).
 template <typename T, typename Tag>
 void bfs_level(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
-               grb::Vector<grb::IndexType, Tag>& levels) {
+               grb::Vector<grb::IndexType, Tag>& levels,
+               const grb::ExecutionPolicy& policy = {}) {
   const grb::IndexType n = graph.nrows();
   if (graph.ncols() != n)
     throw grb::DimensionException("bfs_level: graph must be square");
@@ -35,6 +39,7 @@ void bfs_level(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
   grb::IndexType depth = 0;
   grb::IndexType visited = 0;
   while (frontier.nvals() > 0 && depth < n) {
+    policy.checkpoint("bfs_level");
     ++depth;
     // Stamp the current depth on the frontier.
     grb::assign(levels, frontier, grb::NoAccumulate{}, depth,
@@ -56,7 +61,8 @@ void bfs_level(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
 /// its own parent); unreachable vertices hold no value.
 template <typename T, typename Tag>
 void bfs_parent(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
-                grb::Vector<grb::IndexType, Tag>& parents) {
+                grb::Vector<grb::IndexType, Tag>& parents,
+                const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -75,6 +81,7 @@ void bfs_parent(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
   grb::Vector<IndexType, Tag> next(n);
 
   while (wavefront.nvals() > 0) {
+    policy.checkpoint("bfs_parent");
     // Propose parents to undiscovered neighbours: next[j] = min over
     // frontier i with (i,j) edge of i (min-select1st carries the source id).
     grb::vxm(next, grb::complement(grb::structure(parents)),
@@ -99,7 +106,8 @@ void bfs_parent(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
 template <typename T, typename Tag>
 void batch_bfs_level(const grb::Matrix<T, Tag>& graph,
                      const grb::IndexArrayType& sources,
-                     grb::Matrix<grb::IndexType, Tag>& levels) {
+                     grb::Matrix<grb::IndexType, Tag>& levels,
+                     const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -125,6 +133,7 @@ void batch_bfs_level(const grb::Matrix<T, Tag>& graph,
   const grb::IndexArrayType all_cols = grb::all_indices(n);
   IndexType depth = 0;
   while (frontier.nvals() > 0 && depth < n) {
+    policy.checkpoint("batch_bfs_level");
     ++depth;
     grb::assign(levels, grb::structure(frontier), grb::NoAccumulate{}, depth,
                 all_rows, all_cols, grb::Merge);
@@ -137,9 +146,10 @@ void batch_bfs_level(const grb::Matrix<T, Tag>& graph,
 /// Convenience: hop distance (0-based) of every reachable vertex.
 template <typename T, typename Tag>
 grb::Vector<grb::IndexType, Tag> bfs_distance(
-    const grb::Matrix<T, Tag>& graph, grb::IndexType source) {
+    const grb::Matrix<T, Tag>& graph, grb::IndexType source,
+    const grb::ExecutionPolicy& policy = {}) {
   grb::Vector<grb::IndexType, Tag> levels(graph.nrows());
-  bfs_level(graph, source, levels);
+  bfs_level(graph, source, levels, policy);
   grb::Vector<grb::IndexType, Tag> dist(graph.nrows());
   grb::apply(dist, grb::NoMask{}, grb::NoAccumulate{},
              grb::BindSecond<grb::IndexType, grb::Minus<grb::IndexType>>{1},

@@ -25,7 +25,8 @@ struct ColoringResult {
 template <typename T, typename Tag>
 ColoringResult greedy_coloring(const grb::Matrix<T, Tag>& graph,
                                grb::Vector<grb::IndexType, Tag>& colors,
-                               std::uint64_t seed = 1) {
+                               std::uint64_t seed = 1,
+                               const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -43,6 +44,7 @@ ColoringResult greedy_coloring(const grb::Matrix<T, Tag>& graph,
 
   ColoringResult result;
   while (uncolored.nvals() > 0) {
+    policy.checkpoint("greedy_coloring");
     ++result.rounds;
     const std::uint64_t salt = detail::splitmix64(seed ^ result.rounds);
 

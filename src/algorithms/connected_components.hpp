@@ -14,7 +14,8 @@ namespace algorithms {
 /// @returns the number of propagation rounds.
 template <typename T, typename Tag>
 grb::IndexType connected_components(const grb::Matrix<T, Tag>& graph,
-                                    grb::Vector<grb::IndexType, Tag>& labels) {
+                                    grb::Vector<grb::IndexType, Tag>& labels,
+                                    const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -35,6 +36,7 @@ grb::IndexType connected_components(const grb::Matrix<T, Tag>& graph,
   grb::Vector<IndexType, Tag> neighbour_min(n), prev(n);
   IndexType rounds = 0;
   for (IndexType k = 0; k < n; ++k) {
+    policy.checkpoint("connected_components");
     prev = labels;
     // neighbour_min[v] = min label among v's neighbours.
     grb::mxv(neighbour_min, grb::NoMask{}, grb::NoAccumulate{},

@@ -14,7 +14,8 @@ namespace algorithms {
 /// get 0). Returns the degeneracy (maximum core number).
 template <typename T, typename Tag>
 grb::IndexType kcore_decomposition(const grb::Matrix<T, Tag>& graph,
-                                   grb::Vector<grb::IndexType, Tag>& core) {
+                                   grb::Vector<grb::IndexType, Tag>& core,
+                                   const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -41,6 +42,7 @@ grb::IndexType kcore_decomposition(const grb::Matrix<T, Tag>& graph,
   IndexType degeneracy = 0;
 
   while (remaining.nvals() > 0) {
+    policy.checkpoint("kcore_decomposition");
     // Degrees within the remaining subgraph. Remaining vertices with no
     // remaining neighbour produce no entry; they are collected as
     // `isolated` below.

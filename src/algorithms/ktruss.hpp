@@ -28,7 +28,8 @@ struct KtrussResult {
 ///               edge's triangle support.
 template <typename T, typename Tag>
 KtrussResult ktruss(const grb::Matrix<T, Tag>& graph, grb::IndexType k,
-                    grb::Matrix<grb::IndexType, Tag>& truss) {
+                    grb::Matrix<grb::IndexType, Tag>& truss,
+                    const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -47,6 +48,7 @@ KtrussResult ktruss(const grb::Matrix<T, Tag>& graph, grb::IndexType k,
   grb::Matrix<IndexType, Tag> support(n, n);
 
   for (;;) {
+    policy.checkpoint("ktruss");
     ++result.rounds;
     // support<E> = E*E : common-neighbour count per surviving edge.
     grb::mxm(support, grb::structure(E), grb::NoAccumulate{},

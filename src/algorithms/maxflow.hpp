@@ -18,7 +18,7 @@ namespace algorithms {
 /// @returns the flow value.
 template <typename T, typename Tag>
 T maxflow(const grb::Matrix<T, Tag>& capacities, grb::IndexType source,
-          grb::IndexType sink) {
+          grb::IndexType sink, const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = capacities.nrows();
   if (capacities.ncols() != n)
@@ -33,6 +33,7 @@ T maxflow(const grb::Matrix<T, Tag>& capacities, grb::IndexType source,
   T flow{0};
 
   for (;;) {
+    policy.checkpoint("maxflow");
     // Residual pattern with strictly positive capacity.
     grb::Matrix<T, Tag> pattern(n, n);
     grb::select(pattern, grb::NoMask{}, grb::NoAccumulate{},

@@ -30,7 +30,8 @@ inline std::uint64_t splitmix64(std::uint64_t x) {
 /// hold no value). @returns the number of rounds.
 template <typename T, typename Tag>
 grb::IndexType mis(const grb::Matrix<T, Tag>& graph,
-                   grb::Vector<bool, Tag>& iset, std::uint64_t seed = 1) {
+                   grb::Vector<bool, Tag>& iset, std::uint64_t seed = 1,
+                   const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -69,6 +70,7 @@ grb::IndexType mis(const grb::Matrix<T, Tag>& graph,
 
   IndexType rounds = 0;
   while (candidates.nvals() > 0) {
+    policy.checkpoint("mis");
     ++rounds;
     const std::uint64_t round_salt =
         detail::splitmix64(seed * 0x51ed2701 + rounds);

@@ -27,7 +27,8 @@ template <typename T, typename Tag>
 PageRankResult pagerank(const grb::Matrix<T, Tag>& graph,
                         grb::Vector<double, Tag>& rank,
                         double damping = 0.85, double tol = 1e-9,
-                        grb::IndexType max_iterations = 100) {
+                        grb::IndexType max_iterations = 100,
+                        const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -64,6 +65,7 @@ PageRankResult pagerank(const grb::Matrix<T, Tag>& graph,
   PageRankResult result;
   grb::Vector<double, Tag> next(n), diff(n), dangling_rank(n);
   for (IndexType it = 0; it < max_iterations; ++it) {
+    policy.checkpoint("pagerank");
     // next = damping * (rank . M)
     grb::vxm(next, grb::NoMask{}, grb::NoAccumulate{},
              grb::ArithmeticSemiring<double>{}, rank, M, grb::Replace);
@@ -107,7 +109,8 @@ PageRankResult personalized_pagerank(const grb::Matrix<T, Tag>& graph,
                                      grb::Vector<double, Tag>& rank,
                                      double damping = 0.85,
                                      double tol = 1e-9,
-                                     grb::IndexType max_iterations = 100) {
+                                     grb::IndexType max_iterations = 100,
+                                     const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -144,6 +147,7 @@ PageRankResult personalized_pagerank(const grb::Matrix<T, Tag>& graph,
   PageRankResult result;
   grb::Vector<double, Tag> next(n), diff(n), dangling_rank(n);
   for (IndexType it = 0; it < max_iterations; ++it) {
+    policy.checkpoint("personalized_pagerank");
     grb::vxm(next, grb::NoMask{}, grb::NoAccumulate{},
              grb::ArithmeticSemiring<double>{}, rank, M, grb::Replace);
     grb::apply(next, grb::NoMask{}, grb::NoAccumulate{},

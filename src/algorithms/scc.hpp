@@ -48,7 +48,8 @@ grb::Vector<bool, Tag> reachable_within(const grb::Matrix<T, Tag>& A,
 /// @returns the number of components.
 template <typename T, typename Tag>
 grb::IndexType strongly_connected_components(
-    const grb::Matrix<T, Tag>& graph, grb::Vector<grb::IndexType, Tag>& labels) {
+    const grb::Matrix<T, Tag>& graph, grb::Vector<grb::IndexType, Tag>& labels,
+    const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -73,6 +74,7 @@ grb::IndexType strongly_connected_components(
   }
 
   while (!worklist.empty()) {
+    policy.checkpoint("strongly_connected_components");
     grb::Vector<bool, Tag> region = std::move(worklist.back());
     worklist.pop_back();
     if (region.nvals() == 0) continue;

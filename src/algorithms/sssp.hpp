@@ -19,7 +19,8 @@ namespace algorithms {
 /// @returns number of relaxation rounds executed (handy for benches).
 template <typename T, typename Tag>
 grb::IndexType sssp(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
-                    grb::Vector<T, Tag>& dist) {
+                    grb::Vector<T, Tag>& dist,
+                    const grb::ExecutionPolicy& policy = {}) {
   const grb::IndexType n = graph.nrows();
   if (graph.ncols() != n)
     throw grb::DimensionException("sssp: graph must be square");
@@ -33,6 +34,7 @@ grb::IndexType sssp(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
   grb::Vector<T, Tag> prev(n);
   grb::IndexType rounds = 0;
   for (grb::IndexType k = 0; k + 1 < n; ++k) {
+    policy.checkpoint("sssp");
     prev = dist;
     // dist = min(dist, dist min.+ A)
     grb::vxm(dist, grb::NoMask{}, grb::Min<T>{}, grb::MinPlusSemiring<T>{},
@@ -49,7 +51,8 @@ grb::IndexType sssp(const grb::Matrix<T, Tag>& graph, grb::IndexType source,
 template <typename T, typename Tag>
 grb::IndexType batch_sssp(const grb::Matrix<T, Tag>& graph,
                           const grb::IndexArrayType& sources,
-                          grb::Matrix<T, Tag>& dists) {
+                          grb::Matrix<T, Tag>& dists,
+                          const grb::ExecutionPolicy& policy = {}) {
   const grb::IndexType n = graph.nrows();
   if (graph.ncols() != n)
     throw grb::DimensionException("batch_sssp: graph must be square");
@@ -72,6 +75,7 @@ grb::IndexType batch_sssp(const grb::Matrix<T, Tag>& graph,
   grb::Matrix<T, Tag> prev(dists.nrows(), n);
   grb::IndexType rounds = 0;
   for (grb::IndexType k = 0; k + 1 < n; ++k) {
+    policy.checkpoint("batch_sssp");
     prev = dists;
     grb::mxm(dists, grb::NoMask{}, grb::Min<T>{}, grb::MinPlusSemiring<T>{},
              prev, graph);
@@ -83,9 +87,10 @@ grb::IndexType batch_sssp(const grb::Matrix<T, Tag>& graph,
 
 /// All-pairs shortest paths: batched SSSP from every vertex.
 template <typename T, typename Tag>
-grb::Matrix<T, Tag> apsp(const grb::Matrix<T, Tag>& graph) {
+grb::Matrix<T, Tag> apsp(const grb::Matrix<T, Tag>& graph,
+                         const grb::ExecutionPolicy& policy = {}) {
   grb::Matrix<T, Tag> dists(graph.nrows(), graph.ncols());
-  batch_sssp(graph, grb::all_indices(graph.nrows()), dists);
+  batch_sssp(graph, grb::all_indices(graph.nrows()), dists, policy);
   return dists;
 }
 

@@ -22,7 +22,8 @@ struct TopoResult {
 /// of a cycle hold no value.
 template <typename T, typename Tag>
 TopoResult topological_levels(const grb::Matrix<T, Tag>& graph,
-                              grb::Vector<grb::IndexType, Tag>& levels) {
+                              grb::Vector<grb::IndexType, Tag>& levels,
+                              const grb::ExecutionPolicy& policy = {}) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -41,6 +42,7 @@ TopoResult topological_levels(const grb::Matrix<T, Tag>& graph,
 
   TopoResult result;
   while (remaining.nvals() > 0) {
+    policy.checkpoint("topological_levels");
     // In-degree within the remaining subgraph: pull across transposed
     // edges — indeg[v] = sum over remaining u with (u,v).
     grb::Vector<IndexType, Tag> indeg(n);

@@ -34,10 +34,14 @@ grb::Matrix<T, Tag> lower_triangle(const grb::Matrix<T, Tag>& graph) {
 /// diagonal. This is the formulation whose cost the masked-mxm fast path
 /// determines.
 template <typename T, typename Tag>
-std::uint64_t triangle_count_masked(const grb::Matrix<T, Tag>& graph) {
+std::uint64_t triangle_count_masked(const grb::Matrix<T, Tag>& graph,
+                                    const grb::ExecutionPolicy& policy = {}) {
   using CountT = std::uint64_t;
   if (graph.nrows() != graph.ncols())
     throw grb::DimensionException("triangle_count: graph must be square");
+  // Not iterative, but the one masked SpGEMM dominates the cost: check the
+  // policy once up front so an already-expired query never launches it.
+  policy.checkpoint("triangle_count_masked");
   grb::Matrix<CountT, Tag> L(graph.nrows(), graph.ncols());
   grb::apply(L, grb::NoMask{}, grb::NoAccumulate{},
              [](const T&) { return CountT{1}; }, lower_triangle(graph));

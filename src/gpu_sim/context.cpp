@@ -254,7 +254,19 @@ void Context::account_launch(const LaunchStats& stats) {
   stats_.simulated_kernel_time_s += modeled_kernel_time(props_, stats);
 }
 
+namespace {
+/// Per-thread device binding; null means "the process-wide default".
+thread_local Context* tl_device_override = nullptr;
+}  // namespace
+
+ScopedDevice::ScopedDevice(Context& ctx) : previous_(tl_device_override) {
+  tl_device_override = &ctx;
+}
+
+ScopedDevice::~ScopedDevice() { tl_device_override = previous_; }
+
 Context& device() {
+  if (tl_device_override != nullptr) return *tl_device_override;
   static Context ctx{DeviceProperties{}, /*worker_count=*/1};
   return ctx;
 }

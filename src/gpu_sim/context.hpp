@@ -214,8 +214,32 @@ class Context {
   std::unordered_map<std::size_t, std::vector<void*>> pool_free_lists_;
 };
 
-/// Process-wide default device, analogous to CUDA's implicit device 0.
-/// Tests and benches call `device().reset_stats()` between regions.
+/// The calling thread's current device, analogous to CUDA's implicit
+/// device 0 after cudaSetDevice. By default every thread sees one shared
+/// process-wide context; a ScopedDevice guard rebinds the *calling thread*
+/// to another context for a scope — the mechanism the serving layer uses to
+/// give every worker thread its own simulated GPU (src/service/).
 Context& device();
+
+/// RAII guard that makes @p ctx the calling thread's device() for the
+/// guard's lifetime (cudaSetDevice with automatic restore). Guards nest:
+/// destruction restores whatever device() resolved to when the guard was
+/// built. The rebinding is thread-local — concurrent threads each hold
+/// their own binding and never observe another thread's guard.
+///
+/// Prefer a fresh Context + ScopedDevice over `device().reset_stats()` for
+/// measuring a region: the region's stats start at zero, and nothing else
+/// running in the process can bleed counters into the measurement.
+class ScopedDevice {
+ public:
+  explicit ScopedDevice(Context& ctx);
+  ~ScopedDevice();
+
+  ScopedDevice(const ScopedDevice&) = delete;
+  ScopedDevice& operator=(const ScopedDevice&) = delete;
+
+ private:
+  Context* previous_;
+};
 
 }  // namespace gpu_sim

@@ -1,0 +1,80 @@
+#pragma once
+
+/// @file admission.hpp
+/// Admission control primitive: a bounded MPMC queue whose push *fails fast*
+/// instead of blocking. The executor turns a failed push into a kShed
+/// result, which is the load-shedding policy — clients learn immediately
+/// that the service is saturated rather than piling latency onto everything
+/// behind them in an unbounded backlog.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace service {
+
+/// Bounded FIFO handoff queue. Producers never block: try_push refuses when
+/// the queue is at capacity (or closed). Consumers block in pop until an
+/// item arrives or the queue is closed *and* drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue if there is room. @returns false when full or closed — the
+  /// caller owns the shed decision, and on failure @p item is NOT consumed
+  /// (it is only moved from when actually admitted).
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue the oldest item, blocking while the queue is open but empty.
+  /// @returns nullopt once the queue is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stop admitting; wake every blocked consumer. Items already queued are
+  /// still handed out (drain semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace service

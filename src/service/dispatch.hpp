@@ -1,0 +1,78 @@
+#pragma once
+
+/// @file dispatch.hpp
+/// The one place a QueryRequest meets an algorithms:: entry point. Shared by
+/// the executor (GpuSim backend, per-worker context) and by the serial
+/// oracle path the stress tests diff against (Sequential backend) — both
+/// run *exactly* this function, so any divergence is a backend bug, not a
+/// serving-layer one.
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/connected_components.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "service/query.hpp"
+
+namespace service {
+
+/// Run @p req against an already-resident @p graph under @p policy.
+/// Never throws: cancellation and algorithm failures come back as statuses.
+/// Fills payload + status only — latency/worker are the caller's fields.
+template <typename Tag>
+QueryResult run_query_on(const grb::Matrix<double, Tag>& graph,
+                         const QueryRequest& req,
+                         const grb::ExecutionPolicy& policy) {
+  QueryResult res;
+  try {
+    switch (req.kind) {
+      case QueryKind::kBfs: {
+        grb::Vector<grb::IndexType, Tag> levels(graph.nrows());
+        algorithms::bfs_level(graph, req.source, levels, policy);
+        levels.extractTuples(res.indices, res.ivals);
+        break;
+      }
+      case QueryKind::kSssp: {
+        grb::Vector<double, Tag> dist(graph.nrows());
+        algorithms::sssp(graph, req.source, dist, policy);
+        dist.extractTuples(res.indices, res.dvals);
+        break;
+      }
+      case QueryKind::kPageRank: {
+        grb::Vector<double, Tag> rank(graph.nrows());
+        algorithms::pagerank(graph, rank, req.damping, req.tol,
+                             req.max_iterations, policy);
+        rank.extractTuples(res.indices, res.dvals);
+        break;
+      }
+      case QueryKind::kTriangleCount: {
+        res.scalar = algorithms::triangle_count_masked(graph, policy);
+        break;
+      }
+      case QueryKind::kConnectedComponents: {
+        grb::Vector<grb::IndexType, Tag> labels(graph.nrows());
+        res.scalar = algorithms::connected_components(graph, labels, policy);
+        labels.extractTuples(res.indices, res.ivals);
+        break;
+      }
+      case QueryKind::kCount:
+        throw grb::InvalidValueException("run_query_on: bad QueryKind");
+    }
+    res.status = QueryStatus::kOk;
+  } catch (const grb::CancelledException& e) {
+    res = QueryResult{};  // drop any partial payload
+    res.status = QueryStatus::kCancelled;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res = QueryResult{};
+    res.status = QueryStatus::kFailed;
+    res.error = e.what();
+  }
+  return res;
+}
+
+}  // namespace service

@@ -1,0 +1,158 @@
+#include "service/executor.hpp"
+
+#include <utility>
+
+#include "service/dispatch.hpp"
+
+namespace service {
+
+using Clock = std::chrono::steady_clock;
+
+QueryExecutor::QueryExecutor(std::shared_ptr<GraphStore> store,
+                             ExecutorOptions options)
+    : store_(std::move(store)),
+      options_(options),
+      queue_(options.queue_capacity) {
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+QueryExecutor::~QueryExecutor() { shutdown(/*cancel_pending=*/false); }
+
+std::future<QueryResult> QueryExecutor::submit(QueryRequest req) {
+  Job job;
+  job.request = std::move(req);
+  job.admitted = Clock::now();
+  if (job.request.timeout)
+    job.deadline = job.admitted + *job.request.timeout;
+  std::future<QueryResult> future = job.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+
+  if (!queue_.try_push(std::move(job))) {
+    // Queue full (or shut down): shed at admission. try_push left the job
+    // intact on failure, so its promise still backs `future`.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed;
+    }
+    QueryResult res;
+    res.status = QueryStatus::kShed;
+    res.error = "admission queue full";
+    job.promise.set_value(std::move(res));
+  }
+  return future;
+}
+
+void QueryExecutor::shutdown(bool cancel_pending) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  if (cancel_pending) {
+    // Race the workers for the remaining items; both sides pop safely.
+    while (auto job = queue_.pop()) {
+      QueryResult res;
+      res.status = QueryStatus::kCancelled;
+      res.error = "executor shut down before the query ran";
+      resolve(*job, std::move(res));
+    }
+  }
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+ServiceStats QueryExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void QueryExecutor::resolve(Job& job, QueryResult res) {
+  res.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - job.admitted);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (res.status) {
+      case QueryStatus::kOk: ++stats_.completed; break;
+      case QueryStatus::kCancelled: ++stats_.cancelled; break;
+      case QueryStatus::kFailed: ++stats_.failed; break;
+      case QueryStatus::kShed:  // shed is counted at submit()
+      case QueryStatus::kCount: break;
+    }
+    stats_.latency.record(res.latency);
+  }
+  job.promise.set_value(std::move(res));
+}
+
+void QueryExecutor::worker_main(std::size_t worker_index) {
+  // This worker's private simulated GPU. Thread-locally installed, so the
+  // backend objects the queries build all land in this context — concurrent
+  // queries never contend on (or corrupt) a shared device.
+  gpu_sim::Context ctx{options_.device_properties, /*worker_count=*/1};
+  gpu_sim::ScopedDevice bind(ctx);
+  const auto budget = static_cast<std::size_t>(
+      options_.cache_memory_fraction *
+      static_cast<double>(ctx.properties().total_global_memory));
+  DeviceGraphCache cache(ctx, budget);
+
+  while (auto job = queue_.pop()) {
+    QueryResult res;
+    res.worker = worker_index;
+
+    grb::ExecutionPolicy policy;
+    if (job->deadline) policy.set_deadline(*job->deadline);
+    if (job->request.cancel) policy.set_cancel_token(job->request.cancel);
+
+    if (policy.expired() || policy.cancelled()) {
+      // Aged out while queued (or the caller already gave up): resolve
+      // without touching the store or the device.
+      res.status = QueryStatus::kCancelled;
+      res.error = policy.cancelled() ? "cancelled while queued"
+                                     : "deadline passed while queued";
+      resolve(*job, std::move(res));
+      continue;
+    }
+
+    const SnapshotPtr snap = store_->get(job->request.graph);
+    if (snap == nullptr) {
+      res.status = QueryStatus::kFailed;
+      res.error = "unknown graph: " + job->request.graph;
+      resolve(*job, std::move(res));
+      continue;
+    }
+
+    try {
+      const DeviceMatrixPtr graph = cache.get_or_upload(snap);
+      const std::size_t worker = res.worker;
+      res = run_query_on<grb::GpuSim>(*graph, job->request, policy);
+      res.worker = worker;
+    } catch (const std::exception& e) {
+      res.status = QueryStatus::kFailed;
+      res.error = e.what();
+    }
+    resolve(*job, std::move(res));
+  }
+}
+
+QueryResult QueryExecutor::execute_serial(const GraphStore& store,
+                                          const QueryRequest& req) {
+  QueryResult res;
+  const SnapshotPtr snap = store.get(req.graph);
+  if (snap == nullptr) {
+    res.status = QueryStatus::kFailed;
+    res.error = "unknown graph: " + req.graph;
+    return res;
+  }
+  const auto graph =
+      gbtl_graph::to_matrix<double, grb::Sequential>(snap->edges);
+  return run_query_on<grb::Sequential>(graph, req, grb::ExecutionPolicy{});
+}
+
+}  // namespace service

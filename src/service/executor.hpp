@@ -1,0 +1,100 @@
+#pragma once
+
+/// @file executor.hpp
+/// Deadline-aware concurrent query executor. N worker threads, each owning a
+/// *private* gpu_sim::Context (installed thread-locally via ScopedDevice) and
+/// a private DeviceGraphCache, pull typed queries from a bounded admission
+/// queue and run them through the unchanged algorithms:: entry points.
+///
+/// Placement, not math: a query produces the same bits no matter which
+/// worker runs it or what else runs beside it — the stress suite diffs every
+/// concurrent result against a serial run to enforce this.
+///
+/// Lifecycle of one submit():
+///   full queue  -> future resolves kShed immediately (load shedding)
+///   queued past deadline -> kCancelled without touching the device
+///   running, checkpoint trips -> kCancelled (outputs discarded)
+///   algorithm throws -> kFailed with the message
+///   otherwise -> kOk with the payload
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gpu_sim/context.hpp"
+#include "service/admission.hpp"
+#include "service/graph_store.hpp"
+#include "service/query.hpp"
+#include "service/stats.hpp"
+
+namespace service {
+
+struct ExecutorOptions {
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 64;
+  /// Fraction of each worker device's global memory the graph cache may
+  /// hold resident (per worker — caches are private).
+  double cache_memory_fraction = 0.5;
+  /// Properties for each worker's simulated device.
+  gpu_sim::DeviceProperties device_properties{};
+};
+
+class QueryExecutor {
+ public:
+  QueryExecutor(std::shared_ptr<GraphStore> store, ExecutorOptions options);
+  /// Drains queued work, then joins the workers.
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Submit a query. Always returns a future that WILL be fulfilled: with
+  /// kShed right here when the admission queue is full (or the executor is
+  /// shut down), otherwise by the worker that runs or cancels the query.
+  std::future<QueryResult> submit(QueryRequest req);
+
+  /// Stop admitting and wait for the workers to finish. With
+  /// @p cancel_pending, queries still waiting in the queue are resolved
+  /// kCancelled instead of being run. Idempotent.
+  void shutdown(bool cancel_pending = false);
+
+  /// Snapshot of the lifetime counters (copy; diff two snapshots to
+  /// measure a region, as with gpu_sim::DeviceStats).
+  ServiceStats stats() const;
+
+  const ExecutorOptions& options() const { return options_; }
+
+  /// The serial oracle: run @p req to completion (no deadline, no queue) on
+  /// the sequential backend. The stress tests diff executor kOk results
+  /// against this bit-for-bit.
+  static QueryResult execute_serial(const GraphStore& store,
+                                    const QueryRequest& req);
+
+ private:
+  struct Job {
+    QueryRequest request;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void worker_main(std::size_t worker_index);
+  void resolve(Job& job, QueryResult res);
+
+  const std::shared_ptr<GraphStore> store_;
+  const ExecutorOptions options_;
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  bool shut_down_ = false;  // guarded by stats_mutex_
+};
+
+}  // namespace service

@@ -1,0 +1,104 @@
+#include "service/graph_store.hpp"
+
+#include <utility>
+
+#include "gpu_sim/error.hpp"
+
+namespace service {
+
+// --- GraphStore ------------------------------------------------------------
+
+SnapshotPtr GraphStore::add(std::string name, gbtl_graph::EdgeList edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = graphs_[name];
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->name = std::move(name);
+  snap->version = (slot != nullptr) ? slot->version + 1 : 1;
+  snap->edges = std::move(edges);
+  slot = snap;  // the old snapshot lives on in whoever still holds it
+  return slot;
+}
+
+SnapshotPtr GraphStore::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = graphs_.find(name);
+  return it != graphs_.end() ? it->second : nullptr;
+}
+
+std::vector<std::string> GraphStore::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(graphs_.size());
+  for (const auto& [name, snap] : graphs_) out.push_back(name);
+  return out;
+}
+
+std::size_t GraphStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+// --- DeviceGraphCache ------------------------------------------------------
+
+DeviceGraphCache::DeviceGraphCache(gpu_sim::Context& ctx,
+                                   std::size_t budget_bytes)
+    : ctx_(ctx), budget_bytes_(budget_bytes) {}
+
+DeviceMatrixPtr DeviceGraphCache::get_or_upload(const SnapshotPtr& snap) {
+  // The worker must have bound ctx_ as this thread's device before calling;
+  // uploading into someone else's arena would corrupt the budget accounting
+  // and defeat the per-worker isolation the cache exists to provide.
+  if (&gpu_sim::device() != &ctx_)
+    throw gpu_sim::DeviceError(
+        "DeviceGraphCache used without its context bound (ScopedDevice)");
+
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->name == snap->name && it->version == snap->version) {
+      ++stats_.hits;
+      entries_.splice(entries_.begin(), entries_, it);  // mark MRU
+      return entries_.front().matrix;
+    }
+  }
+  ++stats_.misses;
+
+  const std::size_t bytes = snap->device_bytes_estimate();
+  // Make room first so the upload itself has the best chance of fitting.
+  while (!entries_.empty() &&
+         stats_.resident_bytes + bytes > budget_bytes_)
+    evict_lru();
+
+  DeviceMatrixPtr matrix;
+  try {
+    matrix = upload(*snap);
+  } catch (const gpu_sim::DeviceBadAlloc&) {
+    // The estimate undershot or non-cache allocations crowded us out: drop
+    // everything cached, trim the pool's freelists, and retry once.
+    evict_all();
+    ctx_.trim();
+    matrix = upload(*snap);
+  }
+
+  if (bytes <= budget_bytes_) {
+    entries_.push_front(Entry{snap->name, snap->version, matrix, bytes});
+    stats_.resident_bytes += bytes;
+  }
+  return matrix;
+}
+
+DeviceMatrixPtr DeviceGraphCache::upload(const GraphSnapshot& snap) {
+  return std::make_shared<const grb::Matrix<double, grb::GpuSim>>(
+      gbtl_graph::to_matrix<double, grb::GpuSim>(snap.edges));
+}
+
+void DeviceGraphCache::evict_lru() {
+  if (entries_.empty()) return;
+  stats_.resident_bytes -= entries_.back().bytes;
+  ++stats_.evictions;
+  entries_.pop_back();  // device memory is reclaimed when the last user drops
+}
+
+void DeviceGraphCache::evict_all() {
+  while (!entries_.empty()) evict_lru();
+}
+
+}  // namespace service

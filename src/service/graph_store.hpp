@@ -1,0 +1,128 @@
+#pragma once
+
+/// @file graph_store.hpp
+/// Host-side graph catalog + per-worker device-side cache.
+///
+/// The store owns named, versioned, *immutable* host snapshots (EdgeList
+/// form). Replacing a name bumps the version and publishes a new snapshot;
+/// snapshots already handed out stay alive (shared_ptr) so in-flight queries
+/// never observe a mutation — readers need no locks beyond the pointer swap.
+///
+/// Each executor worker owns a DeviceGraphCache bound to its private
+/// gpu_sim::Context: the first query against a (name, version) pays the
+/// build + host->device upload, subsequent queries on that worker reuse the
+/// resident grb::Matrix. Under memory pressure the cache evicts in LRU
+/// order; evicted matrices handed out earlier stay valid until their last
+/// shared_ptr drops (eviction only forgets, it never frees in-use memory).
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gbtl/gbtl.hpp"
+#include "gpu_sim/context.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/graph_matrix.hpp"
+
+namespace service {
+
+/// One immutable, versioned host-side graph. Never modified after
+/// construction; shared by every worker and every in-flight query.
+struct GraphSnapshot {
+  std::string name;
+  std::uint64_t version = 0;
+  gbtl_graph::EdgeList edges;
+
+  /// Rough CSR footprint on the device (row offsets + column ids + values),
+  /// used for cache budgeting — an estimate, not an accounting.
+  std::size_t device_bytes_estimate() const {
+    const std::size_t n = edges.num_vertices;
+    const std::size_t nnz = edges.num_edges();
+    return (n + 1) * sizeof(std::uint64_t) +
+           nnz * (sizeof(std::uint64_t) + sizeof(double));
+  }
+};
+
+using SnapshotPtr = std::shared_ptr<const GraphSnapshot>;
+
+/// Thread-safe catalog of named graphs. add() publishes atomically; get()
+/// returns the current snapshot (or nullptr). All methods are safe to call
+/// concurrently from any thread.
+class GraphStore {
+ public:
+  /// Insert or replace @p name. Replacement bumps the version so device
+  /// caches keyed on (name, version) miss and re-upload the new graph.
+  /// @returns the published snapshot.
+  SnapshotPtr add(std::string name, gbtl_graph::EdgeList edges);
+
+  /// Current snapshot of @p name, or nullptr if absent.
+  SnapshotPtr get(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SnapshotPtr> graphs_;
+};
+
+/// Device matrices are shared so an evicted-but-in-use graph survives until
+/// its query finishes.
+using DeviceMatrixPtr = std::shared_ptr<const grb::Matrix<double, grb::GpuSim>>;
+
+/// Per-worker device-side graph cache. NOT thread-safe — each executor
+/// worker owns exactly one, bound to that worker's private Context, so no
+/// cross-thread sharing ever happens by construction.
+///
+/// The caller must have @p ctx installed as the calling thread's device
+/// (gpu_sim::ScopedDevice) whenever it calls get_or_upload: the backend
+/// matrix constructor captures gpu_sim::device(), and a mismatch would
+/// upload into the wrong context's memory arena.
+class DeviceGraphCache {
+ public:
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t resident_bytes = 0;  ///< estimate of cached (not in-use) data
+  };
+
+  /// @param budget_bytes resident-estimate ceiling; 0 means "no caching"
+  /// (every call uploads and nothing is retained).
+  DeviceGraphCache(gpu_sim::Context& ctx, std::size_t budget_bytes);
+
+  /// The device matrix for @p snap, uploading on first use. LRU entries are
+  /// evicted until the estimate fits the budget; if the device itself
+  /// reports out-of-memory during the upload, the whole cache is dropped
+  /// and the upload retried once before the error propagates.
+  DeviceMatrixPtr get_or_upload(const SnapshotPtr& snap);
+
+  const CacheStats& stats() const { return stats_; }
+  std::size_t budget_bytes() const { return budget_bytes_; }
+  std::size_t entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t version = 0;
+    DeviceMatrixPtr matrix;
+    std::size_t bytes = 0;
+  };
+
+  DeviceMatrixPtr upload(const GraphSnapshot& snap);
+  void evict_lru();
+  void evict_all();
+
+  gpu_sim::Context& ctx_;
+  const std::size_t budget_bytes_;
+  /// MRU at front. Linear name lookup — stores hold a handful of graphs,
+  /// and the list walk is noise next to a single device kernel launch.
+  std::list<Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace service

@@ -1,0 +1,219 @@
+/// Concurrency stress for the serving layer — the acceptance test for the
+/// "placement, not math" contract: N workers x M mixed queries, submitted
+/// from several client threads at once, and every successful result must be
+/// BIT-EXACT against the same query run serially on the sequential backend.
+/// Run under ThreadSanitizer by scripts/ci.sh (the tsan stage); any data
+/// race between worker contexts, the store, or the stats block fires there.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/executor.hpp"
+#include "service/graph_store.hpp"
+#include "service/query.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<service::GraphStore> make_store() {
+  auto store = std::make_shared<service::GraphStore>();
+  // Directed scale-free graph for BFS / PageRank.
+  store->add("rmat", gbtl_graph::rmat(7, 8, /*seed=*/11));
+  // Weighted variant for SSSP.
+  store->add("rmat-w",
+             gbtl_graph::with_random_weights(
+                 gbtl_graph::rmat(7, 8, /*seed=*/13), 1.0, 8.0, /*seed=*/17));
+  // Symmetric, loop-free variant for triangle count / components.
+  store->add("rmat-sym",
+             gbtl_graph::remove_self_loops(gbtl_graph::symmetrize(
+                 gbtl_graph::rmat(7, 6, /*seed=*/19))));
+  return store;
+}
+
+/// The mixed workload: every kind, several sources, across three graphs.
+std::vector<service::QueryRequest> make_workload(std::size_t count) {
+  std::vector<service::QueryRequest> reqs;
+  reqs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    service::QueryRequest r;
+    switch (i % 5) {
+      case 0:
+        r.kind = service::QueryKind::kBfs;
+        r.graph = "rmat";
+        r.source = (i * 37) % 128;
+        break;
+      case 1:
+        r.kind = service::QueryKind::kSssp;
+        r.graph = "rmat-w";
+        r.source = (i * 53) % 128;
+        break;
+      case 2:
+        r.kind = service::QueryKind::kPageRank;
+        r.graph = "rmat";
+        r.max_iterations = 25;
+        break;
+      case 3:
+        r.kind = service::QueryKind::kTriangleCount;
+        r.graph = "rmat-sym";
+        break;
+      case 4:
+        r.kind = service::QueryKind::kConnectedComponents;
+        r.graph = "rmat-sym";
+        break;
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+void expect_bit_exact(const service::QueryResult& got,
+                      const service::QueryResult& want, std::size_t i) {
+  ASSERT_EQ(got.status, service::QueryStatus::kOk) << "query " << i;
+  ASSERT_EQ(want.status, service::QueryStatus::kOk) << "query " << i;
+  EXPECT_EQ(got.indices, want.indices) << "query " << i;
+  EXPECT_EQ(got.ivals, want.ivals) << "query " << i;
+  EXPECT_EQ(got.scalar, want.scalar) << "query " << i;
+  ASSERT_EQ(got.dvals.size(), want.dvals.size()) << "query " << i;
+  if (!got.dvals.empty())
+    EXPECT_EQ(std::memcmp(got.dvals.data(), want.dvals.data(),
+                          got.dvals.size() * sizeof(double)),
+              0)
+        << "query " << i << ": double payload not bit-exact";
+}
+
+TEST(ServiceStress, ConcurrentMixedWorkloadBitExactVsSerial) {
+  auto store = make_store();
+  const std::size_t kQueries = 48;
+  const auto workload = make_workload(kQueries);
+
+  // Serial ground truth first, on the sequential backend, one at a time.
+  std::vector<service::QueryResult> serial;
+  serial.reserve(kQueries);
+  for (const auto& req : workload)
+    serial.push_back(service::QueryExecutor::execute_serial(*store, req));
+
+  service::ExecutorOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = kQueries;  // nothing sheds; every query must run
+  service::QueryExecutor exec(store, opts);
+
+  // Hammer the admission path from several client threads at once.
+  std::vector<std::future<service::QueryResult>> futures(kQueries);
+  const std::size_t kClients = 3;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (std::size_t i = c; i < kQueries; i += kClients)
+        futures[i] = exec.submit(workload[i]);
+    });
+  for (auto& t : clients) t.join();
+
+  std::map<std::size_t, std::size_t> per_worker;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto got = futures[i].get();
+    expect_bit_exact(got, serial[i], i);
+    ++per_worker[got.worker];
+  }
+
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.submitted, kQueries);
+  EXPECT_EQ(stats.completed, kQueries);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  // All four workers should have seen work on a 48-query batch; tolerate a
+  // straggler but not a fully serialized run.
+  EXPECT_GE(per_worker.size(), 2u);
+}
+
+TEST(ServiceStress, RepeatedRoundsReuseTheDeviceCache) {
+  auto store = make_store();
+  service::ExecutorOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 64;
+  service::QueryExecutor exec(store, opts);
+
+  const auto workload = make_workload(10);
+  std::vector<service::QueryResult> serial;
+  for (const auto& req : workload)
+    serial.push_back(service::QueryExecutor::execute_serial(*store, req));
+
+  // Three rounds over the same graphs: rounds 2 and 3 hit each worker's
+  // device cache, and the answers must not drift.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<service::QueryResult>> futures;
+    for (const auto& req : workload) futures.push_back(exec.submit(req));
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      expect_bit_exact(futures[i].get(), serial[i], i);
+  }
+}
+
+TEST(ServiceStress, MixedDeadlinesPartitionCleanly) {
+  auto store = make_store();
+  service::ExecutorOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 8;  // small on purpose: shedding is expected
+  service::QueryExecutor exec(store, opts);
+
+  auto workload = make_workload(40);
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    if (i % 3 == 0) workload[i].timeout = 0ms;  // born expired
+  }
+
+  std::vector<std::future<service::QueryResult>> futures;
+  for (const auto& req : workload) futures.push_back(exec.submit(req));
+
+  std::uint64_t ok = 0, cancelled = 0, shed = 0, failed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto res = futures[i].get();
+    switch (res.status) {
+      case service::QueryStatus::kOk: ++ok; break;
+      case service::QueryStatus::kCancelled: ++cancelled; break;
+      case service::QueryStatus::kShed: ++shed; break;
+      case service::QueryStatus::kFailed: ++failed; break;
+      case service::QueryStatus::kCount: FAIL(); break;
+    }
+    // A query born past its deadline may be shed at the door, but if it
+    // reached a worker it must come back cancelled, never kOk.
+    if (workload[i].timeout == 0ms)
+      EXPECT_NE(res.status, service::QueryStatus::kOk) << "query " << i;
+  }
+  EXPECT_EQ(failed, 0u);
+  EXPECT_GT(cancelled, 0u);  // the born-expired ones that got through
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.resolved(), stats.submitted);
+  EXPECT_EQ(ok + cancelled + shed + failed, stats.submitted);
+}
+
+TEST(ServiceStress, CancelTokenStopsALongQueryMidFlight) {
+  auto store = make_store();
+  service::ExecutorOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 4;
+  service::QueryExecutor exec(store, opts);
+
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kPageRank;
+  req.graph = "rmat";
+  req.tol = 0.0;  // never converges: runs until cancelled
+  req.max_iterations = 1000000;
+  req.cancel = grb::make_cancel_token();
+
+  auto future = exec.submit(req);
+  std::this_thread::sleep_for(20ms);  // let it get going
+  req.cancel->store(true);
+  const auto res = future.get();  // must resolve promptly, not spin forever
+  EXPECT_EQ(res.status, service::QueryStatus::kCancelled);
+}
+
+}  // namespace
