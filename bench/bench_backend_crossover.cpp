@@ -1,0 +1,94 @@
+/// Backend crossover — PageRank (fixed 10 iterations, d = 0.85) on the same
+/// R-MAT graphs under all three registered backends, so one table shows
+/// where the serving layer's size-based backend selection should flip:
+///
+///   BM_crossover_sequential  host wall time (the baseline convention)
+///   BM_crossover_cpupar      modeled W-lane time: real chunk work measured
+///                            inline, scheduled greedily over W lanes
+///                            (backend_cpupar/pool.hpp Meter), reported as
+///                            wall - serial_sum + modeled_sum
+///   BM_crossover_gpusim      simulated device seconds (bench_common.hpp)
+///
+/// The CpuPar rows sweep lanes {1,2,8} at the largest scale and hold 4 lanes
+/// across scales — the configuration the ISSUE acceptance criterion pins
+/// (>1x over Sequential at scale 14, 4 lanes).
+
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "algorithms/pagerank.hpp"
+#include "backend_cpupar/pool.hpp"
+
+namespace {
+
+constexpr grb::IndexType kIters = 10;
+constexpr grb::IndexType kEdgeFactor = 16;
+
+void BM_crossover_sequential(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     kEdgeFactor);
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  grb::Vector<double, grb::Sequential> rank(a.nrows());
+  for (auto _ : state) {
+    algorithms::pagerank(a, rank, 0.85, /*tol=*/0.0, kIters);
+    benchmark::DoNotOptimize(rank);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  state.counters["iters"] = benchmark::Counter(static_cast<double>(kIters));
+}
+
+void BM_crossover_cpupar(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     kEdgeFactor);
+  auto a = gbtl_graph::to_matrix<double, grb::CpuPar>(g);
+  grb::Vector<double, grb::CpuPar> rank(a.nrows());
+  const auto lanes = static_cast<std::size_t>(state.range(1));
+  // Untimed warm-up, mirroring run_simulated: the measured iterations see
+  // steady-state allocator and cache behaviour.
+  algorithms::pagerank(a, rank, 0.85, 0.0, kIters);
+  using Clock = std::chrono::steady_clock;
+  for (auto _ : state) {
+    grb::cpupar_backend::Meter meter(lanes);
+    const auto t0 = Clock::now();
+    {
+      grb::cpupar_backend::ScopedMeter guard(meter);
+      algorithms::pagerank(a, rank, 0.85, 0.0, kIters);
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    state.SetIterationTime(wall - meter.serial_sum() + meter.modeled_sum());
+    benchmark::DoNotOptimize(rank);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  state.counters["iters"] = benchmark::Counter(static_cast<double>(kIters));
+  state.counters["lanes"] = benchmark::Counter(static_cast<double>(lanes));
+}
+
+void BM_crossover_gpusim(benchmark::State& state) {
+  const auto& g = benchx::rmat_graph(static_cast<unsigned>(state.range(0)),
+                                     kEdgeFactor);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<double, grb::GpuSim> rank(a.nrows());
+  benchx::run_simulated(
+      state, [&] { algorithms::pagerank(a, rank, 0.85, 0.0, kIters); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  state.counters["iters"] = benchmark::Counter(static_cast<double>(kIters));
+}
+
+}  // namespace
+
+BENCHMARK(BM_crossover_sequential)->DenseRange(8, 14, 1)->Iterations(1);
+BENCHMARK(BM_crossover_cpupar)
+    ->ArgsProduct({benchmark::CreateDenseRange(8, 14, /*step=*/1), {4}})
+    ->Args({14, 1})
+    ->Args({14, 2})
+    ->Args({14, 8})
+    ->Iterations(1)
+    ->UseManualTime();
+BENCHMARK(BM_crossover_gpusim)
+    ->DenseRange(8, 14, 1)
+    ->Iterations(1)
+    ->UseManualTime();
+
+BENCHMARK_MAIN();

@@ -63,18 +63,31 @@ GBTL_SPGEMM_MODE=hash "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
   --gtest_brief=1 --gtest_filter='Seeds/DifferentialFuzz.Mxm/*:ZPoolLeak.*'
 
 echo "==> sanitizers: TSan concurrency config (${TSAN_BUILD_DIR})"
-# The serving layer is the one place this code base runs concurrent device
-# work on purpose: rebuild the thread-pool substrate test and the executor
-# stress test under ThreadSanitizer and run them in-process. Any data race
-# between worker contexts, the graph store, the admission queue, or the
-# stats block fires here.
+# Concurrency lives in two places now: the serving layer (worker contexts,
+# graph store, admission queue, stats block) and the CpuPar backend's
+# chunked parallel loops. Rebuild the thread-pool substrate test, the
+# executor stress test (which drives mixed CpuPar/GpuSim workloads), the
+# CpuPar determinism regression, and the differential fuzz harness under
+# ThreadSanitizer and run them in-process.
 cmake -B "${TSAN_BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   >/dev/null
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-  --target test_thread_pool --target test_service_stress
+  --target test_thread_pool --target test_service_stress \
+  --target test_cpupar_determinism --target test_differential_fuzz
 "${TSAN_BUILD_DIR}/tests/test_thread_pool" --gtest_brief=1
 "${TSAN_BUILD_DIR}/tests/test_service_stress" --gtest_brief=1
+
+echo "==> sanitizers: TSan CpuPar stage"
+# The CpuPar backend's whole safety story is "chunks own disjoint output
+# ranges": replay the determinism regression with a wide pool and a slice
+# of the three-way differential sweep (whose CpuPar legs run on a 3-worker
+# pool) so any cross-chunk write — e.g. two chunks sharing a word of a
+# bit-packed vector<bool> — fires as a race, not as silent corruption.
+GBTL_CPUPAR_THREADS=4 "${TSAN_BUILD_DIR}/tests/test_cpupar_determinism" \
+  --gtest_brief=1
+"${TSAN_BUILD_DIR}/tests/test_differential_fuzz" --gtest_brief=1 \
+  --gtest_filter='Seeds/DifferentialFuzz.Mxv/1*:Seeds/DifferentialFuzz.Mxm/1*:ZPoolLeak.*'
 
 echo "==> all green"

@@ -5,8 +5,18 @@
 /// vector of (column, value) pairs sorted by column. This mirrors GBTL's
 /// reference backend — optimized for clarity and for serving as the oracle
 /// the GPU backend is validated against.
+///
+/// Shared by the Sequential and CpuPar backends: there is no derived
+/// element counter, so set_row() on distinct rows from distinct threads
+/// touches only each row's own storage (nvals() sums row sizes on demand).
+/// set_row does bump the mutation epoch backing cached_aux(), but that
+/// counter is a relaxed atomic, so concurrent bumps stay race-free.
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -29,13 +39,41 @@ class Matrix {
       throw InvalidValueException("matrix dimensions must be positive");
   }
 
+  // The aux cache's mutex/atomic are not copyable, so spell the special
+  // members out: copies and moves transfer only the mathematical content —
+  // the destination starts with an empty cache at a fresh epoch.
+  Matrix(const Matrix& o)
+      : nrows_(o.nrows_), ncols_(o.ncols_), rows_(o.rows_) {}
+  Matrix(Matrix&& o) noexcept
+      : nrows_(o.nrows_), ncols_(o.ncols_), rows_(std::move(o.rows_)) {}
+  Matrix& operator=(const Matrix& o) {
+    nrows_ = o.nrows_;
+    ncols_ = o.ncols_;
+    rows_ = o.rows_;
+    bump_epoch();
+    return *this;
+  }
+  Matrix& operator=(Matrix&& o) noexcept {
+    nrows_ = o.nrows_;
+    ncols_ = o.ncols_;
+    rows_ = std::move(o.rows_);
+    bump_epoch();
+    return *this;
+  }
+
   IndexType nrows() const { return nrows_; }
   IndexType ncols() const { return ncols_; }
-  IndexType nvals() const { return nvals_; }
+
+  /// Stored-element count, summed over the rows on demand.
+  IndexType nvals() const {
+    IndexType n = 0;
+    for (const auto& r : rows_) n += r.size();
+    return n;
+  }
 
   void clear() {
     for (auto& r : rows_) r.clear();
-    nvals_ = 0;
+    bump_epoch();
   }
 
   /// GrB_Matrix_resize semantics: change shape, dropping entries that fall
@@ -43,9 +81,6 @@ class Matrix {
   void resize(IndexType nrows, IndexType ncols) {
     if (nrows == 0 || ncols == 0)
       throw InvalidValueException("resize: dimensions must be positive");
-    if (nrows < nrows_) {
-      for (IndexType i = nrows; i < nrows_; ++i) nvals_ -= rows_[i].size();
-    }
     rows_.resize(nrows);
     nrows_ = nrows;
     if (ncols < ncols_) {
@@ -53,11 +88,11 @@ class Matrix {
         auto it = std::lower_bound(
             row.begin(), row.end(), ncols,
             [](const Entry& e, IndexType col) { return e.first < col; });
-        nvals_ -= static_cast<IndexType>(row.end() - it);
         row.erase(it, row.end());
       }
     }
     ncols_ = ncols;
+    bump_epoch();
   }
 
   /// Build from coordinate arrays; duplicates combine via @p dup.
@@ -81,9 +116,9 @@ class Matrix {
         it->second = dup(it->second, v);
       } else {
         row.insert(it, Entry{j, v});
-        ++nvals_;
       }
     }
+    bump_epoch();
   }
 
   bool has_element(IndexType i, IndexType j) const {
@@ -108,8 +143,8 @@ class Matrix {
       it->second = v;
     } else {
       row.insert(it, Entry{j, v});
-      ++nvals_;
     }
+    bump_epoch();
   }
 
   void remove_element(IndexType i, IndexType j) {
@@ -118,10 +153,8 @@ class Matrix {
     auto it = std::lower_bound(
         row.begin(), row.end(), j,
         [](const Entry& e, IndexType col) { return e.first < col; });
-    if (it != row.end() && it->first == j) {
-      row.erase(it);
-      --nvals_;
-    }
+    if (it != row.end() && it->first == j) row.erase(it);
+    bump_epoch();
   }
 
   /// Row-major sorted tuple dump (the GrB_Matrix_extractTuples analogue).
@@ -130,9 +163,10 @@ class Matrix {
     row_idx.clear();
     col_idx.clear();
     values.clear();
-    row_idx.reserve(nvals_);
-    col_idx.reserve(nvals_);
-    values.reserve(nvals_);
+    const IndexType nnz = nvals();
+    row_idx.reserve(nnz);
+    col_idx.reserve(nnz);
+    values.reserve(nnz);
     for (IndexType i = 0; i < nrows_; ++i) {
       for (const auto& [j, v] : rows_[i]) {
         row_idx.push_back(i);
@@ -144,12 +178,34 @@ class Matrix {
 
   const Row& row(IndexType i) const { return rows_[i]; }
 
-  /// Replace row i wholesale (entries must arrive column-sorted). Keeps
-  /// nvals_ consistent; the workhorse of the operation write-back path.
+  /// Replace row i wholesale (entries must arrive column-sorted); the
+  /// workhorse of the operation write-back path. Touches only row i's own
+  /// storage, so concurrent set_row on distinct rows is race-free.
   void set_row(IndexType i, Row&& entries) {
-    nvals_ -= rows_[i].size();
     rows_[i] = std::move(entries);
-    nvals_ += rows_[i].size();
+    bump_epoch();
+  }
+
+  /// Derived-data cache (one slot), keyed by the mutation epoch: returns
+  /// the object stored at the current epoch, or builds one via @p make
+  /// (which must return std::shared_ptr<const U>) and stores it. The CpuPar
+  /// backend keeps its per-matrix CSC layout here so iterated vxm — the
+  /// shape of PageRank — pays the layout build once per matrix, not once
+  /// per call. Concurrent readers of a quiescent matrix are safe; the
+  /// returned pointer stays valid even if the matrix mutates afterwards.
+  template <typename U, typename Factory>
+  std::shared_ptr<const U> cached_aux(Factory&& make) const {
+    const std::uint64_t now = epoch_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(aux_mutex_);
+      if (aux_ && aux_epoch_ == now)
+        return std::static_pointer_cast<const U>(aux_);
+    }
+    std::shared_ptr<const U> built = make();
+    std::lock_guard<std::mutex> lock(aux_mutex_);
+    aux_ = built;
+    aux_epoch_ = now;
+    return built;
   }
 
   /// Pointer to stored value or nullptr — used for mask probing.
@@ -173,10 +229,19 @@ class Matrix {
       throw IndexOutOfBoundsException("matrix element access");
   }
 
+  // Relaxed is enough: the epoch only needs to be coherent for matrices
+  // that are quiescent while read, and set_row must stay callable from
+  // concurrent pool workers (CpuPar write-back) without a race.
+  void bump_epoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+
   IndexType nrows_ = 0;
   IndexType ncols_ = 0;
   std::vector<Row> rows_;
-  IndexType nvals_ = 0;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::mutex aux_mutex_;
+  mutable std::shared_ptr<const void> aux_;
+  mutable std::uint64_t aux_epoch_ = 0;
 };
 
 }  // namespace grb::seq_backend

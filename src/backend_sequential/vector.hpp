@@ -1,10 +1,16 @@
 #pragma once
 
 /// @file backend_sequential/vector.hpp
-/// Sequential-backend sparse vector stored densely: a value array plus a
-/// presence bitmap. GraphBLAS vectors flip between sparse and dense over an
+/// Host-backend sparse vector stored densely: a value array plus a presence
+/// bitmap. GraphBLAS vectors flip between sparse and dense over an
 /// algorithm's lifetime (BFS frontiers); dense storage with a bitmap gives
 /// O(1) access at the memory cost the GPU backend pays anyway.
+///
+/// Shared by the Sequential and CpuPar backends. To keep that sharing safe,
+/// the container holds NO derived counters: nvals() scans the bitmap on
+/// demand, so concurrent set_unchecked/erase_unchecked calls on *distinct*
+/// indices touch only their own slots (the CpuPar backend's row-range
+/// parallelism depends on this).
 
 #include <vector>
 
@@ -25,22 +31,23 @@ class Vector {
   }
 
   IndexType size() const { return size_; }
-  IndexType nvals() const { return nvals_; }
+
+  /// Stored-element count, computed from the bitmap on demand.
+  IndexType nvals() const {
+    IndexType n = 0;
+    for (IndexType i = 0; i < size_; ++i) n += present_[i];
+    return n;
+  }
 
   void clear() {
     std::fill(present_.begin(), present_.end(), 0);
     std::fill(values_.begin(), values_.end(), T{});
-    nvals_ = 0;
   }
 
   /// GrB_Vector_resize semantics.
   void resize(IndexType size) {
     if (size == 0)
       throw InvalidValueException("resize: size must be positive");
-    if (size < size_) {
-      for (IndexType i = size; i < size_; ++i)
-        if (present_[i]) --nvals_;
-    }
     values_.resize(size, T{});
     present_.resize(size, 0);
     size_ = size;
@@ -62,7 +69,6 @@ class Vector {
       } else {
         present_[i] = 1;
         values_[i] = v;
-        ++nvals_;
       }
     }
   }
@@ -80,10 +86,7 @@ class Vector {
 
   void set_element(IndexType i, const T& v) {
     bounds_check(i);
-    if (!present_[i]) {
-      present_[i] = 1;
-      ++nvals_;
-    }
+    present_[i] = 1;
     values_[i] = v;
   }
 
@@ -92,15 +95,12 @@ class Vector {
     if (present_[i]) {
       present_[i] = 0;
       values_[i] = T{};
-      --nvals_;
     }
   }
 
   void extract_tuples(IndexArrayType& indices, std::vector<T>& values) const {
     indices.clear();
     values.clear();
-    indices.reserve(nvals_);
-    values.reserve(nvals_);
     for (IndexType i = 0; i < size_; ++i) {
       if (present_[i]) {
         indices.push_back(i);
@@ -115,22 +115,18 @@ class Vector {
   /// proxies that must not escape by reference.
   T value_unchecked(IndexType i) const { return values_[i]; }
   void set_unchecked(IndexType i, const T& v) {
-    if (!present_[i]) {
-      present_[i] = 1;
-      ++nvals_;
-    }
+    present_[i] = 1;
     values_[i] = v;
   }
   void erase_unchecked(IndexType i) {
     if (present_[i]) {
       present_[i] = 0;
       values_[i] = T{};
-      --nvals_;
     }
   }
 
   friend bool operator==(const Vector& a, const Vector& b) {
-    if (a.size_ != b.size_ || a.nvals_ != b.nvals_) return false;
+    if (a.size_ != b.size_) return false;
     for (IndexType i = 0; i < a.size_; ++i) {
       if (a.present_[i] != b.present_[i]) return false;
       if (a.present_[i] && !(a.values_[i] == b.values_[i])) return false;
@@ -146,7 +142,6 @@ class Vector {
   IndexType size_ = 0;
   std::vector<T> values_;
   std::vector<std::uint8_t> present_;
-  IndexType nvals_ = 0;
 };
 
 }  // namespace grb::seq_backend

@@ -1,14 +1,17 @@
 #pragma once
 
 /// @file backend.hpp
-/// Backend selection: maps a backend tag (grb::Sequential / grb::GpuSim) to
-/// its container types and operation entry points. GBTL 1.0 chose the
-/// backend by include-path substitution at configure time; this repo uses a
-/// tag template parameter instead so both backends coexist in one binary —
-/// the equivalence tests and the CPU-vs-GPU benches depend on that.
+/// Backend selection: maps a backend tag (grb::Sequential / grb::CpuPar /
+/// grb::GpuSim) to its container types and operation entry points. GBTL 1.0
+/// chose the backend by include-path substitution at configure time; this
+/// repo uses a tag template parameter instead so all backends coexist in one
+/// binary — the equivalence tests and the CPU-vs-GPU benches depend on that.
+/// Runtime discovery (names, buffer hooks, op-table inventory) lives in
+/// gbtl/backend_registry.hpp on top of these compile-time seams.
 
 #include <utility>
 
+#include "backend_cpupar/ops.hpp"
 #include "backend_gpu/matrix.hpp"
 #include "backend_gpu/ops.hpp"
 #include "backend_gpu/vector.hpp"
@@ -24,6 +27,17 @@ struct backend_traits;
 
 template <>
 struct backend_traits<Sequential> {
+  template <typename T>
+  using matrix_type = seq_backend::Matrix<T>;
+  template <typename T>
+  using vector_type = seq_backend::Vector<T>;
+};
+
+/// CpuPar shares the Sequential containers outright (they are written to be
+/// safe under CpuPar's distinct-slot parallel writes); only the op entry
+/// points differ.
+template <>
+struct backend_traits<CpuPar> {
   template <typename T>
   using matrix_type = seq_backend::Matrix<T>;
   template <typename T>
@@ -57,6 +71,41 @@ struct backend_ops<Sequential> {
     return seq_backend::detail::transposed(m);
   }
 #define backend_ns seq_backend
+  GBTL_FORWARD_OP(mxm)
+  GBTL_FORWARD_OP(mxv)
+  GBTL_FORWARD_OP(vxm)
+  GBTL_FORWARD_OP(ewise_add_vec)
+  GBTL_FORWARD_OP(ewise_mult_vec)
+  GBTL_FORWARD_OP(ewise_add_mat)
+  GBTL_FORWARD_OP(ewise_mult_mat)
+  GBTL_FORWARD_OP(apply_vec)
+  GBTL_FORWARD_OP(apply_mat)
+  GBTL_FORWARD_OP(apply_indexed_vec)
+  GBTL_FORWARD_OP(apply_indexed_mat)
+  GBTL_FORWARD_OP(reduce_mat_to_vec)
+  GBTL_FORWARD_OP(reduce_vec_to_scalar)
+  GBTL_FORWARD_OP(reduce_mat_to_scalar)
+  GBTL_FORWARD_OP(transpose_op)
+  GBTL_FORWARD_OP(extract_vec)
+  GBTL_FORWARD_OP(extract_mat)
+  GBTL_FORWARD_OP(extract_col)
+  GBTL_FORWARD_OP(assign_vec)
+  GBTL_FORWARD_OP(assign_vec_constant)
+  GBTL_FORWARD_OP(assign_mat)
+  GBTL_FORWARD_OP(assign_mat_constant)
+  GBTL_FORWARD_OP(kronecker)
+  GBTL_FORWARD_OP(select_mat)
+  GBTL_FORWARD_OP(select_vec)
+#undef backend_ns
+};
+
+template <>
+struct backend_ops<CpuPar> {
+  template <typename M>
+  static M transposed(const M& m) {
+    return seq_backend::detail::transposed(m);
+  }
+#define backend_ns cpupar_backend
   GBTL_FORWARD_OP(mxm)
   GBTL_FORWARD_OP(mxv)
   GBTL_FORWARD_OP(vxm)

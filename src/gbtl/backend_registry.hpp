@@ -1,0 +1,396 @@
+#pragma once
+
+/// @file backend_registry.hpp
+/// Runtime backend registry: every backend publishes a name, its raw buffer
+/// hooks (alloc / release / set / get / synchronize), and an inventory of
+/// the operation table it exposes. The compile-time seams stay where they
+/// were — backend_traits<Tag> / backend_ops<Tag> in gbtl/backend.hpp — and
+/// the registry is the discovery layer on top: the serving layer names
+/// backends with it, tooling lists them, and every remaining ROADMAP item
+/// (multi-device sharding, alternate bit formats) plugs a new entry in here
+/// instead of growing another hard-coded tag pair.
+///
+/// The interface shape follows the ggml-backend registry idiom: a flat
+/// record of function pointers per backend, duplicate-name registration
+/// rejected, lookups either returning null (find) or throwing a diagnostic
+/// that lists what IS registered (require).
+///
+/// The op-table inventory is computed at compile time: op_table_of<Tag>()
+/// probes backend_ops<Tag> with representative argument types through
+/// requires-expressions, so "backend X implements op Y" is a constexpr fact
+/// the tests static_assert on — a backend that loses an op breaks the build,
+/// not a nightly run.
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "backend_cpupar/pool.hpp"
+#include "gbtl/algebra.hpp"
+#include "gbtl/backend.hpp"
+#include "gbtl/types.hpp"
+#include "gbtl/write_rules.hpp"
+#include "gpu_sim/context.hpp"
+
+namespace grb::backend {
+
+// ==========================================================================
+// Buffer hooks
+// ==========================================================================
+
+/// Raw buffer interface of one backend, mirroring the
+/// alloc/free/set/get/synchronize surface a real device runtime exposes
+/// (cudaMalloc / cudaFree / cudaMemcpy / cudaDeviceSynchronize). `set`
+/// copies host memory INTO a backend buffer, `get` copies a backend buffer
+/// back OUT to host memory. For the GpuSim backend the hooks route through
+/// the calling thread's bound device (gpu_sim::device()), so they respect
+/// ScopedDevice rebinding exactly as the containers do.
+struct BufferOps {
+  void* (*alloc)(std::size_t bytes) = nullptr;
+  void (*release)(void* ptr) = nullptr;
+  void (*set)(void* dst, const void* src, std::size_t bytes) = nullptr;
+  void (*get)(void* dst, const void* src, std::size_t bytes) = nullptr;
+  void (*synchronize)() = nullptr;
+};
+
+// ==========================================================================
+// Op-table inventory
+// ==========================================================================
+
+/// One flag per operation entry point of the GraphBLAS op table (plus the
+/// TransposeView lowering hook). Computed by op_table_of<Tag>().
+struct OpTable {
+  bool mxm = false;
+  bool mxv = false;
+  bool vxm = false;
+  bool ewise_add_vec = false;
+  bool ewise_mult_vec = false;
+  bool ewise_add_mat = false;
+  bool ewise_mult_mat = false;
+  bool apply_vec = false;
+  bool apply_mat = false;
+  bool apply_indexed_vec = false;
+  bool apply_indexed_mat = false;
+  bool reduce_mat_to_vec = false;
+  bool reduce_vec_to_scalar = false;
+  bool reduce_mat_to_scalar = false;
+  bool transpose_op = false;
+  bool extract_vec = false;
+  bool extract_mat = false;
+  bool extract_col = false;
+  bool assign_vec = false;
+  bool assign_vec_constant = false;
+  bool assign_mat = false;
+  bool assign_mat_constant = false;
+  bool kronecker = false;
+  bool select_mat = false;
+  bool select_vec = false;
+  bool transposed = false;
+
+  constexpr bool complete() const {
+    return mxm && mxv && vxm && ewise_add_vec && ewise_mult_vec &&
+           ewise_add_mat && ewise_mult_mat && apply_vec && apply_mat &&
+           apply_indexed_vec && apply_indexed_mat && reduce_mat_to_vec &&
+           reduce_vec_to_scalar && reduce_mat_to_scalar && transpose_op &&
+           extract_vec && extract_mat && extract_col && assign_vec &&
+           assign_vec_constant && assign_mat && assign_mat_constant &&
+           kronecker && select_mat && select_vec && transposed;
+  }
+};
+
+/// Named view of the flags, for diagnostics (missing_ops) and tests.
+struct OpTableEntry {
+  const char* name;
+  bool OpTable::*flag;
+};
+
+inline constexpr std::array<OpTableEntry, 26> kOpTableEntries{{
+    {"mxm", &OpTable::mxm},
+    {"mxv", &OpTable::mxv},
+    {"vxm", &OpTable::vxm},
+    {"ewise_add_vec", &OpTable::ewise_add_vec},
+    {"ewise_mult_vec", &OpTable::ewise_mult_vec},
+    {"ewise_add_mat", &OpTable::ewise_add_mat},
+    {"ewise_mult_mat", &OpTable::ewise_mult_mat},
+    {"apply_vec", &OpTable::apply_vec},
+    {"apply_mat", &OpTable::apply_mat},
+    {"apply_indexed_vec", &OpTable::apply_indexed_vec},
+    {"apply_indexed_mat", &OpTable::apply_indexed_mat},
+    {"reduce_mat_to_vec", &OpTable::reduce_mat_to_vec},
+    {"reduce_vec_to_scalar", &OpTable::reduce_vec_to_scalar},
+    {"reduce_mat_to_scalar", &OpTable::reduce_mat_to_scalar},
+    {"transpose_op", &OpTable::transpose_op},
+    {"extract_vec", &OpTable::extract_vec},
+    {"extract_mat", &OpTable::extract_mat},
+    {"extract_col", &OpTable::extract_col},
+    {"assign_vec", &OpTable::assign_vec},
+    {"assign_vec_constant", &OpTable::assign_vec_constant},
+    {"assign_mat", &OpTable::assign_mat},
+    {"assign_mat_constant", &OpTable::assign_mat_constant},
+    {"kronecker", &OpTable::kronecker},
+    {"select_mat", &OpTable::select_mat},
+    {"select_vec", &OpTable::select_vec},
+    {"transposed", &OpTable::transposed},
+}};
+
+inline std::vector<const char*> missing_ops(const OpTable& t) {
+  std::vector<const char*> missing;
+  for (const auto& e : kOpTableEntries)
+    if (!(t.*(e.flag))) missing.push_back(e.name);
+  return missing;
+}
+
+namespace probe {
+
+// Declaration-only functors for the op-table probes (only ever named inside
+// unevaluated requires-expressions).
+struct IdxUnaryVec {
+  double operator()(IndexType i, double v) const;
+};
+struct IdxUnaryMat {
+  double operator()(IndexType i, IndexType j, double v) const;
+};
+struct PredVec {
+  bool operator()(IndexType i, double v) const;
+};
+struct PredMat {
+  bool operator()(IndexType i, IndexType j, double v) const;
+};
+
+}  // namespace probe
+
+/// Compile-time op-table inventory of backend_ops<Tag>: each flag is the
+/// result of a requires-expression probing the entry point with the
+/// backend's own container types and representative algebra arguments.
+template <typename Tag>
+constexpr OpTable op_table_of() {
+  using M = typename backend_traits<Tag>::template matrix_type<double>;
+  using V = typename backend_traits<Tag>::template vector_type<double>;
+  using Out = OutputDescriptor<EmptyMaskObj>;
+  using Ops = backend_ops<Tag>;
+  using SR = ArithmeticSemiring<double>;
+  using Monoid = PlusMonoid<double>;
+
+  OpTable t;
+  t.mxm = requires(M& c, const Out& o, const M& a, const M& b) {
+    Ops::mxm(c, o, NoAccumulate{}, SR{}, a, b);
+  };
+  t.mxv = requires(V& w, const Out& o, const M& a, const V& u) {
+    Ops::mxv(w, o, NoAccumulate{}, SR{}, a, u);
+  };
+  t.vxm = requires(V& w, const Out& o, const V& u, const M& a) {
+    Ops::vxm(w, o, NoAccumulate{}, SR{}, u, a);
+  };
+  t.ewise_add_vec = requires(V& w, const Out& o, const V& u, const V& v) {
+    Ops::ewise_add_vec(w, o, NoAccumulate{}, Plus<double>{}, u, v);
+  };
+  t.ewise_mult_vec = requires(V& w, const Out& o, const V& u, const V& v) {
+    Ops::ewise_mult_vec(w, o, NoAccumulate{}, Times<double>{}, u, v);
+  };
+  t.ewise_add_mat = requires(M& c, const Out& o, const M& a, const M& b) {
+    Ops::ewise_add_mat(c, o, NoAccumulate{}, Plus<double>{}, a, b);
+  };
+  t.ewise_mult_mat = requires(M& c, const Out& o, const M& a, const M& b) {
+    Ops::ewise_mult_mat(c, o, NoAccumulate{}, Times<double>{}, a, b);
+  };
+  t.apply_vec = requires(V& w, const Out& o, const V& u) {
+    Ops::apply_vec(w, o, NoAccumulate{}, Abs<double>{}, u);
+  };
+  t.apply_mat = requires(M& c, const Out& o, const M& a) {
+    Ops::apply_mat(c, o, NoAccumulate{}, Abs<double>{}, a);
+  };
+  t.apply_indexed_vec = requires(V& w, const Out& o, const V& u) {
+    Ops::apply_indexed_vec(w, o, NoAccumulate{}, probe::IdxUnaryVec{}, u);
+  };
+  t.apply_indexed_mat = requires(M& c, const Out& o, const M& a) {
+    Ops::apply_indexed_mat(c, o, NoAccumulate{}, probe::IdxUnaryMat{}, a);
+  };
+  t.reduce_mat_to_vec = requires(V& w, const Out& o, const M& a) {
+    Ops::reduce_mat_to_vec(w, o, NoAccumulate{}, Monoid{}, a);
+  };
+  t.reduce_vec_to_scalar = requires(double& s, const V& u) {
+    Ops::reduce_vec_to_scalar(s, NoAccumulate{}, Monoid{}, u);
+  };
+  t.reduce_mat_to_scalar = requires(double& s, const M& a) {
+    Ops::reduce_mat_to_scalar(s, NoAccumulate{}, Monoid{}, a);
+  };
+  t.transpose_op = requires(M& c, const Out& o, const M& a) {
+    Ops::transpose_op(c, o, NoAccumulate{}, a);
+  };
+  t.extract_vec = requires(V& w, const Out& o, const V& u,
+                           const IndexArrayType& idx) {
+    Ops::extract_vec(w, o, NoAccumulate{}, u, idx);
+  };
+  t.extract_mat = requires(M& c, const Out& o, const M& a,
+                           const IndexArrayType& idx) {
+    Ops::extract_mat(c, o, NoAccumulate{}, a, idx, idx);
+  };
+  t.extract_col = requires(V& w, const Out& o, const M& a,
+                           const IndexArrayType& idx) {
+    Ops::extract_col(w, o, NoAccumulate{}, a, idx, IndexType{0});
+  };
+  t.assign_vec = requires(V& w, const Out& o, const V& u,
+                          const IndexArrayType& idx) {
+    Ops::assign_vec(w, o, NoAccumulate{}, u, idx);
+  };
+  t.assign_vec_constant = requires(V& w, const Out& o,
+                                   const IndexArrayType& idx) {
+    Ops::assign_vec_constant(w, o, NoAccumulate{}, 1.0, idx);
+  };
+  t.assign_mat = requires(M& c, const Out& o, const M& a,
+                          const IndexArrayType& idx) {
+    Ops::assign_mat(c, o, NoAccumulate{}, a, idx, idx);
+  };
+  t.assign_mat_constant = requires(M& c, const Out& o,
+                                   const IndexArrayType& idx) {
+    Ops::assign_mat_constant(c, o, NoAccumulate{}, 1.0, idx, idx);
+  };
+  t.kronecker = requires(M& c, const Out& o, const M& a, const M& b) {
+    Ops::kronecker(c, o, NoAccumulate{}, Times<double>{}, a, b);
+  };
+  t.select_mat = requires(M& c, const Out& o, const M& a) {
+    Ops::select_mat(c, o, NoAccumulate{}, probe::PredMat{}, a);
+  };
+  t.select_vec = requires(V& w, const Out& o, const V& u) {
+    Ops::select_vec(w, o, NoAccumulate{}, probe::PredVec{}, u);
+  };
+  t.transposed = requires(const M& a) { Ops::transposed(a); };
+  return t;
+}
+
+/// Canonical registry name of a backend tag.
+template <typename Tag>
+constexpr const char* backend_name() {
+  if constexpr (std::is_same_v<Tag, Sequential>) return "sequential";
+  else if constexpr (std::is_same_v<Tag, CpuPar>) return "cpupar";
+  else if constexpr (std::is_same_v<Tag, GpuSim>) return "gpusim";
+  else return "unknown";
+}
+
+// ==========================================================================
+// Registry
+// ==========================================================================
+
+/// One registered backend: name + buffer hooks + op-table inventory.
+struct BackendInfo {
+  std::string name;
+  BufferOps buffers{};
+  OpTable ops{};
+};
+
+namespace detail {
+
+// Host-side buffer hooks, shared by the Sequential and CpuPar entries. The
+// CpuPar synchronize is also a no-op by design: parallel_for joins before
+// an operation returns, so there is never outstanding asynchronous work.
+inline void* host_alloc(std::size_t bytes) { return ::operator new(bytes); }
+inline void host_release(void* ptr) { ::operator delete(ptr); }
+inline void host_set(void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+}
+inline void host_get(void* dst, const void* src, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+}
+inline void host_synchronize() {}
+
+// GpuSim hooks: route through the calling thread's bound simulated device.
+inline void* gpusim_alloc(std::size_t bytes) {
+  return gpu_sim::device().malloc_bytes(bytes);
+}
+inline void gpusim_release(void* ptr) { gpu_sim::device().free_bytes(ptr); }
+inline void gpusim_set(void* dst, const void* src, std::size_t bytes) {
+  gpu_sim::device().copy_h2d(dst, src, bytes);
+}
+inline void gpusim_get(void* dst, const void* src, std::size_t bytes) {
+  gpu_sim::device().copy_d2h(dst, src, bytes);
+}
+// Launches are synchronous on the simulated device; the hook exists so
+// callers can be written against the asynchronous contract.
+inline void gpusim_synchronize() {}
+
+inline constexpr BufferOps kHostBufferOps{host_alloc, host_release, host_set,
+                                          host_get, host_synchronize};
+inline constexpr BufferOps kGpuSimBufferOps{gpusim_alloc, gpusim_release,
+                                            gpusim_set, gpusim_get,
+                                            gpusim_synchronize};
+
+}  // namespace detail
+
+/// Process-wide backend directory. The three built-in backends are
+/// registered on first access; register_backend adds more (duplicate names
+/// rejected). Entries have stable addresses for the registry's lifetime.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  /// Register a backend. @throws InvalidValueException when @p info.name is
+  /// already taken (registration is first-come, there is no override).
+  const BackendInfo& register_backend(BackendInfo info) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& b : backends_)
+      if (b->name == info.name)
+        throw InvalidValueException("backend '" + info.name +
+                                    "' is already registered");
+    backends_.push_back(std::make_unique<BackendInfo>(std::move(info)));
+    return *backends_.back();
+  }
+
+  /// The backend named @p name, or nullptr.
+  const BackendInfo* find(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& b : backends_)
+      if (b->name == name) return b.get();
+    return nullptr;
+  }
+
+  /// The backend named @p name. @throws InvalidValueException whose message
+  /// names the unknown backend AND lists every registered one.
+  const BackendInfo& require(std::string_view name) const {
+    if (const BackendInfo* b = find(name)) return *b;
+    std::string msg = "unknown backend '";
+    msg += name;
+    msg += "'; registered backends:";
+    for (const std::string& n : names()) {
+      msg += ' ';
+      msg += n;
+    }
+    throw InvalidValueException(msg);
+  }
+
+  /// Names of every registered backend, in registration order.
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(backends_.size());
+    for (const auto& b : backends_) out.push_back(b->name);
+    return out;
+  }
+
+ private:
+  Registry() {
+    // Built-ins, in the order the repo grew them. Op tables are constexpr
+    // facts about backend_ops<Tag> — see op_table_of.
+    backends_.push_back(std::make_unique<BackendInfo>(BackendInfo{
+        backend_name<Sequential>(), detail::kHostBufferOps,
+        op_table_of<Sequential>()}));
+    backends_.push_back(std::make_unique<BackendInfo>(BackendInfo{
+        backend_name<GpuSim>(), detail::kGpuSimBufferOps,
+        op_table_of<GpuSim>()}));
+    backends_.push_back(std::make_unique<BackendInfo>(BackendInfo{
+        backend_name<CpuPar>(), detail::kHostBufferOps,
+        op_table_of<CpuPar>()}));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<BackendInfo>> backends_;
+};
+
+}  // namespace grb::backend

@@ -20,8 +20,14 @@ using IndexArrayType = std::vector<IndexType>;
 /// `grb::Matrix<T, GpuSim>` expose the same frontend API but own their data
 /// in different places; every operation requires all operands to share one
 /// backend (mixing tags is a compile error by construction).
+///
+/// CpuPar is the thread-pool CPU backend: it shares the Sequential
+/// containers but executes the heavy operations with row-range parallelism
+/// under a deterministic per-output reduction order, so its results are
+/// bit-identical to Sequential at any thread count (docs/backends.md).
 struct Sequential {};
 struct GpuSim {};
+struct CpuPar {};
 
 /// Passed where an accumulator is expected to mean "no accumulation":
 /// the operation's result replaces/merges into the output directly.

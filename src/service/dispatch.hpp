@@ -2,16 +2,17 @@
 
 /// @file dispatch.hpp
 /// The one place a QueryRequest meets an algorithms:: entry point. Shared by
-/// the executor (GpuSim backend, per-worker context) and by the serial
-/// oracle path the stress tests diff against (Sequential backend) — both
-/// run *exactly* this function, so any divergence is a backend bug, not a
-/// serving-layer one.
+/// the executor's worker paths (GpuSim per-worker context, CpuPar per-worker
+/// pool) and by the serial oracle path the stress tests diff against
+/// (Sequential backend) — all of them run *exactly* this function, so any
+/// divergence is a backend bug, not a serving-layer one.
 
 #include <chrono>
 #include <exception>
 #include <utility>
 
 #include "algorithms/bfs.hpp"
+#include "gbtl/backend_registry.hpp"
 #include "algorithms/connected_components.hpp"
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
@@ -72,6 +73,9 @@ QueryResult run_query_on(const grb::Matrix<double, Tag>& graph,
     res.status = QueryStatus::kFailed;
     res.error = e.what();
   }
+  // Tag the result with the backend's registry name — set after the
+  // catch blocks so failed/cancelled results carry it too.
+  res.backend = grb::backend::backend_name<Tag>();
   return res;
 }
 

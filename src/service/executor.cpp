@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "backend_cpupar/pool.hpp"
+#include "gpu_sim/thread_pool.hpp"
 #include "service/dispatch.hpp"
 
 namespace service {
@@ -102,6 +104,17 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
       static_cast<double>(ctx.properties().total_global_memory));
   DeviceGraphCache cache(ctx, budget);
 
+  // This worker's private CpuPar pool + host matrix cache, the CPU-side
+  // analogue of the context/cache pair above. ScopedPool is the thread-pool
+  // ScopedDevice: any CpuPar op this worker runs lands on this pool.
+  const std::size_t cpu_threads =
+      options_.cpupar_threads != 0
+          ? options_.cpupar_threads
+          : grb::cpupar_backend::default_worker_count();
+  gpu_sim::ThreadPool cpu_pool{cpu_threads};
+  grb::cpupar_backend::ScopedPool bind_pool(cpu_pool);
+  HostGraphCache host_cache;
+
   while (auto job = queue_.pop()) {
     QueryResult res;
     res.worker = worker_index;
@@ -128,11 +141,27 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
       continue;
     }
 
+    const bool use_cpupar =
+        options_.backend_mode == BackendMode::kForceCpuPar ||
+        (options_.backend_mode == BackendMode::kAuto &&
+         snap->edges.num_edges() < options_.crossover_nnz);
     try {
-      const DeviceMatrixPtr graph = cache.get_or_upload(snap);
       const std::size_t worker = res.worker;
-      res = run_query_on<grb::GpuSim>(*graph, job->request, policy);
+      if (use_cpupar) {
+        const HostMatrixPtr graph = host_cache.get_or_build(snap);
+        res = run_query_on<grb::CpuPar>(*graph, job->request, policy);
+      } else {
+        const DeviceMatrixPtr graph = cache.get_or_upload(snap);
+        res = run_query_on<grb::GpuSim>(*graph, job->request, policy);
+      }
       res.worker = worker;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        if (use_cpupar)
+          ++stats_.ran_cpupar;
+        else
+          ++stats_.ran_gpusim;
+      }
     } catch (const std::exception& e) {
       res.status = QueryStatus::kFailed;
       res.error = e.what();
@@ -152,6 +181,7 @@ QueryResult QueryExecutor::execute_serial(const GraphStore& store,
   }
   const auto graph =
       gbtl_graph::to_matrix<double, grb::Sequential>(snap->edges);
+  // run_query_on stamps res.backend = "sequential".
   return run_query_on<grb::Sequential>(graph, req, grb::ExecutionPolicy{});
 }
 

@@ -2,9 +2,12 @@
 
 /// @file executor.hpp
 /// Deadline-aware concurrent query executor. N worker threads, each owning a
-/// *private* gpu_sim::Context (installed thread-locally via ScopedDevice) and
-/// a private DeviceGraphCache, pull typed queries from a bounded admission
-/// queue and run them through the unchanged algorithms:: entry points.
+/// *private* gpu_sim::Context (installed thread-locally via ScopedDevice), a
+/// private DeviceGraphCache, and a private CpuPar thread pool + host matrix
+/// cache, pull typed queries from a bounded admission queue and run them
+/// through the unchanged algorithms:: entry points. Per query the worker
+/// picks a backend (BackendMode): small graphs run on the parallel CPU
+/// backend, large ones on the worker's simulated GPU.
 ///
 /// Placement, not math: a query produces the same bits no matter which
 /// worker runs it or what else runs beside it — the stress suite diffs every
@@ -34,6 +37,28 @@
 
 namespace service {
 
+/// Which registered backend the workers run queries on. Both worker-side
+/// backends produce bytes identical to the Sequential oracle (the three-way
+/// differential fuzz suite enforces it), so the mode changes placement and
+/// cost, never results.
+enum class BackendMode {
+  /// Pick per query by graph size: nnz below ExecutorOptions::crossover_nnz
+  /// runs on CpuPar (small graphs don't amortize device upload + launch
+  /// overhead), at or above it on GpuSim.
+  kAuto = 0,
+  kForceGpuSim,  ///< every query on the simulated GPU
+  kForceCpuPar,  ///< every query on the parallel CPU backend
+};
+
+inline const char* to_string(BackendMode m) {
+  switch (m) {
+    case BackendMode::kAuto: return "auto";
+    case BackendMode::kForceGpuSim: return "force-gpusim";
+    case BackendMode::kForceCpuPar: return "force-cpupar";
+  }
+  return "unknown";
+}
+
 struct ExecutorOptions {
   std::size_t workers = 2;
   std::size_t queue_capacity = 64;
@@ -42,6 +67,17 @@ struct ExecutorOptions {
   double cache_memory_fraction = 0.5;
   /// Properties for each worker's simulated device.
   gpu_sim::DeviceProperties device_properties{};
+
+  /// Worker-side backend placement (see BackendMode).
+  BackendMode backend_mode = BackendMode::kAuto;
+  /// kAuto crossover: graphs with nnz strictly below this run on CpuPar.
+  /// Default sits near the wall-clock crossover bench_backend_crossover
+  /// measures for PageRank (device launch+upload overhead vs. a handful of
+  /// CPU threads).
+  std::size_t crossover_nnz = 1u << 15;
+  /// Threads in each worker's private CpuPar pool; 0 means
+  /// grb::cpupar_backend::default_worker_count().
+  std::size_t cpupar_threads = 0;
 };
 
 class QueryExecutor {

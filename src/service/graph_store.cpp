@@ -101,4 +101,19 @@ void DeviceGraphCache::evict_all() {
   while (!entries_.empty()) evict_lru();
 }
 
+// --- HostGraphCache --------------------------------------------------------
+
+HostMatrixPtr HostGraphCache::get_or_build(const SnapshotPtr& snap) {
+  auto& entry = entries_[snap->name];
+  if (entry.matrix != nullptr && entry.version == snap->version) {
+    ++stats_.hits;
+    return entry.matrix;
+  }
+  ++stats_.misses;
+  entry.version = snap->version;
+  entry.matrix = std::make_shared<const grb::Matrix<double, grb::CpuPar>>(
+      gbtl_graph::to_matrix<double, grb::CpuPar>(snap->edges));
+  return entry.matrix;
+}
+
 }  // namespace service

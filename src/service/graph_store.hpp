@@ -74,6 +74,38 @@ class GraphStore {
 /// its query finishes.
 using DeviceMatrixPtr = std::shared_ptr<const grb::Matrix<double, grb::GpuSim>>;
 
+/// Host-side CpuPar matrices follow the same sharing rule.
+using HostMatrixPtr = std::shared_ptr<const grb::Matrix<double, grb::CpuPar>>;
+
+/// Per-worker host-side cache of CpuPar matrices, the small-graph sibling of
+/// DeviceGraphCache. NOT thread-safe — each executor worker owns one. Keeps
+/// the latest version per graph name (CpuPar serves the below-crossover
+/// regime, where a whole matrix is small next to the device cache budget, so
+/// there is no byte ceiling — a replaced version is dropped immediately).
+class HostGraphCache {
+ public:
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// The host matrix for @p snap, building it on first use (or when the
+  /// store republished @p snap's name under a newer version).
+  HostMatrixPtr get_or_build(const SnapshotPtr& snap);
+
+  const CacheStats& stats() const { return stats_; }
+  std::size_t entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t version = 0;
+    HostMatrixPtr matrix;
+  };
+
+  std::unordered_map<std::string, Entry> entries_;
+  CacheStats stats_;
+};
+
 /// Per-worker device-side graph cache. NOT thread-safe — each executor
 /// worker owns exactly one, bound to that worker's private Context, so no
 /// cross-thread sharing ever happens by construction.

@@ -100,6 +100,10 @@ struct QueryResult {
   std::string error;                      ///< kFailed / kCancelled detail
   std::chrono::microseconds latency{0};   ///< admission -> resolution
   std::size_t worker = 0;                 ///< executing worker index
+  /// Registry name of the backend that ran the query ("sequential",
+  /// "cpupar", "gpusim"); empty when the query never reached a backend
+  /// (shed, or cancelled while queued).
+  std::string backend;
 };
 
 }  // namespace service

@@ -111,6 +111,12 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;   ///< resolved kCancelled (deadline / token)
   std::uint64_t shed = 0;        ///< refused at admission (queue full)
   std::uint64_t failed = 0;      ///< resolved kFailed
+  /// Backend placement counters: how many queries each worker-side backend
+  /// actually ran (cancelled-in-queue and shed queries hit neither). With
+  /// BackendMode::kAuto these record which side of crossover_nnz each
+  /// executed query landed on.
+  std::uint64_t ran_cpupar = 0;
+  std::uint64_t ran_gpusim = 0;
   LatencyHistogram latency;      ///< admission -> resolution, executed only
 
   std::uint64_t resolved() const {

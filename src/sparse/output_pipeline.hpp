@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <type_traits>
+#include <utility>
 
+#include "backend_cpupar/pool.hpp"
 #include "gbtl/types.hpp"
 #include "gbtl/write_rules.hpp"
 #include "gpu_sim/algorithms.hpp"
@@ -64,76 +66,120 @@ bool mask_allows(const MaskDesc<MObj>& m, IndexType i) {
 // Sequential epilogues: scalar loops over the stored entries
 // ===========================================================================
 
-/// Matrix epilogue: sorted row-merge of C's and T̃'s entry streams, each
-/// position resolved through write_rules.
+/// One merged output row: sorted merge of C's and T̃'s entry streams for row
+/// i, each position resolved through write_rules. The per-row unit shared by
+/// the serial epilogue and the CpuPar row-parallel one.
+template <typename CMat, typename TMat, typename MObj, typename Accum>
+typename CMat::Row merge_matrix_row(const CMat& C, const TMat& T,
+                                    const OutputDescriptor<MObj>& out,
+                                    Accum accum, IndexType i) {
+  using CT = typename CMat::ScalarType;
+  const auto& crow = C.row(i);
+  const auto& trow = T.row(i);
+  typename CMat::Row merged;
+  merged.reserve(crow.size() + trow.size());
+  std::size_t ci = 0, ti = 0;
+  while (ci < crow.size() || ti < trow.size()) {
+    IndexType j;
+    bool has_c = false, has_t = false;
+    if (ci < crow.size() && ti < trow.size()) {
+      if (crow[ci].first < trow[ti].first) {
+        j = crow[ci].first;
+        has_c = true;
+      } else if (trow[ti].first < crow[ci].first) {
+        j = trow[ti].first;
+        has_t = true;
+      } else {
+        j = crow[ci].first;
+        has_c = has_t = true;
+      }
+    } else if (ci < crow.size()) {
+      j = crow[ci].first;
+      has_c = true;
+    } else {
+      j = trow[ti].first;
+      has_t = true;
+    }
+
+    const CT cval = has_c ? crow[ci].second : CT{};
+    const auto tval = has_t ? trow[ti].second : typename TMat::ScalarType{};
+    if (has_c) ++ci;
+    if (has_t) ++ti;
+
+    const auto entry =
+        mask_allows(out.mask, i, j)
+            ? write_rules::resolve_allowed(accum, has_c, cval, has_t, tval)
+            : write_rules::resolve_disallowed(out.replace, has_c, cval);
+    if (entry.present) merged.emplace_back(j, entry.value);
+  }
+  return merged;
+}
+
+/// Matrix epilogue: row-by-row merge through merge_matrix_row.
 template <typename CMat, typename TMat, typename MObj, typename Accum>
 void write_matrix(CMat& C, const TMat& T, const OutputDescriptor<MObj>& out,
                   Accum accum) {
-  using CT = typename CMat::ScalarType;
-  for (IndexType i = 0; i < C.nrows(); ++i) {
-    const auto& crow = C.row(i);
-    const auto& trow = T.row(i);
-    typename CMat::Row merged;
-    merged.reserve(crow.size() + trow.size());
-    std::size_t ci = 0, ti = 0;
-    while (ci < crow.size() || ti < trow.size()) {
-      IndexType j;
-      bool has_c = false, has_t = false;
-      if (ci < crow.size() && ti < trow.size()) {
-        if (crow[ci].first < trow[ti].first) {
-          j = crow[ci].first;
-          has_c = true;
-        } else if (trow[ti].first < crow[ci].first) {
-          j = trow[ti].first;
-          has_t = true;
-        } else {
-          j = crow[ci].first;
-          has_c = has_t = true;
-        }
-      } else if (ci < crow.size()) {
-        j = crow[ci].first;
-        has_c = true;
-      } else {
-        j = trow[ti].first;
-        has_t = true;
-      }
+  for (IndexType i = 0; i < C.nrows(); ++i)
+    C.set_row(i, merge_matrix_row(C, T, out, accum, i));
+}
 
-      const CT cval = has_c ? crow[ci].second : CT{};
-      const auto tval =
-          has_t ? trow[ti].second : typename TMat::ScalarType{};
-      if (has_c) ++ci;
-      if (has_t) ++ti;
+/// CpuPar matrix epilogue: the same per-row merge, rows distributed over the
+/// ambient cpupar_backend::pool(). Each row's merge chain is exactly the
+/// serial one, and set_row touches only that row's storage, so the result is
+/// bit-identical to write_matrix at any worker count.
+template <typename CMat, typename TMat, typename MObj, typename Accum>
+void write_matrix_par(CMat& C, const TMat& T,
+                      const OutputDescriptor<MObj>& out, Accum accum) {
+  cpupar_backend::parallel_ranges(
+      C.nrows(), cpupar_backend::kVectorChunk,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          C.set_row(i, merge_matrix_row(C, T, out, accum, i));
+      });
+}
 
-      const auto entry =
-          mask_allows(out.mask, i, j)
-              ? write_rules::resolve_allowed(accum, has_c, cval, has_t, tval)
-              : write_rules::resolve_disallowed(out.replace, has_c, cval);
-      if (entry.present) merged.emplace_back(j, entry.value);
-    }
-    C.set_row(i, std::move(merged));
-  }
+/// Resolve one vector slot in place. The per-slot unit shared by the serial
+/// epilogue and the CpuPar chunk-parallel one.
+template <typename WVec, typename TVec, typename MObj, typename Accum>
+void write_vector_slot(WVec& w, const TVec& T,
+                       const OutputDescriptor<MObj>& out, Accum accum,
+                       IndexType i) {
+  using WT = typename WVec::ScalarType;
+  const bool has_w = w.present_unchecked(i);
+  const bool has_t = T.present_unchecked(i);
+  const WT wval = has_w ? w.value_unchecked(i) : WT{};
+  const auto tval = has_t ? T.value_unchecked(i) : typename TVec::ScalarType{};
+  const auto entry =
+      mask_allows(out.mask, i)
+          ? write_rules::resolve_allowed(accum, has_w, wval, has_t, tval)
+          : write_rules::resolve_disallowed(out.replace, has_w, wval);
+  if (entry.present)
+    w.set_unchecked(i, entry.value);
+  else if (has_w)
+    w.erase_unchecked(i);
 }
 
 /// Vector epilogue: one dense pass over the positions.
 template <typename WVec, typename TVec, typename MObj, typename Accum>
 void write_vector(WVec& w, const TVec& T, const OutputDescriptor<MObj>& out,
                   Accum accum) {
-  using WT = typename WVec::ScalarType;
-  for (IndexType i = 0; i < w.size(); ++i) {
-    const bool has_w = w.present_unchecked(i);
-    const bool has_t = T.present_unchecked(i);
-    const WT wval = has_w ? w.value_unchecked(i) : WT{};
-    const auto tval =
-        has_t ? T.value_unchecked(i) : typename TVec::ScalarType{};
-    const auto entry =
-        mask_allows(out.mask, i)
-            ? write_rules::resolve_allowed(accum, has_w, wval, has_t, tval)
-            : write_rules::resolve_disallowed(out.replace, has_w, wval);
-    if (entry.present)
-      w.set_unchecked(i, entry.value);
-    else if (has_w)
-      w.erase_unchecked(i);
-  }
+  for (IndexType i = 0; i < w.size(); ++i)
+    write_vector_slot(w, T, out, accum, i);
+}
+
+/// CpuPar vector epilogue: the same per-slot resolution over 64-aligned
+/// fixed chunks (w's ScalarType may be bool — the alignment keeps chunks off
+/// each other's bit-storage words). Bit-identical to write_vector at any
+/// worker count.
+template <typename WVec, typename TVec, typename MObj, typename Accum>
+void write_vector_par(WVec& w, const TVec& T,
+                      const OutputDescriptor<MObj>& out, Accum accum) {
+  cpupar_backend::parallel_ranges(
+      w.size(), cpupar_backend::kVectorChunk,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          write_vector_slot(w, T, out, accum, i);
+      });
 }
 
 // ===========================================================================

@@ -1,0 +1,147 @@
+/// Backend registry: the three built-in backends are discoverable by name,
+/// duplicate registration is rejected, unknown-name diagnostics list what IS
+/// registered, every backend's raw buffer hooks round-trip bytes, and — at
+/// compile time — every registered backend exposes the complete op table
+/// (the static_asserts below fail the build if a backend loses an entry).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gbtl/backend_registry.hpp"
+
+namespace {
+
+using grb::CpuPar;
+using grb::GpuSim;
+using grb::Sequential;
+using grb::backend::BackendInfo;
+using grb::backend::OpTable;
+using grb::backend::Registry;
+using grb::backend::backend_name;
+using grb::backend::kOpTableEntries;
+using grb::backend::missing_ops;
+using grb::backend::op_table_of;
+
+// --------------------------------------------------------------------------
+// Compile-time completeness: all three backends implement the full op table.
+// --------------------------------------------------------------------------
+
+static_assert(op_table_of<Sequential>().complete(),
+              "Sequential backend is missing an op-table entry");
+static_assert(op_table_of<CpuPar>().complete(),
+              "CpuPar backend is missing an op-table entry");
+static_assert(op_table_of<GpuSim>().complete(),
+              "GpuSim backend is missing an op-table entry");
+
+// A handful of individual probes, so a regression pinpoints the op even in
+// a build log without the missing_ops() diagnostic.
+static_assert(op_table_of<CpuPar>().vxm && op_table_of<CpuPar>().mxm &&
+              op_table_of<CpuPar>().kronecker &&
+              op_table_of<CpuPar>().assign_mat_constant);
+
+TEST(BackendRegistry, BuiltinsAreRegisteredInGrowthOrder) {
+  const auto names = Registry::instance().names();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "sequential");
+  EXPECT_EQ(names[1], "gpusim");
+  EXPECT_EQ(names[2], "cpupar");
+}
+
+TEST(BackendRegistry, FindReturnsEntryOrNull) {
+  auto& reg = Registry::instance();
+  for (const char* name : {"sequential", "cpupar", "gpusim"}) {
+    const BackendInfo* info = reg.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    EXPECT_TRUE(info->ops.complete()) << name;
+  }
+  EXPECT_EQ(reg.find("opencl"), nullptr);
+  EXPECT_EQ(reg.find(""), nullptr);
+}
+
+TEST(BackendRegistry, BackendNameMatchesRegistryKeys) {
+  auto& reg = Registry::instance();
+  EXPECT_NE(reg.find(backend_name<Sequential>()), nullptr);
+  EXPECT_NE(reg.find(backend_name<CpuPar>()), nullptr);
+  EXPECT_NE(reg.find(backend_name<GpuSim>()), nullptr);
+}
+
+TEST(BackendRegistry, RequireThrowsListingRegisteredBackends) {
+  try {
+    Registry::instance().require("does-not-exist");
+    FAIL() << "require() accepted an unknown backend";
+  } catch (const grb::InvalidValueException& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("does-not-exist"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sequential"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cpupar"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gpusim"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendRegistry, DuplicateNameIsRejected) {
+  auto& reg = Registry::instance();
+  // A built-in name can never be re-registered...
+  EXPECT_THROW(reg.register_backend(BackendInfo{"sequential", {}, {}}),
+               grb::InvalidValueException);
+  // ...and a fresh name registers exactly once.
+  BackendInfo toy;
+  toy.name = "toy-dup-check";
+  toy.buffers = grb::backend::detail::kHostBufferOps;
+  const BackendInfo& registered = reg.register_backend(toy);
+  EXPECT_EQ(registered.name, "toy-dup-check");
+  EXPECT_NE(reg.find("toy-dup-check"), nullptr);
+  EXPECT_THROW(reg.register_backend(BackendInfo{"toy-dup-check", {}, {}}),
+               grb::InvalidValueException);
+}
+
+TEST(BackendRegistry, MissingOpsNamesEveryAbsentEntry) {
+  EXPECT_TRUE(missing_ops(op_table_of<CpuPar>()).empty());
+  OpTable empty;
+  const auto missing = missing_ops(empty);
+  EXPECT_EQ(missing.size(), kOpTableEntries.size());
+  OpTable partial;
+  partial.mxm = true;
+  const auto rest = missing_ops(partial);
+  EXPECT_EQ(rest.size(), kOpTableEntries.size() - 1);
+  for (const char* name : rest) EXPECT_STRNE(name, "mxm");
+}
+
+TEST(BackendRegistry, BufferHooksRoundTripBytes) {
+  for (const char* name : {"sequential", "cpupar", "gpusim"}) {
+    const BackendInfo& info = Registry::instance().require(name);
+    ASSERT_NE(info.buffers.alloc, nullptr) << name;
+    ASSERT_NE(info.buffers.release, nullptr) << name;
+    ASSERT_NE(info.buffers.set, nullptr) << name;
+    ASSERT_NE(info.buffers.get, nullptr) << name;
+    ASSERT_NE(info.buffers.synchronize, nullptr) << name;
+
+    constexpr std::size_t kBytes = 257;  // deliberately odd-sized
+    std::vector<unsigned char> src(kBytes), back(kBytes, 0);
+    for (std::size_t i = 0; i < kBytes; ++i)
+      src[i] = static_cast<unsigned char>((i * 37 + 11) & 0xff);
+
+    void* buf = info.buffers.alloc(kBytes);
+    ASSERT_NE(buf, nullptr) << name;
+    info.buffers.set(buf, src.data(), kBytes);
+    info.buffers.synchronize();
+    info.buffers.get(back.data(), buf, kBytes);
+    EXPECT_EQ(std::memcmp(src.data(), back.data(), kBytes), 0) << name;
+    info.buffers.release(buf);
+  }
+}
+
+TEST(BackendRegistry, GpuSimBufferHooksAccountOnTheBoundDevice) {
+  const BackendInfo& info = Registry::instance().require("gpusim");
+  const auto before = gpu_sim::device().stats().bytes_in_use;
+  void* buf = info.buffers.alloc(1024);
+  EXPECT_GE(gpu_sim::device().stats().bytes_in_use, before + 1024)
+      << "gpusim alloc hook bypassed the bound device's accounting";
+  info.buffers.release(buf);
+  EXPECT_EQ(gpu_sim::device().stats().bytes_in_use, before);
+}
+
+}  // namespace

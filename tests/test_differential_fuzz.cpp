@@ -1,9 +1,13 @@
 /// Differential fuzzing: seeded random COO graphs (banded, uniform,
 /// power-law) x {semirings, masks incl. complement/structure, accumulators,
-/// replace} run through mxv/vxm/mxm/eWiseAdd/eWiseMult on BOTH backends and
-/// checked bit-for-bit against a naive dense oracle that implements the
-/// GraphBLAS write semantics (Z = accum(C,T), mask, Replace/Merge) with
-/// nothing shared with either backend's sparse machinery.
+/// replace} run through mxv/vxm/mxm/eWiseAdd/eWiseMult on ALL THREE
+/// registered backends (Sequential, CpuPar, GpuSim) and checked bit-for-bit
+/// against a naive dense oracle that implements the GraphBLAS write
+/// semantics (Z = accum(C,T), mask, Replace/Merge) with nothing shared with
+/// any backend's sparse machinery. Failure messages name the dissenting
+/// backend ("seq ..." / "cpupar ..." / "gpu ..."). The CpuPar legs run on a
+/// real 3-worker pool bound by the fixture, so the cross-thread chunk paths
+/// are exercised even on single-core CI machines.
 ///
 /// Bit-for-bit equality across kernels with different summation orders is
 /// made valid by fuzzing with integer-valued doubles in [-4, 4]: all
@@ -26,7 +30,9 @@
 
 #include "algorithms/bfs.hpp"
 #include "algorithms/sssp.hpp"
+#include "backend_cpupar/pool.hpp"
 #include "gbtl/gbtl.hpp"
+#include "gpu_sim/thread_pool.hpp"
 #include "sparse/spgemm_select.hpp"
 #include "sparse/spmv_select.hpp"
 
@@ -587,6 +593,11 @@ class DifferentialFuzz : public ::testing::TestWithParam<unsigned> {
 
  private:
   sparse::Index saved_chunk_ = 0;
+  // Bind a real 3-worker pool for the CpuPar legs: default_worker_count()
+  // is 1 on single-core CI machines, which would silently collapse every
+  // CpuPar op to its serial fallback path.
+  gpu_sim::ThreadPool cpupar_pool_{3};
+  grb::cpupar_backend::ScopedPool bind_cpupar_{cpupar_pool_};
 };
 
 TEST_P(DifferentialFuzz, Mxv) {
@@ -608,10 +619,13 @@ TEST_P(DifferentialFuzz, Mxv) {
 
     auto sa = to_backend<double, grb::Sequential>(at);
     auto ga = to_backend<double, grb::GpuSim>(at);
+    auto pa = to_backend<double, grb::CpuPar>(at);
     auto su = to_backend<double, grb::Sequential>(ut);
     auto gu = to_backend<double, grb::GpuSim>(ut);
+    auto pu = to_backend<double, grb::CpuPar>(ut);
     auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
     auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+    auto pmask = to_backend<std::uint8_t, grb::CpuPar>(mt);
 
     with_semiring(sr_pick, [&](auto sr) {
       with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
@@ -625,6 +639,15 @@ TEST_P(DifferentialFuzz, Mxv) {
           grb::mxv(sw, sm, accum, sr, sa, su,
                    replace ? grb::Replace : grb::Merge);
           expect_matches(sw, want, "seq mxv");
+
+          auto pw = to_backend<double, grb::CpuPar>(wt);
+          unsigned pv = 0;
+          for_each_mask_variant(pmask, [&](auto pm, const MaskSpec&) {
+            if (pv++ != variant) return;
+            grb::mxv(pw, pm, accum, sr, pa, pu,
+                     replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(pw, want, "cpupar mxv");
 
           // GPU: every SpMV dispatch mode (zipped with a direction pin)
           // must agree with the oracle.
@@ -670,10 +693,13 @@ TEST_P(DifferentialFuzz, Vxm) {
 
     auto sa = to_backend<double, grb::Sequential>(at);
     auto ga = to_backend<double, grb::GpuSim>(at);
+    auto pa = to_backend<double, grb::CpuPar>(at);
     auto su = to_backend<double, grb::Sequential>(ut);
     auto gu = to_backend<double, grb::GpuSim>(ut);
+    auto pu = to_backend<double, grb::CpuPar>(ut);
     auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
     auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+    auto pmask = to_backend<std::uint8_t, grb::CpuPar>(mt);
 
     with_semiring(sr_pick, [&](auto sr) {
       with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
@@ -687,6 +713,15 @@ TEST_P(DifferentialFuzz, Vxm) {
           grb::vxm(sw, sm, accum, sr, su, sa,
                    replace ? grb::Replace : grb::Merge);
           expect_matches(sw, want, "seq vxm");
+
+          auto pw = to_backend<double, grb::CpuPar>(wt);
+          unsigned pv = 0;
+          for_each_mask_variant(pmask, [&](auto pm, const MaskSpec&) {
+            if (pv++ != variant) return;
+            grb::vxm(pw, pm, accum, sr, pu, pa,
+                     replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(pw, want, "cpupar vxm");
 
           for (const auto& [mode, dmode] : kModePairs) {
             sparse::SpmvModeGuard guard(mode);
@@ -731,10 +766,13 @@ TEST_P(DifferentialFuzz, Mxm) {
 
     auto sa = to_backend<double, grb::Sequential>(at);
     auto ga = to_backend<double, grb::GpuSim>(at);
+    auto pa = to_backend<double, grb::CpuPar>(at);
     auto sb = to_backend<double, grb::Sequential>(bt);
     auto gb = to_backend<double, grb::GpuSim>(bt);
+    auto pb = to_backend<double, grb::CpuPar>(bt);
     auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
     auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+    auto pmask = to_backend<std::uint8_t, grb::CpuPar>(mt);
 
     with_semiring(sr_pick, [&](auto sr) {
       with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
@@ -748,6 +786,15 @@ TEST_P(DifferentialFuzz, Mxm) {
           grb::mxm(sc, sm, accum, sr, sa, sb,
                    replace ? grb::Replace : grb::Merge);
           expect_matches(sc, want, "seq mxm");
+
+          auto pc = to_backend<double, grb::CpuPar>(ct);
+          unsigned pv = 0;
+          for_each_mask_variant(pmask, [&](auto pm, const MaskSpec&) {
+            if (pv++ != variant) return;
+            grb::mxm(pc, pm, accum, sr, pa, pb,
+                     replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(pc, want, "cpupar mxm");
 
           // GPU: every SpGEMM strategy (forced ESC, forced hash, Auto)
           // must agree with the oracle bit-for-bit.
@@ -803,14 +850,20 @@ TEST_P(DifferentialFuzz, EWiseAdd) {
     auto gu = to_backend<double, grb::GpuSim>(ut);
     auto sv = to_backend<double, grb::Sequential>(vt);
     auto gv = to_backend<double, grb::GpuSim>(vt);
+    auto pu = to_backend<double, grb::CpuPar>(ut);
+    auto pv2 = to_backend<double, grb::CpuPar>(vt);
     auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
     auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+    auto pmask = to_backend<std::uint8_t, grb::CpuPar>(mt);
     auto sA = to_backend<double, grb::Sequential>(a2);
     auto gA = to_backend<double, grb::GpuSim>(a2);
+    auto pA = to_backend<double, grb::CpuPar>(a2);
     auto sB = to_backend<double, grb::Sequential>(b2);
     auto gB = to_backend<double, grb::GpuSim>(b2);
+    auto pB = to_backend<double, grb::CpuPar>(b2);
     auto sM = to_backend<std::uint8_t, grb::Sequential>(mm);
     auto gM = to_backend<std::uint8_t, grb::GpuSim>(mm);
+    auto pM = to_backend<std::uint8_t, grb::CpuPar>(mm);
 
     with_binary_op(op_pick, [&](auto op) {
       with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
@@ -823,6 +876,14 @@ TEST_P(DifferentialFuzz, EWiseAdd) {
           grb::eWiseAdd(sw, sm, accum, op, su, sv,
                         replace ? grb::Replace : grb::Merge);
           expect_matches(sw, want, "seq eWiseAdd vec");
+          auto pw = to_backend<double, grb::CpuPar>(wt);
+          unsigned pvar = 0;
+          for_each_mask_variant(pmask, [&](auto pm, const MaskSpec&) {
+            if (pvar++ != variant) return;
+            grb::eWiseAdd(pw, pm, accum, op, pu, pv2,
+                          replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(pw, want, "cpupar eWiseAdd vec");
           auto gw = to_backend<double, grb::GpuSim>(wt);
           unsigned v = 0;
           for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
@@ -843,6 +904,14 @@ TEST_P(DifferentialFuzz, EWiseAdd) {
           grb::eWiseAdd(sc, sm, accum, op, sA, sB,
                         replace ? grb::Replace : grb::Merge);
           expect_matches(sc, want, "seq eWiseAdd mat");
+          auto pc = to_backend<double, grb::CpuPar>(c2);
+          unsigned pvar = 0;
+          for_each_mask_variant(pM, [&](auto pm, const MaskSpec&) {
+            if (pvar++ != mvariant) return;
+            grb::eWiseAdd(pc, pm, accum, op, pA, pB,
+                          replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(pc, want, "cpupar eWiseAdd mat");
           auto gc = to_backend<double, grb::GpuSim>(c2);
           unsigned v = 0;
           for_each_mask_variant(gM, [&](auto gm, const MaskSpec&) {
@@ -886,14 +955,20 @@ TEST_P(DifferentialFuzz, EWiseMult) {
     auto gu = to_backend<double, grb::GpuSim>(ut);
     auto sv = to_backend<double, grb::Sequential>(vt);
     auto gv = to_backend<double, grb::GpuSim>(vt);
+    auto pu = to_backend<double, grb::CpuPar>(ut);
+    auto pv2 = to_backend<double, grb::CpuPar>(vt);
     auto smask = to_backend<std::uint8_t, grb::Sequential>(mt);
     auto gmask = to_backend<std::uint8_t, grb::GpuSim>(mt);
+    auto pmask = to_backend<std::uint8_t, grb::CpuPar>(mt);
     auto sA = to_backend<double, grb::Sequential>(a2);
     auto gA = to_backend<double, grb::GpuSim>(a2);
+    auto pA = to_backend<double, grb::CpuPar>(a2);
     auto sB = to_backend<double, grb::Sequential>(b2);
     auto gB = to_backend<double, grb::GpuSim>(b2);
+    auto pB = to_backend<double, grb::CpuPar>(b2);
     auto sM = to_backend<std::uint8_t, grb::Sequential>(mm);
     auto gM = to_backend<std::uint8_t, grb::GpuSim>(mm);
+    auto pM = to_backend<std::uint8_t, grb::CpuPar>(mm);
 
     with_binary_op(op_pick, [&](auto op) {
       with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
@@ -906,6 +981,14 @@ TEST_P(DifferentialFuzz, EWiseMult) {
           grb::eWiseMult(sw, sm, accum, op, su, sv,
                          replace ? grb::Replace : grb::Merge);
           expect_matches(sw, want, "seq eWiseMult vec");
+          auto pw = to_backend<double, grb::CpuPar>(wt);
+          unsigned pvar = 0;
+          for_each_mask_variant(pmask, [&](auto pm, const MaskSpec&) {
+            if (pvar++ != variant) return;
+            grb::eWiseMult(pw, pm, accum, op, pu, pv2,
+                           replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(pw, want, "cpupar eWiseMult vec");
           auto gw = to_backend<double, grb::GpuSim>(wt);
           unsigned v = 0;
           for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
@@ -926,6 +1009,14 @@ TEST_P(DifferentialFuzz, EWiseMult) {
           grb::eWiseMult(sc, sm, accum, op, sA, sB,
                          replace ? grb::Replace : grb::Merge);
           expect_matches(sc, want, "seq eWiseMult mat");
+          auto pc = to_backend<double, grb::CpuPar>(c2);
+          unsigned pvar = 0;
+          for_each_mask_variant(pM, [&](auto pm, const MaskSpec&) {
+            if (pvar++ != mvariant) return;
+            grb::eWiseMult(pc, pm, accum, op, pA, pB,
+                           replace ? grb::Replace : grb::Merge);
+          });
+          expect_matches(pc, want, "cpupar eWiseMult mat");
           auto gc = to_backend<double, grb::GpuSim>(c2);
           unsigned v = 0;
           for_each_mask_variant(gM, [&](auto gm, const MaskSpec&) {
@@ -949,8 +1040,8 @@ TEST_P(DifferentialFuzz, EWiseMult) {
 // Traversal corpus: whole-algorithm differential runs
 // --------------------------------------------------------------------------
 
-template <typename T>
-void expect_same_tuples(const grb::Vector<T, grb::GpuSim>& got,
+template <typename T, typename Tag>
+void expect_same_tuples(const grb::Vector<T, Tag>& got,
                         const grb::Vector<T, grb::Sequential>& want,
                         const char* what) {
   IndexArrayType gi, wi;
@@ -1004,11 +1095,19 @@ TEST_P(DifferentialFuzz, Traversal) {
 
     auto sa = to_backend<double, grb::Sequential>(at);
     auto ga = to_backend<double, grb::GpuSim>(at);
+    auto pa = to_backend<double, grb::CpuPar>(at);
 
     grb::Vector<IndexType, grb::Sequential> slv(n);
     algorithms::bfs_level(sa, source, slv);
     grb::Vector<double, grb::Sequential> sdist(n);
     algorithms::sssp(sa, source, sdist);
+
+    grb::Vector<IndexType, grb::CpuPar> plv(n);
+    algorithms::bfs_level(pa, source, plv);
+    expect_same_tuples(plv, slv, "cpupar bfs_level");
+    grb::Vector<double, grb::CpuPar> pdist(n);
+    algorithms::sssp(pa, source, pdist);
+    expect_same_tuples(pdist, sdist, "cpupar sssp");
 
     for (const auto dmode :
          {sparse::DirectionMode::ForcePush, sparse::DirectionMode::ForcePull,

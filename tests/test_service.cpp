@@ -2,7 +2,10 @@
 /// ExecutionPolicy cancellation contract (including the documented
 /// partial-output state), GraphStore snapshot semantics, the per-worker
 /// DeviceGraphCache, admission-queue load shedding, the latency histogram,
-/// and executor end-to-end behaviour on every status path.
+/// and executor end-to-end behaviour on every status path — plus the
+/// per-query backend-selection seam: crossover-boundary placement, forced
+/// modes, the ran_cpupar/ran_gpusim counters, and the per-worker
+/// HostGraphCache that backs the CpuPar path.
 
 #include <gtest/gtest.h>
 
@@ -561,6 +564,125 @@ TEST(QueryExecutor, ShutdownWithCancelPendingResolvesEverything) {
   EXPECT_EQ(resolved, 8u);
   const auto stats = exec->stats();
   EXPECT_EQ(stats.resolved(), stats.submitted);
+}
+
+// --- Backend selection -----------------------------------------------------
+
+TEST(QueryExecutor, AutoModePicksBackendAtTheCrossoverBoundary) {
+  auto store = std::make_shared<service::GraphStore>();
+  const auto small = store->add("small", gbtl_graph::path(64));
+  const auto big = store->add("big", gbtl_graph::rmat(6, 8, /*seed=*/42));
+  ASSERT_LT(small->edges.num_edges(), big->edges.num_edges());
+
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kBfs;
+
+  {
+    // Boundary exactly at the big graph's nnz: strictly-below runs CpuPar,
+    // at-or-above runs GpuSim.
+    service::ExecutorOptions opts = small_options(1);
+    opts.backend_mode = service::BackendMode::kAuto;
+    opts.crossover_nnz = big->edges.num_edges();
+    service::QueryExecutor exec(store, opts);
+
+    req.graph = "small";
+    const auto on_small = exec.submit(req).get();
+    ASSERT_EQ(on_small.status, service::QueryStatus::kOk);
+    EXPECT_EQ(on_small.backend, "cpupar");
+
+    req.graph = "big";
+    const auto on_big = exec.submit(req).get();
+    ASSERT_EQ(on_big.status, service::QueryStatus::kOk);
+    EXPECT_EQ(on_big.backend, "gpusim");
+
+    const auto stats = exec.stats();
+    EXPECT_EQ(stats.ran_cpupar, 1u);
+    EXPECT_EQ(stats.ran_gpusim, 1u);
+  }
+  {
+    // One past the boundary: the big graph now sits strictly below the
+    // crossover and lands on CpuPar too.
+    service::ExecutorOptions opts = small_options(1);
+    opts.backend_mode = service::BackendMode::kAuto;
+    opts.crossover_nnz = big->edges.num_edges() + 1;
+    service::QueryExecutor exec(store, opts);
+    req.graph = "big";
+    const auto on_big = exec.submit(req).get();
+    ASSERT_EQ(on_big.status, service::QueryStatus::kOk);
+    EXPECT_EQ(on_big.backend, "cpupar");
+    EXPECT_EQ(exec.stats().ran_cpupar, 1u);
+    EXPECT_EQ(exec.stats().ran_gpusim, 0u);
+  }
+}
+
+TEST(QueryExecutor, ForceModesOverrideGraphSize) {
+  auto store = make_store();
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kPageRank;
+  req.graph = "rmat";
+  req.max_iterations = 20;
+  const auto want = service::QueryExecutor::execute_serial(*store, req);
+  EXPECT_EQ(want.backend, "sequential");
+
+  for (const auto mode : {service::BackendMode::kForceCpuPar,
+                          service::BackendMode::kForceGpuSim}) {
+    service::ExecutorOptions opts = small_options(1);
+    opts.backend_mode = mode;
+    service::QueryExecutor exec(store, opts);
+    const auto got = exec.submit(req).get();
+    ASSERT_EQ(got.status, service::QueryStatus::kOk);
+    EXPECT_EQ(got.backend, mode == service::BackendMode::kForceCpuPar
+                               ? "cpupar"
+                               : "gpusim");
+    // Placement, not math: both forced backends reproduce the serial
+    // oracle's bytes.
+    ASSERT_EQ(got.indices, want.indices);
+    ASSERT_EQ(got.dvals.size(), want.dvals.size());
+    EXPECT_EQ(std::memcmp(got.dvals.data(), want.dvals.data(),
+                          got.dvals.size() * sizeof(double)),
+              0);
+    const auto stats = exec.stats();
+    EXPECT_EQ(stats.ran_cpupar + stats.ran_gpusim, 1u);
+  }
+}
+
+TEST(QueryExecutor, QueriesThatNeverRanCarryNoBackend) {
+  auto store = make_store();
+  service::QueryExecutor exec(store, small_options(1));
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kBfs;
+  req.graph = "path";
+  req.timeout = 0ms;  // cancelled while queued -> no backend ever touched
+  const auto res = exec.submit(req).get();
+  ASSERT_EQ(res.status, service::QueryStatus::kCancelled);
+  EXPECT_TRUE(res.backend.empty());
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.ran_cpupar, 0u);
+  EXPECT_EQ(stats.ran_gpusim, 0u);
+}
+
+// --- HostGraphCache --------------------------------------------------------
+
+TEST(HostGraphCache, BuildOnceThenHitAndVersionBumpMisses) {
+  service::GraphStore store;
+  const auto v1 = store.add("g", gbtl_graph::path(64));
+  service::HostGraphCache cache;
+  const auto a = cache.get_or_build(v1);
+  const auto b = cache.get_or_build(v1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(a->nrows(), 64u);
+
+  const auto v2 = store.add("g", gbtl_graph::path(65));
+  const auto c = cache.get_or_build(v2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(c->nrows(), 65u);
+  EXPECT_EQ(cache.entries(), 1u);  // latest version only
+  // The handle built from the replaced snapshot stays fully usable.
+  grb::Vector<grb::IndexType, grb::CpuPar> levels(a->nrows());
+  algorithms::bfs_level(*a, 0, levels);
+  EXPECT_EQ(levels.nvals(), 64u);
 }
 
 TEST(QueryExecutor, TriangleCountMatchesSerial) {

@@ -2,11 +2,16 @@
 /// "placement, not math" contract: N workers x M mixed queries, submitted
 /// from several client threads at once, and every successful result must be
 /// BIT-EXACT against the same query run serially on the sequential backend.
-/// Run under ThreadSanitizer by scripts/ci.sh (the tsan stage); any data
-/// race between worker contexts, the store, or the stats block fires there.
+/// That holds whichever backend the executor places each query on: the
+/// mixed-backend tests below split one workload across CpuPar and GpuSim at
+/// a crossover threshold, and force-CpuPar runs nest its per-worker thread
+/// pools inside the executor's worker threads. Run under ThreadSanitizer by
+/// scripts/ci.sh (the tsan stage); any data race between worker contexts,
+/// CpuPar pools, the store, or the stats block fires there.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -141,6 +146,9 @@ TEST(ServiceStress, RepeatedRoundsReuseTheDeviceCache) {
   service::ExecutorOptions opts;
   opts.workers = 2;
   opts.queue_capacity = 64;
+  // Pin to the simulated GPU: this test exists to exercise the per-worker
+  // device cache, which kAuto would route these small graphs around.
+  opts.backend_mode = service::BackendMode::kForceGpuSim;
   service::QueryExecutor exec(store, opts);
 
   const auto workload = make_workload(10);
@@ -156,6 +164,90 @@ TEST(ServiceStress, RepeatedRoundsReuseTheDeviceCache) {
     for (std::size_t i = 0; i < futures.size(); ++i)
       expect_bit_exact(futures[i].get(), serial[i], i);
   }
+}
+
+/// One workload split across BOTH worker-side backends: the crossover sits
+/// between the store's smallest and largest graph, so some queries run on
+/// CpuPar and some on GpuSim inside the same executor — and every one must
+/// still be bit-exact against the serial oracle.
+TEST(ServiceStress, MixedBackendWorkloadBitExactVsSerial) {
+  auto store = make_store();
+  const std::size_t nnz_rmat = store->get("rmat")->edges.num_edges();
+  const std::size_t nnz_w = store->get("rmat-w")->edges.num_edges();
+  const std::size_t nnz_sym = store->get("rmat-sym")->edges.num_edges();
+  const std::size_t hi = std::max({nnz_rmat, nnz_w, nnz_sym});
+  ASSERT_LT(std::min({nnz_rmat, nnz_w, nnz_sym}), hi)
+      << "store graphs must straddle the crossover for a mixed run";
+
+  const std::size_t kQueries = 40;
+  const auto workload = make_workload(kQueries);
+  std::vector<service::QueryResult> serial;
+  serial.reserve(kQueries);
+  for (const auto& req : workload)
+    serial.push_back(service::QueryExecutor::execute_serial(*store, req));
+
+  service::ExecutorOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = kQueries;
+  opts.backend_mode = service::BackendMode::kAuto;
+  opts.crossover_nnz = hi;  // largest graph -> GpuSim, smaller -> CpuPar
+  opts.cpupar_threads = 2;
+  service::QueryExecutor exec(store, opts);
+
+  std::vector<std::future<service::QueryResult>> futures;
+  futures.reserve(kQueries);
+  for (const auto& req : workload) futures.push_back(exec.submit(req));
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto got = futures[i].get();
+    expect_bit_exact(got, serial[i], i);
+    EXPECT_TRUE(got.backend == "cpupar" || got.backend == "gpusim")
+        << "query " << i << " ran on '" << got.backend << "'";
+  }
+
+  const auto stats = exec.stats();
+  EXPECT_GT(stats.ran_cpupar, 0u);
+  EXPECT_GT(stats.ran_gpusim, 0u);
+  EXPECT_EQ(stats.ran_cpupar + stats.ran_gpusim, kQueries);
+}
+
+/// Every query forced onto CpuPar with 4 executor workers x 3 pool threads:
+/// twelve compute threads in flight, results still byte-identical to the
+/// serial oracle. This is the configuration the TSan stage leans on.
+TEST(ServiceStress, ForcedCpuParConcurrentWorkloadBitExactVsSerial) {
+  auto store = make_store();
+  const std::size_t kQueries = 40;
+  const auto workload = make_workload(kQueries);
+  std::vector<service::QueryResult> serial;
+  serial.reserve(kQueries);
+  for (const auto& req : workload)
+    serial.push_back(service::QueryExecutor::execute_serial(*store, req));
+
+  service::ExecutorOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = kQueries;
+  opts.backend_mode = service::BackendMode::kForceCpuPar;
+  opts.cpupar_threads = 3;
+  service::QueryExecutor exec(store, opts);
+
+  // Hammer admission from several client threads, as in the mixed test.
+  std::vector<std::future<service::QueryResult>> futures(kQueries);
+  const std::size_t kClients = 3;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (std::size_t i = c; i < kQueries; i += kClients)
+        futures[i] = exec.submit(workload[i]);
+    });
+  for (auto& t : clients) t.join();
+
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto got = futures[i].get();
+    expect_bit_exact(got, serial[i], i);
+    EXPECT_EQ(got.backend, "cpupar") << "query " << i;
+  }
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.ran_cpupar, kQueries);
+  EXPECT_EQ(stats.ran_gpusim, 0u);
 }
 
 TEST(ServiceStress, MixedDeadlinesPartitionCleanly) {
