@@ -14,6 +14,7 @@
 /// on skewed ones by dodging warp-granular padding.
 
 #include "bench_common.hpp"
+#include "sparse/fusion_plan.hpp"
 #include "sparse/spmv_select.hpp"
 
 namespace {
@@ -102,11 +103,79 @@ void BM_mxv_gpu(benchmark::State& state) {
   benchx::report_teps(state, a.nvals());
 }
 
+// --- Fused-chain rows -------------------------------------------------------
+// The third table measures the iterative-refinement step every solver inner
+// loop looks like — w = (A·u)·0.5 + u as mxv → apply → eWiseAdd — with the
+// lazy op-DAG pinned off (each op pays its own launch) vs Auto (the chain
+// replays as one composite launch). At small scales launch overhead is most
+// of the chain, so fusion moves the CPU/GPU crossover left by roughly the
+// two elided overheads per step.
+
+void run_mxv_chain_gpu(benchmark::State& state, sparse::FusionMode fmode) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 16);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  grb::Vector<double, grb::GpuSim> u(std::vector<double>(a.ncols(), 1.0),
+                                     0.0);
+  grb::Vector<double, grb::GpuSim> w(a.nrows());
+  sparse::FusionGuard guard(fmode);
+  const auto delta = benchx::run_simulated(state, [&] {
+    grb::mxv(w, grb::NoMask{}, grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, a, u, grb::Replace);
+    grb::apply(w, grb::NoMask{}, grb::NoAccumulate{},
+               [](double x) { return x * 0.5; }, w);
+    grb::eWiseAdd(w, grb::NoMask{}, grb::NoAccumulate{}, grb::Plus<double>{},
+                  w, u, grb::Replace);
+    grb::wait();
+  });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+  state.counters["elided"] =
+      benchmark::Counter(static_cast<double>(delta.launches_elided));
+}
+
+void BM_mxv_chain_gpu_eager(benchmark::State& state) {
+  run_mxv_chain_gpu(state, sparse::FusionMode::Off);
+}
+
+void BM_mxv_chain_gpu_fused(benchmark::State& state) {
+  run_mxv_chain_gpu(state, sparse::FusionMode::Auto);
+}
+
+void BM_mxv_chain_sequential(benchmark::State& state) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 16);
+  auto a = gbtl_graph::to_matrix<double, grb::Sequential>(g);
+  grb::Vector<double, grb::Sequential> u(
+      std::vector<double>(a.ncols(), 1.0), 0.0);
+  grb::Vector<double, grb::Sequential> w(a.nrows());
+  for (auto _ : state) {
+    grb::mxv(w, grb::NoMask{}, grb::NoAccumulate{},
+             grb::ArithmeticSemiring<double>{}, a, u, grb::Replace);
+    grb::apply(w, grb::NoMask{}, grb::NoAccumulate{},
+               [](double x) { return x * 0.5; }, w);
+    grb::eWiseAdd(w, grb::NoMask{}, grb::NoAccumulate{}, grb::Plus<double>{},
+                  w, u, grb::Replace);
+    benchmark::DoNotOptimize(w);
+  }
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+}
+
 }  // namespace
 
 BENCHMARK(BM_mxv_sequential)->DenseRange(8, 16, 2)->Iterations(3);
 BENCHMARK(BM_mxv_gpu)->DenseRange(8, 16, 2)->Iterations(3)->UseManualTime();
 BENCHMARK(BM_mxv_gpu_baseline)->Apply(add_family_args);
 BENCHMARK(BM_mxv_gpu_adaptive)->Apply(add_family_args);
+BENCHMARK(BM_mxv_chain_sequential)->DenseRange(8, 16, 2)->Iterations(3);
+BENCHMARK(BM_mxv_chain_gpu_eager)
+    ->DenseRange(8, 16, 2)
+    ->Iterations(3)
+    ->UseManualTime();
+BENCHMARK(BM_mxv_chain_gpu_fused)
+    ->DenseRange(8, 16, 2)
+    ->Iterations(3)
+    ->UseManualTime();
 
 BENCHMARK_MAIN();

@@ -54,6 +54,17 @@ cmake -B "${SAN_BUILD_DIR}" -S . \
 cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" --target test_differential_fuzz
 ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" -L fuzz
 
+echo "==> sanitizers: fusion-forced fuzz sweep"
+# The fuzz harness zips fusion modes across its GPU legs, but the Auto
+# default size-gates small cases the same as Fuse. Force GBTL_FUSION_MODE
+# =fuse for the whole binary so every whitelisted op records into the
+# lazy op-DAG and replays through the fusion planner under ASan/UBSan —
+# the replay closures, staged index uploads, and drain-at-destructor
+# paths are exactly where a stale pointer would hide. (Env must reach the
+# process directly; ctest shards would not inherit a per-test override.)
+GBTL_FUSION_MODE=fuse "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
+  --gtest_brief=1
+
 echo "==> sanitizers: hash-forced SpGEMM sweep"
 # The Auto selector keeps fuzz-sized multiplies on the ESC pipeline, so pin
 # the hash-Gustavson path explicitly and replay the mxm sweep under
@@ -78,6 +89,11 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target test_cpupar_determinism --target test_differential_fuzz
 "${TSAN_BUILD_DIR}/tests/test_thread_pool" --gtest_brief=1
 "${TSAN_BUILD_DIR}/tests/test_service_stress" --gtest_brief=1
+# Re-run the executor stress with fusion forced on: each worker records
+# into its own thread-local op-DAG and drains at the job boundary, so a
+# race here would mean DAG state leaked across worker threads.
+GBTL_FUSION_MODE=fuse "${TSAN_BUILD_DIR}/tests/test_service_stress" \
+  --gtest_brief=1
 
 echo "==> sanitizers: TSan CpuPar stage"
 # The CpuPar backend's whole safety story is "chunks own disjoint output

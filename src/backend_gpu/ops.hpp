@@ -29,6 +29,7 @@
 #include "gbtl/types.hpp"
 #include "gbtl/write_rules.hpp"
 #include "gpu_sim/algorithms.hpp"
+#include "sparse/fusion_plan.hpp"
 #include "sparse/output_pipeline.hpp"
 #include "sparse/spgemm_select.hpp"
 #include "sparse/spmv_select.hpp"
@@ -116,6 +117,28 @@ decltype(auto) with_seq_output(const OutputDescriptor<MObj>& out, Fn&& fn) {
         {&host_mask, out.mask.complement, out.mask.structural}, out.replace};
     return fn(desc);
   }
+}
+
+// --------------------------------------------------------------------------
+// Lazy op-DAG recording (sparse/fusion_plan.hpp)
+// --------------------------------------------------------------------------
+//
+// Whitelisted vector ops record themselves into the calling thread's OpDag
+// and return; the replay closure re-invokes the same op, which falls through
+// to its eager body because the dag is draining (record_op returns false).
+// Bounds validation stays ahead of the record so errors surface eagerly at
+// the call site, exactly as before. Every op NOT whitelisted drains the dag
+// at entry — matrix-writing ops could otherwise invalidate operands of
+// pending recorded reads.
+
+/// Container address of a vector/matrix mask for the planner's dependency
+/// scan (nullptr when unmasked).
+template <typename MObj>
+const void* mask_addr(const OutputDescriptor<MObj>& out) {
+  if constexpr (std::is_same_v<MObj, EmptyMaskObj>)
+    return nullptr;
+  else
+    return static_cast<const void*>(out.mask.mask);
 }
 
 }  // namespace detail
@@ -484,6 +507,7 @@ template <typename CT, typename MObj, typename Accum, typename SR,
           typename AT, typename BT>
 void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
          const Matrix<AT>& A, const Matrix<BT>& B) {
+  sparse::fusion_sync_all();  // not whitelisted: writes a matrix eagerly
   using detail::LaunchStats;
   using ZT = typename SR::result_type;
   gpu_sim::Context& ctx = C.context();
@@ -608,6 +632,13 @@ template <typename WT, typename MObj, typename Accum, typename SR,
           typename AT, typename UT>
 void mxv(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
          const Matrix<AT>& A, const Vector<UT>& u) {
+  if (sparse::record_op(sparse::FusedOpKind::kMxv, &w,
+                        {&A, &u, detail::mask_addr(out)}, A.nvals(),
+                        w.context(),
+                        [&w, out, accum, sr, &A, &u] {
+                          mxv(w, out, accum, sr, A, u);
+                        }))
+    return;
   using detail::LaunchStats;
   using ZT = typename SR::result_type;
   gpu_sim::Context& ctx = w.context();
@@ -850,6 +881,13 @@ template <typename WT, typename MObj, typename Accum, typename SR,
           typename UT, typename AT>
 void vxm(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
          const Vector<UT>& u, const Matrix<AT>& A) {
+  if (sparse::record_op(sparse::FusedOpKind::kVxm, &w,
+                        {&u, &A, detail::mask_addr(out)}, A.nvals(),
+                        w.context(),
+                        [&w, out, accum, sr, &u, &A] {
+                          vxm(w, out, accum, sr, u, A);
+                        }))
+    return;
   using detail::LaunchStats;
   using ZT = typename SR::result_type;
   gpu_sim::Context& ctx = w.context();
@@ -1059,6 +1097,13 @@ template <typename WT, typename MObj, typename Accum, typename Op,
 void ewise_add_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
                    Accum accum, Op op, const Vector<UT>& u,
                    const Vector<VT>& v) {
+  if (sparse::record_op(sparse::FusedOpKind::kEWiseAdd, &w,
+                        {&u, &v, detail::mask_addr(out)}, w.size(),
+                        w.context(),
+                        [&w, out, accum, op, &u, &v] {
+                          ewise_add_vec(w, out, accum, op, u, v);
+                        }))
+    return;
   using detail::LaunchStats;
   using ZT = std::common_type_t<UT, VT>;
   gpu_sim::Context& ctx = w.context();
@@ -1099,6 +1144,13 @@ template <typename WT, typename MObj, typename Accum, typename Op,
 void ewise_mult_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
                     Accum accum, Op op, const Vector<UT>& u,
                     const Vector<VT>& v) {
+  if (sparse::record_op(sparse::FusedOpKind::kEWiseMult, &w,
+                        {&u, &v, detail::mask_addr(out)}, w.size(),
+                        w.context(),
+                        [&w, out, accum, op, &u, &v] {
+                          ewise_mult_vec(w, out, accum, op, u, v);
+                        }))
+    return;
   using detail::LaunchStats;
   using ZT = std::common_type_t<UT, VT>;
   gpu_sim::Context& ctx = w.context();
@@ -1243,6 +1295,7 @@ template <typename CT, typename MObj, typename Accum, typename Op,
 void ewise_add_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                    Accum accum, Op op, const Matrix<AT>& A,
                    const Matrix<BT>& B) {
+  sparse::fusion_sync_all();  // not whitelisted: writes a matrix eagerly
   using ZT = std::common_type_t<AT, BT>;
   gpu_sim::device_vector<IndexType> keys(C.context());
   gpu_sim::device_vector<ZT> vals(C.context());
@@ -1255,6 +1308,7 @@ template <typename CT, typename MObj, typename Accum, typename Op,
 void ewise_mult_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                     Accum accum, Op op, const Matrix<AT>& A,
                     const Matrix<BT>& B) {
+  sparse::fusion_sync_all();  // not whitelisted: writes a matrix eagerly
   using ZT = std::common_type_t<AT, BT>;
   gpu_sim::device_vector<IndexType> keys(C.context());
   gpu_sim::device_vector<ZT> vals(C.context());
@@ -1271,6 +1325,36 @@ template <typename WT, typename MObj, typename Accum, typename UnaryOp,
 void apply_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
                UnaryOp f, const Vector<UT>& u) {
   using detail::LaunchStats;
+  // In-place eligibility (w ≡ u, no mask, no accum): T̃'s presence equals
+  // w's own, so a non-head group member can run as one kernel rewriting
+  // w's storage directly — no temp allocation, no write_vector epilogue.
+  // Bit-identical: per-element read-then-write with no cross-element deps.
+  std::function<void()> run_fused;
+  if constexpr (std::is_same_v<WT, UT> &&
+                std::is_same_v<MObj, EmptyMaskObj> &&
+                std::is_same_v<Accum, NoAccumulate>) {
+    if (static_cast<const void*>(&w) == static_cast<const void*>(&u)) {
+      run_fused = [&w, f] {
+        gpu_sim::Context& c = w.context();
+        const IndexType n = w.size();
+        WT* wv = w.values().data();
+        const std::uint8_t* wp = w.present().data();
+        const UnaryOp fn = f;
+        c.launch_n(n,
+                   LaunchStats{n, n * (sizeof(WT) + 1), n * sizeof(WT)},
+                   [=](std::size_t i) {
+                     if (wp[i]) wv[i] = static_cast<WT>(fn(wv[i]));
+                   });
+      };
+    }
+  }
+  if (sparse::record_op(sparse::FusedOpKind::kApply, &w,
+                        {&u, detail::mask_addr(out)}, u.size(), w.context(),
+                        [&w, out, accum, f, &u] {
+                          apply_vec(w, out, accum, f, u);
+                        },
+                        std::move(run_fused)))
+    return;
   gpu_sim::Context& ctx = w.context();
   const IndexType n = u.size();
   gpu_sim::device_vector<WT> t_vals(n, ctx);
@@ -1297,6 +1381,7 @@ template <typename CT, typename MObj, typename Accum, typename UnaryOp,
           typename AT>
 void apply_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
                UnaryOp f, const Matrix<AT>& A) {
+  sparse::fusion_sync_all();  // not whitelisted: writes a matrix eagerly
   gpu_sim::Context& ctx = C.context();
   auto keys = pipeline::coo_keys(A);
   gpu_sim::device_vector<CT> vals(ctx);
@@ -1312,6 +1397,12 @@ template <typename WT, typename MObj, typename Accum, typename IdxOp,
 void apply_indexed_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
                        Accum accum, IdxOp f, const Vector<UT>& u) {
   using detail::LaunchStats;
+  if (sparse::record_op(sparse::FusedOpKind::kApplyIndexed, &w,
+                        {&u, detail::mask_addr(out)}, u.size(), w.context(),
+                        [&w, out, accum, f, &u] {
+                          apply_indexed_vec(w, out, accum, f, u);
+                        }))
+    return;
   gpu_sim::Context& ctx = w.context();
   const IndexType n = u.size();
   gpu_sim::device_vector<WT> t_vals(n, ctx);
@@ -1341,6 +1432,7 @@ template <typename CT, typename MObj, typename Accum, typename IdxOp,
           typename AT>
 void apply_indexed_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                        Accum accum, IdxOp f, const Matrix<AT>& A) {
+  sparse::fusion_sync_all();  // not whitelisted: writes a matrix eagerly
   using detail::LaunchStats;
   gpu_sim::Context& ctx = C.context();
   auto keys = pipeline::coo_keys(A);
@@ -1370,6 +1462,12 @@ template <typename WT, typename MObj, typename Accum, typename Monoid,
           typename AT>
 void reduce_mat_to_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
                        Accum accum, Monoid monoid, const Matrix<AT>& A) {
+  if (sparse::record_op(sparse::FusedOpKind::kReduceMatToVec, &w,
+                        {&A, detail::mask_addr(out)}, A.nvals(), w.context(),
+                        [&w, out, accum, monoid, &A] {
+                          reduce_mat_to_vec(w, out, accum, monoid, A);
+                        }))
+    return;
   using detail::LaunchStats;
   using ZT = typename Monoid::result_type;
   gpu_sim::Context& ctx = w.context();
@@ -1402,6 +1500,18 @@ void reduce_mat_to_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
 template <typename ST, typename Accum, typename Monoid, typename UT>
 void reduce_vec_to_scalar(ST& s, Accum accum, Monoid monoid,
                           const Vector<UT>& u) {
+  // Record-then-drain: the reduction joins the dag (so an eWiseMult→reduce
+  // chain fuses into one composite launch) but the host scalar must be
+  // valid at return, so the drain follows immediately. Capturing &s is safe
+  // for exactly that reason.
+  if (sparse::record_op(sparse::FusedOpKind::kReduceToScalar, nullptr, {&u},
+                        u.size(), u.context(),
+                        [&s, accum, monoid, &u] {
+                          reduce_vec_to_scalar(s, accum, monoid, u);
+                        })) {
+    sparse::fusion_sync_all();
+    return;
+  }
   using detail::LaunchStats;
   using ZT = typename Monoid::result_type;
   gpu_sim::Context& ctx = u.context();
@@ -1426,6 +1536,7 @@ void reduce_vec_to_scalar(ST& s, Accum accum, Monoid monoid,
 template <typename ST, typename Accum, typename Monoid, typename AT>
 void reduce_mat_to_scalar(ST& s, Accum accum, Monoid monoid,
                           const Matrix<AT>& A) {
+  sparse::fusion_sync_all();  // not whitelisted: host scalar read
   using ZT = typename Monoid::result_type;
   const Monoid m = monoid;
   const ZT acc = gpu_sim::reduce(A.values(), monoid.identity(),
@@ -1445,6 +1556,7 @@ void reduce_mat_to_scalar(ST& s, Accum accum, Monoid monoid,
 template <typename CT, typename MObj, typename Accum, typename AT>
 void transpose_op(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                   Accum accum, const Matrix<AT>& A) {
+  sparse::fusion_sync_all();  // not whitelisted: writes a matrix eagerly
   using detail::LaunchStats;
   gpu_sim::Context& ctx = C.context();
   const IndexType nnz = A.nvals();
@@ -1493,8 +1605,24 @@ void extract_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out,
   for (IndexType src : indices)
     if (src >= u.size())
       throw IndexOutOfBoundsException("extract: source index");
+  if (!sparse::op_dag().draining &&
+      sparse::fusion_mode() != sparse::FusionMode::Off) {
+    auto idx = std::make_shared<IndexArrayType>(indices);
+    auto staged = sparse::make_index_prefetch(idx, ctx);
+    if (sparse::record_op(sparse::FusedOpKind::kExtract, &w,
+                          {&u, detail::mask_addr(out)}, w.size(), ctx,
+                          [&w, out, accum, &u, idx] {
+                            extract_vec(w, out, accum, u, *idx);
+                          },
+                          nullptr, std::move(staged.first),
+                          std::move(staged.second)))
+      return;
+  }
   const IndexType n = w.size();
-  gpu_sim::device_vector<IndexType> d_idx(indices, ctx);  // accounted H2D
+  // Index upload: planner-staged on the transfer stream when this replay is
+  // part of a drain (overlapped H2D), synchronous otherwise.
+  gpu_sim::device_vector<IndexType> d_idx =
+      sparse::staged_or_upload(indices, ctx);
   gpu_sim::device_vector<WT> t_vals(n, ctx);
   gpu_sim::device_vector<std::uint8_t> t_pres(n, ctx);
   gpu_sim::fill(t_pres, std::uint8_t{0});
@@ -1525,11 +1653,25 @@ void assign_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
   for (IndexType dst : indices)
     if (dst >= w.size())
       throw IndexOutOfBoundsException("assign: destination index");
+  if (!sparse::op_dag().draining &&
+      sparse::fusion_mode() != sparse::FusionMode::Off) {
+    auto idx = std::make_shared<IndexArrayType>(indices);
+    auto staged = sparse::make_index_prefetch(idx, ctx);
+    if (sparse::record_op(sparse::FusedOpKind::kAssign, &w,
+                          {&u, detail::mask_addr(out)}, w.size(), ctx,
+                          [&w, out, accum, &u, idx] {
+                            assign_vec(w, out, accum, u, *idx);
+                          },
+                          nullptr, std::move(staged.first),
+                          std::move(staged.second)))
+      return;
+  }
   constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
   // Z starts as w (device copies), subrange overwritten by scatter.
   gpu_sim::device_vector<WT> t_vals = w.values();
   gpu_sim::device_vector<std::uint8_t> t_pres = w.present();
-  gpu_sim::device_vector<IndexType> d_idx(indices, ctx);
+  gpu_sim::device_vector<IndexType> d_idx =
+      sparse::staged_or_upload(indices, ctx);
   const IndexType* ix = d_idx.data();
   const UT* uvv = u.values().data();
   const std::uint8_t* uvp = u.present().data();
@@ -1576,10 +1718,24 @@ void assign_vec_constant(Vector<WT>& w, const OutputDescriptor<MObj>& out,
   for (IndexType dst : indices)
     if (dst >= w.size())
       throw IndexOutOfBoundsException("assign: destination index");
+  if (!sparse::op_dag().draining &&
+      sparse::fusion_mode() != sparse::FusionMode::Off) {
+    auto idx = std::make_shared<IndexArrayType>(indices);
+    auto staged = sparse::make_index_prefetch(idx, ctx);
+    if (sparse::record_op(sparse::FusedOpKind::kAssignConstant, &w,
+                          {detail::mask_addr(out)}, w.size(), ctx,
+                          [&w, out, accum, value, idx] {
+                            assign_vec_constant(w, out, accum, value, *idx);
+                          },
+                          nullptr, std::move(staged.first),
+                          std::move(staged.second)))
+      return;
+  }
   constexpr bool kAccum = !std::is_same_v<Accum, NoAccumulate>;
   gpu_sim::device_vector<WT> t_vals = w.values();
   gpu_sim::device_vector<std::uint8_t> t_pres = w.present();
-  gpu_sim::device_vector<IndexType> d_idx(indices, ctx);
+  gpu_sim::device_vector<IndexType> d_idx =
+      sparse::staged_or_upload(indices, ctx);
   const IndexType* ix = d_idx.data();
   WT* tv = t_vals.data();
   std::uint8_t* tp = t_pres.data();
@@ -1608,6 +1764,12 @@ template <typename WT, typename MObj, typename Accum, typename Pred,
 void select_vec(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum,
                 Pred pred, const Vector<UT>& u) {
   using detail::LaunchStats;
+  if (sparse::record_op(sparse::FusedOpKind::kSelect, &w,
+                        {&u, detail::mask_addr(out)}, u.size(), w.context(),
+                        [&w, out, accum, pred, &u] {
+                          select_vec(w, out, accum, pred, u);
+                        }))
+    return;
   gpu_sim::Context& ctx = w.context();
   const IndexType n = u.size();
   gpu_sim::device_vector<UT> t_vals(n, ctx);
@@ -1639,6 +1801,7 @@ void extract_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                  Accum accum, const Matrix<AT>& A,
                  const IndexArrayType& row_indices,
                  const IndexArrayType& col_indices) {
+  sparse::fusion_sync_all();  // not whitelisted: host fallback
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
   detail::with_seq_output(out, [&](const auto& seq_out) {
@@ -1655,6 +1818,7 @@ template <typename WT, typename MObj, typename Accum, typename AT>
 void extract_col(Vector<WT>& w, const OutputDescriptor<MObj>& out,
                  Accum accum, const Matrix<AT>& A,
                  const IndexArrayType& row_indices, IndexType col) {
+  sparse::fusion_sync_all();  // not whitelisted: writes w eagerly
   using detail::LaunchStats;
   gpu_sim::Context& ctx = w.context();
   if (col >= A.ncols())
@@ -1700,6 +1864,7 @@ template <typename CT, typename MObj, typename Accum, typename AT>
 void assign_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
                 const Matrix<AT>& A, const IndexArrayType& row_indices,
                 const IndexArrayType& col_indices) {
+  sparse::fusion_sync_all();  // not whitelisted: host fallback
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
   detail::with_seq_output(out, [&](const auto& seq_out) {
@@ -1725,6 +1890,7 @@ void assign_mat_constant(Matrix<CT>& C, const OutputDescriptor<MObj>& out,
                          Accum accum, const CT& value,
                          const IndexArrayType& row_indices,
                          const IndexArrayType& col_indices) {
+  sparse::fusion_sync_all();  // not whitelisted: writes a matrix eagerly
   // Device fast path for the dominant idiom (e.g. level stamping in
   // batched BFS): full-grid constant assign under a non-complemented mask.
   // The allowed positions are exactly the mask's (truthy) entries, so T̃'s
@@ -1764,6 +1930,7 @@ template <typename CT, typename MObj, typename Accum, typename Op,
           typename AT, typename BT>
 void kronecker(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
                Op op, const Matrix<AT>& A, const Matrix<BT>& B) {
+  sparse::fusion_sync_all();  // not whitelisted: host fallback
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
   const auto host_b = detail::download(B);
@@ -1777,6 +1944,7 @@ template <typename CT, typename MObj, typename Accum, typename Pred,
           typename AT>
 void select_mat(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum,
                 Pred pred, const Matrix<AT>& A) {
+  sparse::fusion_sync_all();  // not whitelisted: host fallback
   auto host_c = detail::download(C);
   const auto host_a = detail::download(A);
   detail::with_seq_output(out, [&](const auto& seq_out) {

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "gbtl/types.hpp"
+#include "sparse/fusion_plan.hpp"
 
 namespace grb {
 
@@ -99,6 +100,11 @@ class ExecutionPolicy {
   /// @p where (the algorithm) and which condition fired. Algorithms call
   /// this once per iteration, before the iteration's work.
   void checkpoint(const char* where) const {
+    // Fusion barrier: drain the lazy op-DAG so cancellation observes the
+    // iteration-boundary invariant above — on GpuSim a recorded-but-not-
+    // launched op must not outlive a CancelledException. Also bounds fusion
+    // groups to within one iteration. No-op when nothing is pending.
+    sparse::fusion_sync_all();
     if (cancelled())
       throw CancelledException(std::string(where) + ": cancel token set");
     if (expired())

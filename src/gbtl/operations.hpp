@@ -23,6 +23,7 @@
 #include "gbtl/vector.hpp"
 #include "gbtl/views.hpp"
 #include "gbtl/write_rules.hpp"
+#include "sparse/fusion_plan.hpp"
 
 namespace grb {
 
@@ -469,6 +470,14 @@ void select(Vector<WT, Tag>& w, const MaskT& mask, const Accum& accum,
 // ===========================================================================
 // Convenience
 // ===========================================================================
+
+/// GrB_wait (mode ALL, process-wide): force every recorded-but-unlaunched
+/// operation in the lazy op-DAG to materialize. On GpuSim, whitelisted
+/// vector ops are deferred into a per-thread DAG and fused/overlapped at
+/// materialization points (host reads, container mutation/destruction,
+/// backend boundaries); wait() is the explicit such point. A no-op when
+/// nothing is pending, so it is always safe to call.
+inline void wait() { sparse::fusion_sync_all(); }
 
 /// [0, 1, ..., n-1] — the "all indices" argument for extract/assign.
 inline IndexArrayType all_indices(IndexType n) {

@@ -1,25 +1,47 @@
 #include "gpu_sim/context.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
 namespace gpu_sim {
 
+namespace {
+/// Materialization hook installed by the lazy-fusion layer; atomic because
+/// install races with concurrent clock reads from other threads.
+std::atomic<Context::DrainHook> g_drain_hook{nullptr};
+}  // namespace
+
+void Context::set_drain_hook(DrainHook hook) {
+  g_drain_hook.store(hook, std::memory_order_release);
+}
+
+void Context::run_drain_hook() {
+  if (DrainHook hook = g_drain_hook.load(std::memory_order_acquire))
+    hook();
+}
+
 Context::Context(DeviceProperties props, std::size_t worker_count)
     : props_(props), pool_(worker_count) {}
 
 Context::~Context() {
+  // Recorded-but-pending ops may still reference this device's memory;
+  // drain them while the arena is alive.
+  run_drain_hook();
   // Cached pool blocks have no client owner left to release them.
   std::lock_guard<std::mutex> lock(mutex_);
   trim_locked();
 }
 
 DeviceStats Context::stats() const {
+  run_drain_hook();  // observing counters is a materialization point
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
 }
 
 void Context::reset_stats() {
+  run_drain_hook();
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t in_use = stats_.bytes_in_use;
   const std::size_t held = stats_.pool_bytes_held;
@@ -27,11 +49,66 @@ void Context::reset_stats() {
   stats_.bytes_in_use = in_use;  // live allocations survive a stats reset
   stats_.peak_bytes_in_use = in_use;
   stats_.pool_bytes_held = held;  // cached blocks do too
+  std::fill(timeline_end_.begin(), timeline_end_.end(), 0.0);
 }
 
 double Context::simulated_time_s() const {
+  run_drain_hook();  // observing the clock is a materialization point
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_.simulated_kernel_time_s + stats_.simulated_transfer_time_s;
+}
+
+double Context::makespan_locked() const {
+  return *std::max_element(timeline_end_.begin(), timeline_end_.end());
+}
+
+void Context::update_overlap_locked() {
+  stats_.overlap_seconds_hidden =
+      (stats_.simulated_kernel_time_s + stats_.simulated_transfer_time_s) -
+      makespan_locked();
+}
+
+std::size_t Context::create_stream() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Start at the makespan: a fresh stream cannot retroactively overlap
+  // work that was accounted before it existed.
+  timeline_end_.push_back(makespan_locked());
+  return timeline_end_.size() - 1;
+}
+
+double Context::stream_clock_s(std::size_t sid) const {
+  run_drain_hook();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sid >= timeline_end_.size())
+    throw InvalidLaunchConfig("unknown stream id " + std::to_string(sid));
+  return timeline_end_[sid];
+}
+
+double Context::makespan_s() const {
+  run_drain_hook();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return makespan_locked();
+}
+
+void Context::stream_wait(std::size_t sid, double t_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sid >= timeline_end_.size())
+    throw InvalidLaunchConfig("unknown stream id " + std::to_string(sid));
+  timeline_end_[sid] = std::max(timeline_end_[sid], t_s);
+}
+
+void Context::align_streams() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(timeline_end_.begin(), timeline_end_.end(), makespan_locked());
+}
+
+std::size_t Context::transfer_stream() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (transfer_stream_id_ == 0) {
+    timeline_end_.push_back(makespan_locked());
+    transfer_stream_id_ = timeline_end_.size() - 1;
+  }
+  return transfer_stream_id_;
 }
 
 void* Context::malloc_locked(std::size_t bytes) {
@@ -166,7 +243,14 @@ void Context::copy_h2d(void* dst_device, const void* src_host,
   std::memcpy(dst_device, src_host, bytes);
   ++stats_.h2d_transfers;
   stats_.h2d_bytes += bytes;
-  stats_.simulated_transfer_time_s += modeled_transfer_time(props_, bytes);
+  const double d = modeled_transfer_time(props_, bytes);
+  stats_.simulated_transfer_time_s += d;
+  // Synchronous cudaMemcpy: device-wide barrier — every stream timeline
+  // jumps to the transfer's end, so single-stream programs keep
+  // makespan == serial sum exactly.
+  std::fill(timeline_end_.begin(), timeline_end_.end(),
+            makespan_locked() + d);
+  update_overlap_locked();
 }
 
 void Context::copy_d2h(void* dst_host, const void* src_device,
@@ -176,7 +260,11 @@ void Context::copy_d2h(void* dst_host, const void* src_device,
   std::memcpy(dst_host, src_device, bytes);
   ++stats_.d2h_transfers;
   stats_.d2h_bytes += bytes;
-  stats_.simulated_transfer_time_s += modeled_transfer_time(props_, bytes);
+  const double d = modeled_transfer_time(props_, bytes);
+  stats_.simulated_transfer_time_s += d;
+  std::fill(timeline_end_.begin(), timeline_end_.end(),
+            makespan_locked() + d);
+  update_overlap_locked();
 }
 
 void Context::copy_d2d(void* dst_device, const void* src_device,
@@ -187,7 +275,43 @@ void Context::copy_d2d(void* dst_device, const void* src_device,
   std::memmove(dst_device, src_device, bytes);
   ++stats_.d2d_copies;
   stats_.d2d_bytes += bytes;
-  stats_.simulated_transfer_time_s += modeled_d2d_time(props_, bytes);
+  const double d = modeled_d2d_time(props_, bytes);
+  stats_.simulated_transfer_time_s += d;
+  std::fill(timeline_end_.begin(), timeline_end_.end(),
+            makespan_locked() + d);
+  update_overlap_locked();
+}
+
+void Context::copy_h2d_async(void* dst_device, const void* src_host,
+                             std::size_t bytes, std::size_t stream_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_id >= timeline_end_.size())
+    throw InvalidLaunchConfig("unknown stream id " +
+                              std::to_string(stream_id));
+  check_device_range(dst_device, bytes, "copy_h2d_async dst");
+  std::memcpy(dst_device, src_host, bytes);  // functionally immediate
+  ++stats_.h2d_transfers;
+  stats_.h2d_bytes += bytes;
+  const double d = modeled_transfer_time(props_, bytes);
+  stats_.simulated_transfer_time_s += d;
+  timeline_end_[stream_id] += d;  // advances only this stream
+  update_overlap_locked();
+}
+
+void Context::copy_d2h_async(void* dst_host, const void* src_device,
+                             std::size_t bytes, std::size_t stream_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stream_id >= timeline_end_.size())
+    throw InvalidLaunchConfig("unknown stream id " +
+                              std::to_string(stream_id));
+  check_device_range(src_device, bytes, "copy_d2h_async src");
+  std::memcpy(dst_host, src_device, bytes);  // functionally immediate
+  ++stats_.d2h_transfers;
+  stats_.d2h_bytes += bytes;
+  const double d = modeled_transfer_time(props_, bytes);
+  stats_.simulated_transfer_time_s += d;
+  timeline_end_[stream_id] += d;
+  update_overlap_locked();
 }
 
 void Context::validate_launch(const Dim3& grid, const Dim3& block) const {
@@ -245,14 +369,42 @@ void Context::note_spgemm_masked_products_avoided(std::uint64_t products) {
   stats_.spgemm_masked_products_avoided += products;
 }
 
+void Context::note_fused_group() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.fused_launches;
+}
+
 void Context::account_launch(const LaunchStats& stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.kernel_launches;
   stats_.kernel_ops += stats.ops;
   stats_.kernel_bytes_read += stats.bytes_read;
   stats_.kernel_bytes_written += stats.bytes_written;
-  stats_.simulated_kernel_time_s += modeled_kernel_time(props_, stats);
+  double t = modeled_kernel_time(props_, stats);
+  // Inside a composite (fused) launch only the head pays the fixed launch
+  // overhead; every further launch is charged its work time alone.
+  if (FusedLaunchScope* scope = FusedLaunchScope::current()) {
+    if (scope->head_charged_) {
+      t -= props_.kernel_launch_overhead_s;
+      if (t < 0.0) t = 0.0;
+      ++stats_.launches_elided;
+    } else {
+      scope->head_charged_ = true;
+    }
+  }
+  stats_.simulated_kernel_time_s += t;
+  timeline_end_[0] += t;  // kernels run on the compute stream
+  update_overlap_locked();
 }
+
+FusedLaunchScope*& FusedLaunchScope::current() {
+  thread_local FusedLaunchScope* tl_scope = nullptr;
+  return tl_scope;
+}
+
+FusedLaunchScope::FusedLaunchScope() : prev_(current()) { current() = this; }
+
+FusedLaunchScope::~FusedLaunchScope() { current() = prev_; }
 
 namespace {
 /// Per-thread device binding; null means "the process-wide default".

@@ -69,8 +69,38 @@ class Context {
   void reset_stats();
 
   /// Current simulated device clock (seconds since context creation /
-  /// last reset).
+  /// last reset). Serial sum of all modeled durations — see makespan_s()
+  /// for the multi-stream view.
   double simulated_time_s() const;
+
+  // --- Streams (cudaStreamCreate analogue) --------------------------------
+  // Each stream carries its own timeline: the absolute simulated second at
+  // which its last enqueued operation finishes. Stream 0 (the default
+  // compute stream) always exists. Kernels advance stream 0; the legacy
+  // synchronous copy_* calls are device-wide barriers (cudaMemcpy
+  // semantics) so single-stream programs keep makespan == serial sum
+  // exactly; the *_async copies advance only their stream, which is where
+  // overlap_seconds_hidden comes from.
+
+  /// Create a stream; its timeline starts at the current makespan (a new
+  /// stream cannot retroactively overlap work already accounted).
+  std::size_t create_stream();
+  /// Absolute end-of-timeline of stream @p sid.
+  double stream_clock_s(std::size_t sid) const;
+  /// Device-wide completion time: max over all stream timelines.
+  double makespan_s() const;
+  /// Make stream @p sid wait until absolute simulated time @p t_s — the
+  /// cudaStreamWaitEvent edge (Event::time_s() supplies t_s).
+  void stream_wait(std::size_t sid, double t_s);
+  /// Barrier without cost: every timeline jumps to the makespan
+  /// (cudaDeviceSynchronize for the cost model). Called at fusion-drain
+  /// entry so a stale transfer-stream timeline can't fabricate overlap.
+  void align_streams();
+  /// The device's dedicated copy-engine stream, created lazily on first use
+  /// (one persistent stream rather than one per drain, so long-running
+  /// processes don't grow the timeline table without bound). The fusion
+  /// planner stages index uploads here to overlap PCIe with kernel time.
+  std::size_t transfer_stream();
 
   // --- Memory management (cudaMalloc / cudaFree analogue) ---------------
   void* malloc_bytes(std::size_t bytes);
@@ -101,9 +131,17 @@ class Context {
   static std::size_t pool_class_bytes(std::size_t bytes);
 
   // --- Transfers (cudaMemcpy analogue) -----------------------------------
+  // The synchronous forms are device-wide barriers on the stream timelines;
+  // the async forms advance only @p stream_id (cudaMemcpyAsync on a
+  // non-default stream). Functionally all four copy immediately — only the
+  // cost-model timelines differ.
   void copy_h2d(void* dst_device, const void* src_host, std::size_t bytes);
   void copy_d2h(void* dst_host, const void* src_device, std::size_t bytes);
   void copy_d2d(void* dst_device, const void* src_device, std::size_t bytes);
+  void copy_h2d_async(void* dst_device, const void* src_host,
+                      std::size_t bytes, std::size_t stream_id);
+  void copy_d2h_async(void* dst_host, const void* src_device,
+                      std::size_t bytes, std::size_t stream_id);
 
   // --- Kernel launch ------------------------------------------------------
   /// Launch `kernel(ThreadId)` over a grid x block geometry. @p stats
@@ -191,6 +229,19 @@ class Context {
   /// (the masked early exit, quantified). Pure bookkeeping.
   void note_spgemm_masked_products_avoided(std::uint64_t products);
 
+  /// Record one multi-op group the fusion planner charged as a single
+  /// composite launch. Pure bookkeeping — the per-launch overhead elision
+  /// itself happens in account_launch under a FusedLaunchScope.
+  void note_fused_group();
+
+  /// Process-wide materialization hook installed by the lazy-fusion layer
+  /// (sparse/fusion_plan.hpp): called before any host read of the clock or
+  /// stats and on context destruction, so pending recorded ops execute
+  /// before their effects are observed. gpu_sim itself stays independent of
+  /// the fusion layer — it only owns this seam.
+  using DrainHook = void (*)();
+  static void set_drain_hook(DrainHook hook);
+
   ThreadPool& pool() { return pool_; }
 
  private:
@@ -202,6 +253,12 @@ class Context {
   // must allocate under the lock it already holds).
   void* malloc_locked(std::size_t bytes);
   void trim_locked();
+  double makespan_locked() const;
+  /// Refresh overlap_seconds_hidden = serial sum - makespan (monotone:
+  /// every accounting step grows the serial sum at least as much as the
+  /// makespan).
+  void update_overlap_locked();
+  static void run_drain_hook();
 
   DeviceProperties props_;
   ThreadPool pool_;
@@ -212,6 +269,35 @@ class Context {
   /// Freelists of cached blocks, keyed by size class. Entries here are NOT
   /// in allocations_ (they have no client owner).
   std::unordered_map<std::size_t, std::vector<void*>> pool_free_lists_;
+  /// Absolute end-of-timeline per stream; index 0 is the compute stream.
+  std::vector<double> timeline_end_{0.0};
+  /// Lazily-created dedicated copy stream id; 0 means "not created yet"
+  /// (stream 0 is the compute stream, never the transfer stream).
+  std::size_t transfer_stream_id_ = 0;
+};
+
+/// RAII scope under which this thread's kernel launches form one composite
+/// ("fused") launch for the cost model: the first launch inside the scope is
+/// charged in full, every further launch is charged its work time only —
+/// the fixed kernel_launch_overhead_s is elided and counted in
+/// DeviceStats::launches_elided. Functional execution is unchanged; only
+/// the clock and the launch accounting differ. Thread-local by design so
+/// concurrent service workers cannot bleed fusion scopes into each other.
+class FusedLaunchScope {
+ public:
+  FusedLaunchScope();
+  ~FusedLaunchScope();
+
+  FusedLaunchScope(const FusedLaunchScope&) = delete;
+  FusedLaunchScope& operator=(const FusedLaunchScope&) = delete;
+
+ private:
+  friend class Context;
+  /// Innermost active scope of the calling thread, or nullptr.
+  static FusedLaunchScope*& current();
+
+  FusedLaunchScope* prev_;
+  bool head_charged_ = false;
 };
 
 /// The calling thread's current device, analogous to CUDA's implicit

@@ -160,8 +160,18 @@ struct DeviceStats {
     return t;
   }
 
+  // Lazy op-DAG fusion activity (sparse/fusion_plan.hpp): multi-op groups
+  // the planner charged as one composite launch, individual launches whose
+  // fixed overhead that composite accounting elided, and wall-clock seconds
+  // the multi-stream timeline hid by overlapping transfers with kernels
+  // (serial sum of modeled durations minus the makespan over all streams).
+  std::uint64_t fused_launches = 0;
+  std::uint64_t launches_elided = 0;
+  double overlap_seconds_hidden = 0.0;
+
   /// Total simulated device-side time: the number the GPU columns of every
-  /// table/figure report.
+  /// table/figure report. This is the *serial* sum of modeled durations;
+  /// subtract overlap_seconds_hidden for the multi-stream makespan.
   double simulated_total_time_s() const {
     return simulated_kernel_time_s + simulated_transfer_time_s;
   }
@@ -212,6 +222,10 @@ inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
       a.spgemm_hash_table_bytes - b.spgemm_hash_table_bytes;
   d.spgemm_masked_products_avoided =
       a.spgemm_masked_products_avoided - b.spgemm_masked_products_avoided;
+  d.fused_launches = a.fused_launches - b.fused_launches;
+  d.launches_elided = a.launches_elided - b.launches_elided;
+  d.overlap_seconds_hidden =
+      a.overlap_seconds_hidden - b.overlap_seconds_hidden;
   return d;
 }
 

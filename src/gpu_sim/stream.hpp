@@ -2,42 +2,76 @@
 
 /// @file stream.hpp
 /// Streams and events over the simulated clock — the cudaStream_t /
-/// cudaEvent_t analogue used by benches to time device regions.
+/// cudaEvent_t analogue.
 ///
-/// Because simulated kernels execute synchronously, a Stream is a thin
-/// handle over the context clock: `synchronize()` is a no-op for
-/// correctness but kept for API fidelity, and Event pairs measure elapsed
-/// *simulated* time exactly as cudaEventElapsedTime would measure elapsed
-/// device time.
+/// Simulated kernels execute functionally before launch() returns, so
+/// `synchronize()` is a no-op for correctness — but each stream now carries
+/// its own *timeline* in the cost model (Context::stream_clock_s). Stream 0
+/// is the default compute stream every kernel advances; extra streams
+/// (Stream::create) advance independently under the async copies, and
+/// `Stream::wait(Event)` adds the cudaStreamWaitEvent dependency edge that
+/// joins timelines. Event pairs still measure elapsed *simulated* time
+/// exactly as cudaEventElapsedTime would measure elapsed device time.
+
+#include <cstddef>
 
 #include "gpu_sim/context.hpp"
 
 namespace gpu_sim {
 
+class Event;
+
 class Stream {
  public:
-  explicit Stream(Context& ctx = device()) : ctx_(&ctx) {}
+  /// The default (compute) stream of @p ctx — id 0, the timeline every
+  /// kernel launch advances.
+  explicit Stream(Context& ctx = device()) : ctx_(&ctx), id_(0) {}
+
+  /// Create a fresh stream (cudaStreamCreate): its timeline starts at the
+  /// device's current makespan and advances only under work explicitly
+  /// enqueued on it (the *_async copies).
+  static Stream create(Context& ctx = device()) {
+    return Stream(&ctx, ctx.create_stream());
+  }
 
   Context& context() const { return *ctx_; }
+  std::size_t id() const { return id_; }
+
+  /// Absolute simulated second at which this stream's enqueued work ends.
+  double clock_s() const { return ctx_->stream_clock_s(id_); }
 
   /// All simulated work is already complete when launch() returns; kept so
   /// backend code reads like real CUDA host code.
   void synchronize() const {}
 
+  /// cudaStreamWaitEvent: this stream's next operation starts no earlier
+  /// than the recorded event time. Defined after Event.
+  inline void wait(const Event& event) const;
+
  private:
+  Stream(Context* ctx, std::size_t id) : ctx_(ctx), id_(id) {}
+
   Context* ctx_;
+  std::size_t id_;
 };
 
 class Event {
  public:
   explicit Event(Context& ctx = device()) : ctx_(&ctx) {}
 
-  /// Capture the current simulated device clock.
+  /// Capture the end of @p stream's current timeline.
   void record(const Stream& stream) {
     ctx_ = &stream.context();
+    time_s_ = ctx_->stream_clock_s(stream.id());
+  }
+  /// Capture the calling thread's *current* device clock. Re-binds to
+  /// device() first: a default-constructed Event recorded after a
+  /// ScopedDevice switch must read the clock the thread is bound to now,
+  /// not the one it was bound to at construction.
+  void record() {
+    ctx_ = &device();
     time_s_ = ctx_->simulated_time_s();
   }
-  void record() { time_s_ = ctx_->simulated_time_s(); }
 
   double time_s() const { return time_s_; }
 
@@ -50,6 +84,10 @@ class Event {
   Context* ctx_;
   double time_s_ = 0.0;
 };
+
+inline void Stream::wait(const Event& event) const {
+  ctx_->stream_wait(id_, event.time_s());
+}
 
 /// RAII timer over a device region: captures the simulated clock and the
 /// delta of kernel/transfer statistics.

@@ -5,6 +5,7 @@
 #include "backend_cpupar/pool.hpp"
 #include "gpu_sim/thread_pool.hpp"
 #include "service/dispatch.hpp"
+#include "sparse/fusion_plan.hpp"
 
 namespace service {
 
@@ -166,6 +167,10 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
       res.status = QueryStatus::kFailed;
       res.error = e.what();
     }
+    // Backend boundary: drain this worker's lazy op-DAG before the result
+    // is published, so no recorded op survives into the next query (or
+    // into this worker's context teardown).
+    sparse::fusion_sync_all();
     resolve(*job, std::move(res));
   }
 }

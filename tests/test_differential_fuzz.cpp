@@ -33,6 +33,7 @@
 #include "backend_cpupar/pool.hpp"
 #include "gbtl/gbtl.hpp"
 #include "gpu_sim/thread_pool.hpp"
+#include "sparse/fusion_plan.hpp"
 #include "sparse/spgemm_select.hpp"
 #include "sparse/spmv_select.hpp"
 
@@ -49,13 +50,23 @@ constexpr unsigned kCasesPerInstance = 5;
 constexpr unsigned kInstances = 40;
 
 // mxv/vxm sweep every SpMV dispatch mode zipped with a traversal-direction
-// pin, so each run also exercises the push scatter and pull gather engines
-// alongside the kernel variants (3x3 would triple fuzz time for no new
-// code paths: direction is chosen before the SpMV kernel).
-constexpr std::pair<sparse::SpmvMode, sparse::DirectionMode> kModePairs[] = {
-    {sparse::SpmvMode::Adaptive, sparse::DirectionMode::Auto},
-    {sparse::SpmvMode::ForceCsrScalar, sparse::DirectionMode::ForcePush},
-    {sparse::SpmvMode::ForceCsrLoadBalanced, sparse::DirectionMode::ForcePull},
+// pin AND a fusion-mode pin, so each run also exercises the push scatter /
+// pull gather engines and the lazy op-DAG record/replay path alongside the
+// kernel variants (a full cross product would multiply fuzz time for no new
+// code paths: direction is chosen before the SpMV kernel, and fusion is a
+// frontdoor recording layer orthogonal to both).
+struct GpuModeZip {
+  sparse::SpmvMode spmv;
+  sparse::DirectionMode direction;
+  sparse::FusionMode fusion;
+};
+constexpr GpuModeZip kModePairs[] = {
+    {sparse::SpmvMode::Adaptive, sparse::DirectionMode::Auto,
+     sparse::FusionMode::Auto},
+    {sparse::SpmvMode::ForceCsrScalar, sparse::DirectionMode::ForcePush,
+     sparse::FusionMode::Off},
+    {sparse::SpmvMode::ForceCsrLoadBalanced, sparse::DirectionMode::ForcePull,
+     sparse::FusionMode::Fuse},
 };
 
 // mxm sweeps every SpGEMM strategy: forced ESC, forced hash, and Auto —
@@ -649,11 +660,12 @@ TEST_P(DifferentialFuzz, Mxv) {
           });
           expect_matches(pw, want, "cpupar mxv");
 
-          // GPU: every SpMV dispatch mode (zipped with a direction pin)
-          // must agree with the oracle.
-          for (const auto& [mode, dmode] : kModePairs) {
+          // GPU: every SpMV dispatch mode (zipped with direction and
+          // fusion pins) must agree with the oracle.
+          for (const auto& [mode, dmode, fmode] : kModePairs) {
             sparse::SpmvModeGuard guard(mode);
             sparse::DirectionModeGuard dguard(dmode);
+            sparse::FusionGuard fguard(fmode);
             auto gw = to_backend<double, grb::GpuSim>(wt);
             // Rebuild the gpu-side mask variant for this iteration.
             unsigned v = 0;
@@ -723,9 +735,10 @@ TEST_P(DifferentialFuzz, Vxm) {
           });
           expect_matches(pw, want, "cpupar vxm");
 
-          for (const auto& [mode, dmode] : kModePairs) {
+          for (const auto& [mode, dmode, fmode] : kModePairs) {
             sparse::SpmvModeGuard guard(mode);
             sparse::DirectionModeGuard dguard(dmode);
+            sparse::FusionGuard fguard(fmode);
             auto gw = to_backend<double, grb::GpuSim>(wt);
             unsigned v = 0;
             for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
@@ -884,14 +897,21 @@ TEST_P(DifferentialFuzz, EWiseAdd) {
                           replace ? grb::Replace : grb::Merge);
           });
           expect_matches(pw, want, "cpupar eWiseAdd vec");
-          auto gw = to_backend<double, grb::GpuSim>(wt);
-          unsigned v = 0;
-          for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
-            if (v++ != variant) return;
-            grb::eWiseAdd(gw, gm, accum, op, gu, gv,
-                          replace ? grb::Replace : grb::Merge);
-          });
-          expect_matches(gw, want, "gpu eWiseAdd vec");
+          // The GPU leg runs both eagerly and through the op-DAG recorder
+          // (matrix eWise ops always drain eagerly, so only the vector leg
+          // sweeps fusion).
+          for (const auto fmode :
+               {sparse::FusionMode::Off, sparse::FusionMode::Fuse}) {
+            sparse::FusionGuard fguard(fmode);
+            auto gw = to_backend<double, grb::GpuSim>(wt);
+            unsigned v = 0;
+            for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+              if (v++ != variant) return;
+              grb::eWiseAdd(gw, gm, accum, op, gu, gv,
+                            replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(gw, want, "gpu eWiseAdd vec");
+          }
           ++variant;
         });
 
@@ -989,14 +1009,18 @@ TEST_P(DifferentialFuzz, EWiseMult) {
                            replace ? grb::Replace : grb::Merge);
           });
           expect_matches(pw, want, "cpupar eWiseMult vec");
-          auto gw = to_backend<double, grb::GpuSim>(wt);
-          unsigned v = 0;
-          for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
-            if (v++ != variant) return;
-            grb::eWiseMult(gw, gm, accum, op, gu, gv,
-                           replace ? grb::Replace : grb::Merge);
-          });
-          expect_matches(gw, want, "gpu eWiseMult vec");
+          for (const auto fmode :
+               {sparse::FusionMode::Off, sparse::FusionMode::Fuse}) {
+            sparse::FusionGuard fguard(fmode);
+            auto gw = to_backend<double, grb::GpuSim>(wt);
+            unsigned v = 0;
+            for_each_mask_variant(gmask, [&](auto gm, const MaskSpec&) {
+              if (v++ != variant) return;
+              grb::eWiseMult(gw, gm, accum, op, gu, gv,
+                             replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(gw, want, "gpu eWiseMult vec");
+          }
           ++variant;
         });
 
@@ -1109,10 +1133,18 @@ TEST_P(DifferentialFuzz, Traversal) {
     algorithms::sssp(pa, source, pdist);
     expect_same_tuples(pdist, sdist, "cpupar sssp");
 
-    for (const auto dmode :
-         {sparse::DirectionMode::ForcePush, sparse::DirectionMode::ForcePull,
-          sparse::DirectionMode::Auto}) {
+    // Direction zipped with fusion mode: whole traversals must be
+    // bit-identical whether each level's ops launch eagerly or through
+    // the op-DAG's fused replay.
+    constexpr std::pair<sparse::DirectionMode, sparse::FusionMode>
+        kTraversalZip[] = {
+            {sparse::DirectionMode::ForcePush, sparse::FusionMode::Off},
+            {sparse::DirectionMode::ForcePull, sparse::FusionMode::Fuse},
+            {sparse::DirectionMode::Auto, sparse::FusionMode::Auto},
+        };
+    for (const auto& [dmode, fmode] : kTraversalZip) {
       sparse::DirectionModeGuard dguard(dmode);
+      sparse::FusionGuard fguard(fmode);
       grb::Vector<IndexType, grb::GpuSim> glv(n);
       algorithms::bfs_level(ga, source, glv);
       expect_same_tuples(glv, slv, "gpu bfs_level");

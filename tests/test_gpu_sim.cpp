@@ -210,6 +210,89 @@ TEST(GpuSimStream, EventsMeasureSimulatedTime) {
   EXPECT_DOUBLE_EQ(elapsed_s(start, stop), ctx.simulated_time_s());
 }
 
+TEST(GpuSimStream, RecordNoStreamFollowsScopedDeviceSwitch) {
+  // Regression: the no-stream record() overload used to read the clock of
+  // the context the Event was *constructed* against. A default-constructed
+  // Event recorded after a ScopedDevice switch must observe the clock of
+  // the device the thread is bound to at record time.
+  auto outer = make_ctx();
+  gpu_sim::ScopedDevice bind_outer(outer);
+  gpu_sim::Event ev;  // captures &outer at construction
+  auto inner = make_ctx();
+  {
+    gpu_sim::ScopedDevice bind_inner(inner);
+    inner.launch_n(64, LaunchStats{64, 0, 256}, [](std::size_t) {});
+    ev.record();
+  }
+  EXPECT_GT(ev.time_s(), 0.0);
+  EXPECT_DOUBLE_EQ(ev.time_s(), inner.simulated_time_s());
+  EXPECT_DOUBLE_EQ(outer.simulated_time_s(), 0.0);
+}
+
+TEST(GpuSimStream, AsyncCopyOverlapsComputeStream) {
+  auto ctx = make_ctx();
+  auto side = gpu_sim::Stream::create(ctx);
+  device_vector<int> d(1 << 16, ctx);
+  std::vector<int> host(1 << 16, 3);
+  // Kernel on stream 0, copy on the side stream: both start at makespan 0,
+  // so the device-wide completion time is the max, not the sum.
+  ctx.launch_n(1 << 16, LaunchStats{1 << 16, 1 << 22, 1 << 22},
+               [](std::size_t) {});
+  ctx.copy_h2d_async(d.data(), host.data(), host.size() * sizeof(int),
+                     side.id());
+  const double serial = ctx.simulated_time_s();
+  const double makespan = ctx.makespan_s();
+  EXPECT_LT(makespan, serial);
+  EXPECT_NEAR(ctx.stats().overlap_seconds_hidden, serial - makespan, 1e-15);
+}
+
+TEST(GpuSimStream, StreamWaitJoinsTimelines) {
+  auto ctx = make_ctx();
+  auto side = gpu_sim::Stream::create(ctx);
+  device_vector<int> d(1 << 14, ctx);
+  std::vector<int> host(1 << 14, 7);
+  ctx.copy_h2d_async(d.data(), host.data(), host.size() * sizeof(int),
+                     side.id());
+  gpu_sim::Event copied(ctx);
+  copied.record(side);
+  // cudaStreamWaitEvent: the compute stream may not run past the copy.
+  gpu_sim::Stream compute(ctx);
+  compute.wait(copied);
+  EXPECT_GE(compute.clock_s(), copied.time_s());
+  EXPECT_EQ(d.to_host(), host);
+}
+
+TEST(GpuSimStream, SyncCopyIsDeviceWideBarrier) {
+  auto ctx = make_ctx();
+  auto side = gpu_sim::Stream::create(ctx);
+  device_vector<int> d(1 << 14, ctx);
+  std::vector<int> host(1 << 14, 1);
+  ctx.copy_h2d_async(d.data(), host.data(), host.size() * sizeof(int),
+                     side.id());
+  // A synchronous copy behaves like the legacy default stream: it starts
+  // after ALL prior work on every stream.
+  ctx.copy_h2d(d.data(), host.data(), host.size() * sizeof(int));
+  EXPECT_DOUBLE_EQ(ctx.stream_clock_s(0), ctx.makespan_s());
+  EXPECT_GE(ctx.stream_clock_s(0), side.clock_s());
+}
+
+TEST(GpuSimLaunch, FusedScopeElidesNonHeadOverhead) {
+  auto ctx = make_ctx();
+  const double overhead = ctx.properties().kernel_launch_overhead_s;
+  ctx.launch_n(0, LaunchStats{}, [](std::size_t) {});
+  EXPECT_DOUBLE_EQ(ctx.simulated_time_s(), overhead);
+  {
+    gpu_sim::FusedLaunchScope scope;
+    ctx.launch_n(0, LaunchStats{}, [](std::size_t) {});  // head: full cost
+    ctx.launch_n(0, LaunchStats{}, [](std::size_t) {});  // overhead elided
+    ctx.launch_n(0, LaunchStats{}, [](std::size_t) {});  // overhead elided
+  }
+  EXPECT_DOUBLE_EQ(ctx.simulated_time_s(), 2 * overhead);
+  EXPECT_EQ(ctx.stats().launches_elided, 2u);
+  // Elision is a costing effect only — the launch count stays truthful.
+  EXPECT_EQ(ctx.stats().kernel_launches, 4u);
+}
+
 TEST(GpuSimStream, ResetStatsKeepsLiveAllocations) {
   auto ctx = make_ctx();
   device_vector<int> d(16, ctx);

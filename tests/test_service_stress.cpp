@@ -111,33 +111,41 @@ TEST(ServiceStress, ConcurrentMixedWorkloadBitExactVsSerial) {
   opts.queue_capacity = kQueries;  // nothing sheds; every query must run
   service::QueryExecutor exec(store, opts);
 
-  // Hammer the admission path from several client threads at once.
-  std::vector<std::future<service::QueryResult>> futures(kQueries);
-  const std::size_t kClients = 3;
-  std::vector<std::thread> clients;
-  for (std::size_t c = 0; c < kClients; ++c)
-    clients.emplace_back([&, c] {
-      for (std::size_t i = c; i < kQueries; i += kClients)
-        futures[i] = exec.submit(workload[i]);
-    });
-  for (auto& t : clients) t.join();
-
+  // Hammer the admission path from several client threads at once. One
+  // batch's worker spread is scheduling luck — on a fast machine a single
+  // worker can drain all 48 tiny queries before its peers wake from the
+  // queue's condition variable — so re-submit the batch (bounded) until a
+  // second worker shows up. Every round's results stay bit-checked.
   std::map<std::size_t, std::size_t> per_worker;
-  for (std::size_t i = 0; i < kQueries; ++i) {
-    const auto got = futures[i].get();
-    expect_bit_exact(got, serial[i], i);
-    ++per_worker[got.worker];
+  std::size_t rounds = 0;
+  while (rounds < 5 && per_worker.size() < 2) {
+    ++rounds;
+    std::vector<std::future<service::QueryResult>> futures(kQueries);
+    const std::size_t kClients = 3;
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+      clients.emplace_back([&, c] {
+        for (std::size_t i = c; i < kQueries; i += kClients)
+          futures[i] = exec.submit(workload[i]);
+      });
+    for (auto& t : clients) t.join();
+
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      const auto got = futures[i].get();
+      expect_bit_exact(got, serial[i], i);
+      ++per_worker[got.worker];
+    }
   }
 
   const auto stats = exec.stats();
-  EXPECT_EQ(stats.submitted, kQueries);
-  EXPECT_EQ(stats.completed, kQueries);
+  EXPECT_EQ(stats.submitted, kQueries * rounds);
+  EXPECT_EQ(stats.completed, kQueries * rounds);
   EXPECT_EQ(stats.shed, 0u);
   EXPECT_EQ(stats.cancelled, 0u);
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_EQ(stats.resolved(), stats.submitted);
-  // All four workers should have seen work on a 48-query batch; tolerate a
-  // straggler but not a fully serialized run.
+  // Multiple workers must have seen work across the rounds; tolerate
+  // stragglers but not a fully serialized executor.
   EXPECT_GE(per_worker.size(), 2u);
 }
 
