@@ -4,13 +4,20 @@
 /// scheduling, and N workers with private simulated devices — so QPS and
 /// p50/p95/p99 are host-side quantities.
 ///
-/// Two experiments:
+/// Three experiments:
 ///  - BM_service_throughput/<workers>: closed-loop mixed BFS + PageRank
 ///    workload; reports qps and latency quantiles per worker count.
 ///  - BM_service_deadline_sweep/<timeout_us>: the same workload under a
 ///    per-query deadline; reports how the completed/cancelled/shed split
 ///    moves as the deadline tightens (timeout 0 = every query born
 ///    expired, nothing completes).
+///  - BM_service_sharded_capacity/<shard_contexts>: BFS + SSSP against a
+///    graph whose CSR is bigger than one worker arena, forced through the
+///    GpuShard path. Capacity climbs with the fan-out: one context cannot
+///    hold the graph (every query fails with device OOM — the capacity
+///    wall), two contexts serve the lighter-working-set kinds, four serve
+///    everything; the halo_* counters show how much of the exchange hid
+///    under shard kernels.
 
 #include "bench_common.hpp"
 
@@ -132,6 +139,69 @@ BENCHMARK(BM_service_deadline_sweep)
     ->Arg(0)        // born expired: everything cancelled or shed
     ->Arg(2000)     // 2 ms: tight — partial completion
     ->Arg(1000000)  // 1 s: loose — everything completes
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/// Shardable-only workload (BFS/SSSP propagate through the sharded mxv/vxm
+/// path; PageRank needs matrix-wide ops with no sharded analogue).
+std::vector<service::QueryRequest> shardable_workload() {
+  const auto sources = benchx::batch_sources(
+      grb::IndexType{1} << kScale, static_cast<grb::IndexType>(kQueries));
+  std::vector<service::QueryRequest> reqs(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    auto& r = reqs[i];
+    r.graph = "rmat";
+    r.kind = i % 2 == 0 ? service::QueryKind::kBfs : service::QueryKind::kSssp;
+    r.source = sources[i];
+  }
+  return reqs;
+}
+
+void BM_service_sharded_capacity(benchmark::State& state) {
+  const auto workload = shardable_workload();
+  auto store = shared_store();
+  // Size each worker arena below the graph's CSR so the monolithic device
+  // image cannot exist: with one shard context the graph simply does not
+  // fit (the capacity wall this experiment demonstrates); with more, the
+  // planner cuts enough row blocks that each slice fits its context.
+  const auto snap = store->get("rmat");
+  const std::uint64_t csr = snap->device_csr_bytes_estimate();
+
+  service::ServiceStats last{};
+  double seconds = 0.0;
+  for (auto _ : state) {
+    service::ExecutorOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = kQueries;
+    opts.backend_mode = service::BackendMode::kForceGpuShard;
+    opts.shard_contexts = static_cast<std::size_t>(state.range(0));
+    opts.device_properties.total_global_memory = csr - 512;
+    service::QueryExecutor exec(store, opts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<service::QueryResult>> futures;
+    futures.reserve(workload.size());
+    for (const auto& req : workload) futures.push_back(exec.submit(req));
+    for (auto& f : futures) f.get();
+    seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    last = exec.stats();
+  }
+  report_service_counters(state, last, seconds);
+  state.counters["failed"] =
+      benchmark::Counter(static_cast<double>(last.failed));
+  state.counters["shards_active"] =
+      benchmark::Counter(static_cast<double>(last.shards_active));
+  state.counters["halo_KB"] = benchmark::Counter(
+      static_cast<double>(last.halo_bytes_exchanged) / 1024.0);
+  state.counters["halo_hidden_ms"] =
+      benchmark::Counter(last.halo_seconds_hidden * 1e3);
+}
+BENCHMARK(BM_service_sharded_capacity)
+    ->Arg(1)  // capacity wall: whole graph in one shard cannot upload
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -65,6 +65,16 @@ echo "==> sanitizers: fusion-forced fuzz sweep"
 GBTL_FUSION_MODE=fuse "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
   --gtest_brief=1
 
+echo "==> sanitizers: sharded fuzz sweep"
+# The fuzz harness zips shard counts {1,2,4} over its GpuShard legs; pin
+# GBTL_SHARDS=4 so EVERY seeded mxv/vxm case runs the widest fan-out —
+# halo staging buffers, cross-context upload/download pairs, and the
+# shard-order merge all under ASan/UBSan. (Env reaches the binary
+# directly; ctest shards would not inherit it.)
+GBTL_SHARDS=4 "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
+  --gtest_brief=1 \
+  --gtest_filter='Seeds/DifferentialFuzz.Mxv/*:Seeds/DifferentialFuzz.Vxm/*:ZPoolLeak.*'
+
 echo "==> sanitizers: hash-forced SpGEMM sweep"
 # The Auto selector keeps fuzz-sized multiplies on the ESC pipeline, so pin
 # the hash-Gustavson path explicitly and replay the mxm sweep under
@@ -94,6 +104,12 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 # race here would mean DAG state leaked across worker threads.
 GBTL_FUSION_MODE=fuse "${TSAN_BUILD_DIR}/tests/test_service_stress" \
   --gtest_brief=1
+# Multi-context sharded serving under TSan: the oversized-graph stress test
+# gives each worker a 4-context placement, so concurrent queries exercise
+# parallel halo exchanges into per-worker context sets — any cross-worker
+# sharing of a context, staging buffer, or the stats block fires as a race.
+"${TSAN_BUILD_DIR}/tests/test_service_stress" --gtest_brief=1 \
+  --gtest_filter='*OversizedGraphServedThroughShards*'
 
 echo "==> sanitizers: TSan CpuPar stage"
 # The CpuPar backend's whole safety story is "chunks own disjoint output

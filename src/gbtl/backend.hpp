@@ -14,6 +14,8 @@
 #include "backend_cpupar/ops.hpp"
 #include "backend_gpu/matrix.hpp"
 #include "backend_gpu/ops.hpp"
+#include "backend_gpu/sharded_matrix.hpp"
+#include "backend_gpu/sharded_ops.hpp"
 #include "backend_gpu/vector.hpp"
 #include "backend_sequential/matrix.hpp"
 #include "backend_sequential/ops.hpp"
@@ -48,6 +50,17 @@ template <>
 struct backend_traits<GpuSim> {
   template <typename T>
   using matrix_type = gpu_backend::Matrix<T>;
+  template <typename T>
+  using vector_type = gpu_backend::Vector<T>;
+};
+
+/// GpuShard spreads the matrix over the thread's gpu_sim placement as
+/// row-block shards; vectors stay whole on the home device, so the vector
+/// container is the plain GpuSim one.
+template <>
+struct backend_traits<GpuShard> {
+  template <typename T>
+  using matrix_type = gpu_backend::ShardedMatrix<T>;
   template <typename T>
   using vector_type = gpu_backend::Vector<T>;
 };
@@ -141,6 +154,41 @@ struct backend_ops<GpuSim> {
     return gpu_backend::transposed(m);
   }
 #define backend_ns gpu_backend
+  GBTL_FORWARD_OP(mxm)
+  GBTL_FORWARD_OP(mxv)
+  GBTL_FORWARD_OP(vxm)
+  GBTL_FORWARD_OP(ewise_add_vec)
+  GBTL_FORWARD_OP(ewise_mult_vec)
+  GBTL_FORWARD_OP(ewise_add_mat)
+  GBTL_FORWARD_OP(ewise_mult_mat)
+  GBTL_FORWARD_OP(apply_vec)
+  GBTL_FORWARD_OP(apply_mat)
+  GBTL_FORWARD_OP(apply_indexed_vec)
+  GBTL_FORWARD_OP(apply_indexed_mat)
+  GBTL_FORWARD_OP(reduce_mat_to_vec)
+  GBTL_FORWARD_OP(reduce_vec_to_scalar)
+  GBTL_FORWARD_OP(reduce_mat_to_scalar)
+  GBTL_FORWARD_OP(transpose_op)
+  GBTL_FORWARD_OP(extract_vec)
+  GBTL_FORWARD_OP(extract_mat)
+  GBTL_FORWARD_OP(extract_col)
+  GBTL_FORWARD_OP(assign_vec)
+  GBTL_FORWARD_OP(assign_vec_constant)
+  GBTL_FORWARD_OP(assign_mat)
+  GBTL_FORWARD_OP(assign_mat_constant)
+  GBTL_FORWARD_OP(kronecker)
+  GBTL_FORWARD_OP(select_mat)
+  GBTL_FORWARD_OP(select_vec)
+#undef backend_ns
+};
+
+template <>
+struct backend_ops<GpuShard> {
+  template <typename M>
+  static M transposed(const M& m) {
+    return gpu_shard::transposed(m);
+  }
+#define backend_ns gpu_shard
   GBTL_FORWARD_OP(mxm)
   GBTL_FORWARD_OP(mxv)
   GBTL_FORWARD_OP(vxm)

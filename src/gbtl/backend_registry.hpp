@@ -269,6 +269,7 @@ constexpr const char* backend_name() {
   if constexpr (std::is_same_v<Tag, Sequential>) return "sequential";
   else if constexpr (std::is_same_v<Tag, CpuPar>) return "cpupar";
   else if constexpr (std::is_same_v<Tag, GpuSim>) return "gpusim";
+  else if constexpr (std::is_same_v<Tag, GpuShard>) return "gpushard";
   else return "unknown";
 }
 
@@ -387,6 +388,11 @@ class Registry {
     backends_.push_back(std::make_unique<BackendInfo>(BackendInfo{
         backend_name<CpuPar>(), detail::kHostBufferOps,
         op_table_of<CpuPar>()}));
+    // GpuShard vectors live whole on the home device, so its raw buffer
+    // hooks are the GpuSim ones; only the matrix storage is sharded.
+    backends_.push_back(std::make_unique<BackendInfo>(BackendInfo{
+        backend_name<GpuShard>(), detail::kGpuSimBufferOps,
+        op_table_of<GpuShard>()}));
   }
 
   mutable std::mutex mutex_;

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "gbtl/types.hpp"
+#include "gpu_sim/placement.hpp"
 #include "sparse/fusion_plan.hpp"
 
 namespace grb {
@@ -105,6 +106,10 @@ class ExecutionPolicy {
     // launched op must not outlive a CancelledException. Also bounds fusion
     // groups to within one iteration. No-op when nothing is pending.
     sparse::fusion_sync_all();
+    // Likewise drain every shard context of the thread's placement: an
+    // iteration boundary is a multi-device barrier, so no shard's transfer
+    // stream can carry overlap credit across it (docs/sharding.md).
+    gpu_sim::sync_placement();
     if (cancelled())
       throw CancelledException(std::string(where) + ": cancel token set");
     if (expired())

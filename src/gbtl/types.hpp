@@ -25,9 +25,15 @@ using IndexArrayType = std::vector<IndexType>;
 /// containers but executes the heavy operations with row-range parallelism
 /// under a deterministic per-output reduction order, so its results are
 /// bit-identical to Sequential at any thread count (docs/backends.md).
+///
+/// GpuShard is the multi-device GPU backend: its Matrix is a row-block
+/// ShardedMatrix spread over the calling thread's gpu_sim placement, its
+/// Vector lives whole on the home device, and mxv/vxm run shard-by-shard
+/// with halo broadcasts overlapped under kernel time (docs/sharding.md).
 struct Sequential {};
 struct GpuSim {};
 struct CpuPar {};
+struct GpuShard {};
 
 /// Passed where an accumulator is expected to mean "no accumulation":
 /// the operation's result replaces/merges into the output directly.

@@ -374,6 +374,14 @@ void Context::note_fused_group() {
   ++stats_.fused_launches;
 }
 
+void Context::note_halo_exchange(std::uint64_t shards, std::uint64_t bytes,
+                                 double seconds_hidden) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shards > stats_.shards_active) stats_.shards_active = shards;
+  stats_.halo_bytes_exchanged += bytes;
+  stats_.halo_seconds_hidden += seconds_hidden;
+}
+
 void Context::account_launch(const LaunchStats& stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.kernel_launches;

@@ -234,6 +234,15 @@ class Context {
   /// itself happens in account_launch under a FusedLaunchScope.
   void note_fused_group();
 
+  /// Record one sharded mxv/vxm coordinated from this (home) context
+  /// (backend_gpu/sharded_ops.hpp): the shard fan-out (kept as a high-water
+  /// mark in DeviceStats::shards_active), total cross-device halo bytes
+  /// moved, and the seconds of that exchange hidden under shard kernels.
+  /// Pure bookkeeping — the modeled copy time itself is charged on each
+  /// shard context's transfer stream.
+  void note_halo_exchange(std::uint64_t shards, std::uint64_t bytes,
+                          double seconds_hidden);
+
   /// Process-wide materialization hook installed by the lazy-fusion layer
   /// (sparse/fusion_plan.hpp): called before any host read of the clock or
   /// stats and on context destruction, so pending recorded ops execute

@@ -169,6 +169,16 @@ struct DeviceStats {
   std::uint64_t launches_elided = 0;
   double overlap_seconds_hidden = 0.0;
 
+  // Sharded multi-device activity (backend_gpu/sharded_ops.hpp): the widest
+  // shard fan-out any single op on this context coordinated (point-in-time
+  // high-water mark), total halo bytes moved across the device boundary for
+  // sharded mxv/vxm (input-slice broadcasts plus per-shard output returns),
+  // and the seconds of that exchange the pipeline hid under a concurrently
+  // running shard kernel.
+  std::uint64_t shards_active = 0;
+  std::uint64_t halo_bytes_exchanged = 0;
+  double halo_seconds_hidden = 0.0;
+
   /// Total simulated device-side time: the number the GPU columns of every
   /// table/figure report. This is the *serial* sum of modeled durations;
   /// subtract overlap_seconds_hidden for the multi-stream makespan.
@@ -226,6 +236,9 @@ inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
   d.launches_elided = a.launches_elided - b.launches_elided;
   d.overlap_seconds_hidden =
       a.overlap_seconds_hidden - b.overlap_seconds_hidden;
+  d.shards_active = a.shards_active;  // high-water mark, not differenced
+  d.halo_bytes_exchanged = a.halo_bytes_exchanged - b.halo_bytes_exchanged;
+  d.halo_seconds_hidden = a.halo_seconds_hidden - b.halo_seconds_hidden;
   return d;
 }
 

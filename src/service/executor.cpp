@@ -2,7 +2,10 @@
 
 #include <utility>
 
+#include <algorithm>
+
 #include "backend_cpupar/pool.hpp"
+#include "gpu_sim/placement.hpp"
 #include "gpu_sim/thread_pool.hpp"
 #include "service/dispatch.hpp"
 #include "sparse/fusion_plan.hpp"
@@ -100,6 +103,21 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
   // queries never contend on (or corrupt) a shared device.
   gpu_sim::Context ctx{options_.device_properties, /*worker_count=*/1};
   gpu_sim::ScopedDevice bind(ctx);
+
+  // The worker's shard placement: its home context plus shard_contexts-1
+  // private extras, all with the same properties. Sharded matrices built by
+  // this worker pin their row blocks round-robin over this list; with
+  // shard_contexts == 1 the placement degenerates to {&ctx} and GpuShard
+  // runs single-shard.
+  std::vector<std::unique_ptr<gpu_sim::Context>> extra_ctxs;
+  std::vector<gpu_sim::Context*> placement{&ctx};
+  for (std::size_t s = 1; s < options_.shard_contexts; ++s) {
+    extra_ctxs.push_back(std::make_unique<gpu_sim::Context>(
+        options_.device_properties, /*worker_count=*/1));
+    placement.push_back(extra_ctxs.back().get());
+  }
+  gpu_sim::ScopedPlacement bind_placement(placement);
+
   const auto budget = static_cast<std::size_t>(
       options_.cache_memory_fraction *
       static_cast<double>(ctx.properties().total_global_memory));
@@ -142,13 +160,46 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
       continue;
     }
 
-    const bool use_cpupar =
-        options_.backend_mode == BackendMode::kForceCpuPar ||
+    // Sharded routing: forced, or — under kAuto with a multi-context
+    // placement — a whole-graph query whose CSR exceeds this worker's
+    // arena. Only the algorithms built purely from mxv/vxm + vector ops
+    // have a sharded path (pagerank/triangle-count delegate matrix-wide
+    // ops through a monolithic view, which is exactly what oversized
+    // graphs cannot build), so kAuto restricts to those.
+    const bool shardable_kind =
+        job->request.kind == QueryKind::kBfs ||
+        job->request.kind == QueryKind::kSssp ||
+        job->request.kind == QueryKind::kConnectedComponents;
+    const bool use_gpushard =
+        options_.backend_mode == BackendMode::kForceGpuShard ||
         (options_.backend_mode == BackendMode::kAuto &&
-         snap->edges.num_edges() < options_.crossover_nnz);
+         options_.shard_contexts > 1 && shardable_kind &&
+         snap->device_csr_bytes_estimate() >
+             ctx.properties().total_global_memory);
+    const bool use_cpupar =
+        !use_gpushard &&
+        (options_.backend_mode == BackendMode::kForceCpuPar ||
+         (options_.backend_mode == BackendMode::kAuto &&
+          snap->edges.num_edges() < options_.crossover_nnz));
+    {
+      // The query is now mid-flight: it passed the queued-expiry checks and
+      // is about to run. Tests event-wait on this counter.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.started;
+    }
     try {
       const std::size_t worker = res.worker;
-      if (use_cpupar) {
+      if (use_gpushard) {
+        const auto before = ctx.stats();
+        const ShardedMatrixPtr graph = cache.get_or_upload_sharded(snap);
+        res = run_query_on<grb::GpuShard>(*graph, job->request, policy);
+        const auto delta = ctx.stats() - before;
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.shards_active =
+            std::max(stats_.shards_active, delta.shards_active);
+        stats_.halo_bytes_exchanged += delta.halo_bytes_exchanged;
+        stats_.halo_seconds_hidden += delta.halo_seconds_hidden;
+      } else if (use_cpupar) {
         const HostMatrixPtr graph = host_cache.get_or_build(snap);
         res = run_query_on<grb::CpuPar>(*graph, job->request, policy);
       } else {
@@ -158,7 +209,9 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
       res.worker = worker;
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        if (use_cpupar)
+        if (use_gpushard)
+          ++stats_.ran_gpushard;
+        else if (use_cpupar)
           ++stats_.ran_cpupar;
         else
           ++stats_.ran_gpusim;
@@ -167,10 +220,12 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
       res.status = QueryStatus::kFailed;
       res.error = e.what();
     }
-    // Backend boundary: drain this worker's lazy op-DAG before the result
-    // is published, so no recorded op survives into the next query (or
-    // into this worker's context teardown).
+    // Backend boundary: drain this worker's lazy op-DAG and every context
+    // of its placement before the result is published, so no recorded op
+    // or in-flight shard transfer survives into the next query (or into
+    // this worker's context teardown).
     sparse::fusion_sync_all();
+    gpu_sim::sync_placement();
     resolve(*job, std::move(res));
   }
 }

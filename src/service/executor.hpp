@@ -46,8 +46,9 @@ enum class BackendMode {
   /// runs on CpuPar (small graphs don't amortize device upload + launch
   /// overhead), at or above it on GpuSim.
   kAuto = 0,
-  kForceGpuSim,  ///< every query on the simulated GPU
-  kForceCpuPar,  ///< every query on the parallel CPU backend
+  kForceGpuSim,    ///< every query on the simulated GPU
+  kForceCpuPar,    ///< every query on the parallel CPU backend
+  kForceGpuShard,  ///< every query on the sharded multi-context GPU backend
 };
 
 inline const char* to_string(BackendMode m) {
@@ -55,6 +56,7 @@ inline const char* to_string(BackendMode m) {
     case BackendMode::kAuto: return "auto";
     case BackendMode::kForceGpuSim: return "force-gpusim";
     case BackendMode::kForceCpuPar: return "force-cpupar";
+    case BackendMode::kForceGpuShard: return "force-gpushard";
   }
   return "unknown";
 }
@@ -78,6 +80,13 @@ struct ExecutorOptions {
   /// Threads in each worker's private CpuPar pool; 0 means
   /// grb::cpupar_backend::default_worker_count().
   std::size_t cpupar_threads = 0;
+
+  /// Simulated device contexts per worker for the GpuShard backend: the
+  /// worker's home context plus shard_contexts-1 extras, installed as the
+  /// worker's gpu_sim placement. With > 1, kAuto routes a bfs/sssp/components
+  /// query whose CSR exceeds one context's arena through the sharded path
+  /// instead of failing with DeviceBadAlloc (docs/sharding.md).
+  std::size_t shard_contexts = 1;
 };
 
 class QueryExecutor {

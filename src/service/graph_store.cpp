@@ -1,8 +1,10 @@
 #include "service/graph_store.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "gpu_sim/error.hpp"
+#include "gpu_sim/placement.hpp"
 
 namespace service {
 
@@ -52,12 +54,9 @@ DeviceMatrixPtr DeviceGraphCache::get_or_upload(const SnapshotPtr& snap) {
     throw gpu_sim::DeviceError(
         "DeviceGraphCache used without its context bound (ScopedDevice)");
 
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->name == snap->name && it->version == snap->version) {
-      ++stats_.hits;
-      entries_.splice(entries_.begin(), entries_, it);  // mark MRU
-      return entries_.front().matrix;
-    }
+  if (Entry* hit = find_mru(snap->name, snap->version, /*sharded=*/false)) {
+    ++stats_.hits;
+    return hit->matrix;
   }
   ++stats_.misses;
 
@@ -78,11 +77,70 @@ DeviceMatrixPtr DeviceGraphCache::get_or_upload(const SnapshotPtr& snap) {
     matrix = upload(*snap);
   }
 
-  if (bytes <= budget_bytes_) {
-    entries_.push_front(Entry{snap->name, snap->version, matrix, bytes});
-    stats_.resident_bytes += bytes;
-  }
+  Entry entry;
+  entry.name = snap->name;
+  entry.version = snap->version;
+  entry.matrix = matrix;
+  entry.bytes = bytes;
+  insert_within_budget(std::move(entry));
   return matrix;
+}
+
+ShardedMatrixPtr DeviceGraphCache::get_or_upload_sharded(
+    const SnapshotPtr& snap) {
+  if (&gpu_sim::device() != &ctx_)
+    throw gpu_sim::DeviceError(
+        "DeviceGraphCache used without its context bound (ScopedDevice)");
+
+  if (Entry* hit = find_mru(snap->name, snap->version, /*sharded=*/true)) {
+    ++stats_.hits;
+    return hit->sharded_matrix;
+  }
+  ++stats_.misses;
+
+  // The sharded build itself is host-side (CSR stays on the host; shards
+  // materialize lazily on first op), so unlike the monolithic upload there
+  // is no DeviceBadAlloc to retry here. The budget is per worker context,
+  // and a sharded graph parks only ~1/N of its slices on each context of
+  // the placement — charge that share, so a graph too big for one arena
+  // still caches as long as its per-shard slices fit.
+  const std::size_t width =
+      std::max<std::size_t>(1, gpu_sim::placement_or_default().size());
+  const std::size_t bytes = snap->device_bytes_estimate() / width;
+  while (!entries_.empty() &&
+         stats_.resident_bytes + bytes > budget_bytes_)
+    evict_lru();
+
+  auto matrix = std::make_shared<const grb::Matrix<double, grb::GpuShard>>(
+      gbtl_graph::to_matrix<double, grb::GpuShard>(snap->edges));
+
+  Entry entry;
+  entry.name = snap->name;
+  entry.version = snap->version;
+  entry.sharded = true;
+  entry.sharded_matrix = matrix;
+  entry.bytes = bytes;
+  insert_within_budget(std::move(entry));
+  return matrix;
+}
+
+DeviceGraphCache::Entry* DeviceGraphCache::find_mru(const std::string& name,
+                                                    std::uint64_t version,
+                                                    bool sharded) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->name == name && it->version == version &&
+        it->sharded == sharded) {
+      entries_.splice(entries_.begin(), entries_, it);  // mark MRU
+      return &entries_.front();
+    }
+  }
+  return nullptr;
+}
+
+void DeviceGraphCache::insert_within_budget(Entry entry) {
+  if (entry.bytes > budget_bytes_) return;  // never cached, handed out only
+  stats_.resident_bytes += entry.bytes;
+  entries_.push_front(std::move(entry));
 }
 
 DeviceMatrixPtr DeviceGraphCache::upload(const GraphSnapshot& snap) {

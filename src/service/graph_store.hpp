@@ -37,13 +37,21 @@ struct GraphSnapshot {
   std::uint64_t version = 0;
   gbtl_graph::EdgeList edges;
 
-  /// Rough CSR footprint on the device (row offsets + column ids + values),
-  /// used for cache budgeting — an estimate, not an accounting.
-  std::size_t device_bytes_estimate() const {
+  /// Rough CSR footprint on the device (row offsets + column ids + values).
+  /// This is what the oversized-graph routing compares against one arena.
+  std::size_t device_csr_bytes_estimate() const {
     const std::size_t n = edges.num_vertices;
     const std::size_t nnz = edges.num_edges();
     return (n + 1) * sizeof(std::uint64_t) +
            nnz * (sizeof(std::uint64_t) + sizeof(double));
+  }
+
+  /// Full cache-budget footprint: CSR *plus* the lazily built CSC transpose
+  /// view the vxm/pull paths materialize (same shape, so 2x CSR). Budgeting
+  /// on CSR alone let a cache "within budget" hold twice its ceiling once
+  /// the transpose views appeared.
+  std::size_t device_bytes_estimate() const {
+    return 2 * device_csr_bytes_estimate();
   }
 };
 
@@ -76,6 +84,12 @@ using DeviceMatrixPtr = std::shared_ptr<const grb::Matrix<double, grb::GpuSim>>;
 
 /// Host-side CpuPar matrices follow the same sharing rule.
 using HostMatrixPtr = std::shared_ptr<const grb::Matrix<double, grb::CpuPar>>;
+
+/// Sharded (multi-context) device matrices — the GpuShard backend's
+/// row-block ShardedMatrix, pinned over the placement installed when the
+/// cache built it.
+using ShardedMatrixPtr =
+    std::shared_ptr<const grb::Matrix<double, grb::GpuShard>>;
 
 /// Per-worker host-side cache of CpuPar matrices, the small-graph sibling of
 /// DeviceGraphCache. NOT thread-safe — each executor worker owns one. Keeps
@@ -133,6 +147,15 @@ class DeviceGraphCache {
   /// and the upload retried once before the error propagates.
   DeviceMatrixPtr get_or_upload(const SnapshotPtr& snap);
 
+  /// The sharded device matrix for @p snap, spread over the calling
+  /// thread's gpu_sim placement (row-block shards built lazily on first
+  /// op). Shares the entry list and byte budget with the monolithic
+  /// entries — one ceiling governs everything the worker keeps resident.
+  /// The ShardedMatrix keeps its canonical CSR on the host, so a graph too
+  /// big for one arena still caches (and serves) as long as its per-shard
+  /// slices fit their contexts.
+  ShardedMatrixPtr get_or_upload_sharded(const SnapshotPtr& snap);
+
   const CacheStats& stats() const { return stats_; }
   std::size_t budget_bytes() const { return budget_bytes_; }
   std::size_t entries() const { return entries_.size(); }
@@ -141,11 +164,16 @@ class DeviceGraphCache {
   struct Entry {
     std::string name;
     std::uint64_t version = 0;
+    bool sharded = false;  ///< monolithic and sharded entries coexist
     DeviceMatrixPtr matrix;
+    ShardedMatrixPtr sharded_matrix;
     std::size_t bytes = 0;
   };
 
   DeviceMatrixPtr upload(const GraphSnapshot& snap);
+  Entry* find_mru(const std::string& name, std::uint64_t version,
+                  bool sharded);
+  void insert_within_budget(Entry entry);
   void evict_lru();
   void evict_all();
 

@@ -107,6 +107,12 @@ class LatencyHistogram {
 /// worker (shed queries never ran, so they are excluded from the histogram).
 struct ServiceStats {
   std::uint64_t submitted = 0;
+  /// Queries a worker has begun executing (dequeued, past the queued-expiry
+  /// checks, dispatched toward a backend). `started - (completed +
+  /// cancelled + failed - <queued-expiry cancellations>)` is the in-flight
+  /// count; tests use it as the "query is mid-flight" event instead of a
+  /// timing-sensitive sleep.
+  std::uint64_t started = 0;
   std::uint64_t completed = 0;   ///< resolved kOk
   std::uint64_t cancelled = 0;   ///< resolved kCancelled (deadline / token)
   std::uint64_t shed = 0;        ///< refused at admission (queue full)
@@ -117,6 +123,14 @@ struct ServiceStats {
   /// executed query landed on.
   std::uint64_t ran_cpupar = 0;
   std::uint64_t ran_gpusim = 0;
+  std::uint64_t ran_gpushard = 0;
+  /// Sharded-path activity, aggregated from the workers' home-context
+  /// gpu_sim::DeviceStats after each GpuShard query: the widest shard
+  /// fan-out observed, total bytes moved through halo exchanges, and how
+  /// much of that transfer time was hidden under shard kernels.
+  std::uint64_t shards_active = 0;        ///< high-water mark across workers
+  std::uint64_t halo_bytes_exchanged = 0;
+  double halo_seconds_hidden = 0.0;
   LatencyHistogram latency;      ///< admission -> resolution, executed only
 
   std::uint64_t resolved() const {

@@ -32,8 +32,10 @@
 #include "algorithms/sssp.hpp"
 #include "backend_cpupar/pool.hpp"
 #include "gbtl/gbtl.hpp"
+#include "gpu_sim/placement.hpp"
 #include "gpu_sim/thread_pool.hpp"
 #include "sparse/fusion_plan.hpp"
+#include "sparse/shard_plan.hpp"
 #include "sparse/spgemm_select.hpp"
 #include "sparse/spmv_select.hpp"
 
@@ -68,6 +70,18 @@ constexpr GpuModeZip kModePairs[] = {
     {sparse::SpmvMode::ForceCsrLoadBalanced, sparse::DirectionMode::ForcePull,
      sparse::FusionMode::Fuse},
 };
+
+// mxv/vxm also run a GpuShard leg with the shard count zipped over the
+// seeded cases (1 = passthrough, 2 and 4 = real row-block fan-outs over a
+// two-context placement): the halo broadcast, per-shard kernels, and
+// shard-order merge must reproduce the oracle bit-for-bit. GBTL_SHARDS
+// pins the count for sanitizer re-runs the same way GBTL_SPGEMM_MODE pins
+// the SpGEMM strategy — honor the pin when present, zip otherwise.
+constexpr std::size_t kShardCounts[] = {1, 2, 4};
+std::size_t shard_count_for_case(unsigned c) {
+  if (sparse::shard_count_override() > 0) return sparse::shard_count_override();
+  return kShardCounts[c % (sizeof(kShardCounts) / sizeof(kShardCounts[0]))];
+}
 
 // mxm sweeps every SpGEMM strategy: forced ESC, forced hash, and Auto —
 // the selector's pick must be bit-exact with both forced paths and the
@@ -609,6 +623,12 @@ class DifferentialFuzz : public ::testing::TestWithParam<unsigned> {
   // CpuPar op to its serial fallback path.
   gpu_sim::ThreadPool cpupar_pool_{3};
   grb::cpupar_backend::ScopedPool bind_cpupar_{cpupar_pool_};
+  // A second context under the GpuShard legs, so shard counts 2 and 4
+  // exercise a genuinely cross-device halo exchange (count 4 round-robins
+  // two shards onto each context).
+  gpu_sim::Context shard_ctx_;
+  gpu_sim::ScopedPlacement bind_placement_{
+      std::vector<gpu_sim::Context*>{&gpu_sim::device(), &shard_ctx_}};
 };
 
 TEST_P(DifferentialFuzz, Mxv) {
@@ -675,6 +695,23 @@ TEST_P(DifferentialFuzz, Mxv) {
                        replace ? grb::Replace : grb::Merge);
             });
             expect_matches(gw, want, "gpu mxv");
+          }
+
+          // Sharded multi-device leg: the row blocks' halo broadcasts and
+          // shard-order merge must agree with the oracle bit-for-bit.
+          {
+            sparse::ShardCountGuard sguard(shard_count_for_case(c));
+            auto ha = to_backend<double, grb::GpuShard>(at);
+            auto hu = to_backend<double, grb::GpuShard>(ut);
+            auto hmask = to_backend<std::uint8_t, grb::GpuShard>(mt);
+            auto hw = to_backend<double, grb::GpuShard>(wt);
+            unsigned hv = 0;
+            for_each_mask_variant(hmask, [&](auto hm, const MaskSpec&) {
+              if (hv++ != variant) return;
+              grb::mxv(hw, hm, accum, sr, ha, hu,
+                       replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(hw, want, "gpushard mxv");
           }
           ++variant;
         });
@@ -747,6 +784,21 @@ TEST_P(DifferentialFuzz, Vxm) {
                        replace ? grb::Replace : grb::Merge);
             });
             expect_matches(gw, want, "gpu vxm");
+          }
+
+          {
+            sparse::ShardCountGuard sguard(shard_count_for_case(c));
+            auto ha = to_backend<double, grb::GpuShard>(at);
+            auto hu = to_backend<double, grb::GpuShard>(ut);
+            auto hmask = to_backend<std::uint8_t, grb::GpuShard>(mt);
+            auto hw = to_backend<double, grb::GpuShard>(wt);
+            unsigned hv = 0;
+            for_each_mask_variant(hmask, [&](auto hm, const MaskSpec&) {
+              if (hv++ != variant) return;
+              grb::vxm(hw, hm, accum, sr, hu, ha,
+                       replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(hw, want, "gpushard vxm");
           }
           ++variant;
         });

@@ -232,8 +232,9 @@ TEST(DeviceGraphCache, EvictsLeastRecentlyUsed) {
   const auto b = store.add("b", gbtl_graph::path(64));
   gpu_sim::Context ctx;
   gpu_sim::ScopedDevice bind(ctx);
-  // Budget fits one graph (estimate ~1.6 KiB each), not two.
-  service::DeviceGraphCache cache(ctx, 2048);
+  // Budget fits one graph (estimate ~3 KiB each — CSR plus the CSC
+  // transpose view the traversal engine may build), not two.
+  service::DeviceGraphCache cache(ctx, 4096);
 
   cache.get_or_upload(a);
   cache.get_or_upload(b);  // evicts a
@@ -251,8 +252,8 @@ TEST(DeviceGraphCache, TouchRefreshesRecency) {
   const auto c = store.add("c", gbtl_graph::path(64));
   gpu_sim::Context ctx;
   gpu_sim::ScopedDevice bind(ctx);
-  // Budget fits two graphs.
-  service::DeviceGraphCache cache(ctx, 4096);
+  // Budget fits two graphs (~3 KiB CSR+CSC estimate each), not three.
+  service::DeviceGraphCache cache(ctx, 8192);
 
   cache.get_or_upload(a);
   cache.get_or_upload(b);
@@ -271,7 +272,7 @@ TEST(DeviceGraphCache, EvictedMatrixStaysUsableWhileHeld) {
   const auto b = store.add("b", gbtl_graph::path(64));
   gpu_sim::Context ctx;
   gpu_sim::ScopedDevice bind(ctx);
-  service::DeviceGraphCache cache(ctx, 2048);
+  service::DeviceGraphCache cache(ctx, 4096);
 
   const auto held = cache.get_or_upload(a);
   cache.get_or_upload(b);  // evicts a from the cache...

@@ -82,8 +82,10 @@ std::vector<service::QueryRequest> make_workload(std::size_t count) {
 
 void expect_bit_exact(const service::QueryResult& got,
                       const service::QueryResult& want, std::size_t i) {
-  ASSERT_EQ(got.status, service::QueryStatus::kOk) << "query " << i;
-  ASSERT_EQ(want.status, service::QueryStatus::kOk) << "query " << i;
+  ASSERT_EQ(got.status, service::QueryStatus::kOk)
+      << "query " << i << ": " << got.error;
+  ASSERT_EQ(want.status, service::QueryStatus::kOk)
+      << "query " << i << ": " << want.error;
   EXPECT_EQ(got.indices, want.indices) << "query " << i;
   EXPECT_EQ(got.ivals, want.ivals) << "query " << i;
   EXPECT_EQ(got.scalar, want.scalar) << "query " << i;
@@ -310,10 +312,80 @@ TEST(ServiceStress, CancelTokenStopsALongQueryMidFlight) {
   req.cancel = grb::make_cancel_token();
 
   auto future = exec.submit(req);
-  std::this_thread::sleep_for(20ms);  // let it get going
+  // Event wait, not a fixed sleep: the worker bumps stats().started the
+  // moment it begins executing the query, so cancelling after observing it
+  // guarantees the token interrupts a genuinely mid-flight run on any
+  // machine speed.
+  while (exec.stats().started == 0) std::this_thread::yield();
   req.cancel->store(true);
   const auto res = future.get();  // must resolve promptly, not spin forever
   EXPECT_EQ(res.status, service::QueryStatus::kCancelled);
+}
+
+/// The sharded-serving acceptance test: shrink every worker context's arena
+/// below the graphs' CSR footprint, hand each worker a multi-context
+/// placement, and the whole-graph traversals must be served through >= 2
+/// row-block shards — bit-exact against the serial oracle, with the halo
+/// traffic visible in the service counters. PageRank rides along to show
+/// non-shardable kinds still complete (kAuto routes them to CpuPar below
+/// the crossover instead of failing on the monolithic upload).
+TEST(ServiceStress, OversizedGraphServedThroughShardsBitExactVsSerial) {
+  auto store = make_store();
+  std::size_t min_csr = ~std::size_t{0};
+  for (const auto& name : store->names())
+    min_csr = std::min(min_csr, store->get(name)->device_csr_bytes_estimate());
+
+  service::ExecutorOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 64;
+  opts.shard_contexts = 4;
+  // Every graph's CSR overflows one arena, so no monolithic device image
+  // can exist; per-shard slices still fit. The margin below min_csr is
+  // deliberately thin: the pool's power-of-two size classes round every
+  // buffer up, so a ~5 KB shard slice charges ~8 KB against the arena and
+  // a much smaller arena would OOM on the per-query working set rather
+  // than on the monolithic image this test is about.
+  opts.device_properties.total_global_memory = min_csr - 512;
+  // The workload cycles three graphs whose home-context shard slices
+  // cannot coexist in the deliberately tiny arena: shrink the cache budget
+  // so oversized entries are served build-per-query (insert_within_budget
+  // skips entries larger than the budget) instead of pinning a previous
+  // graph's shard in the arena while the next one uploads.
+  opts.cache_memory_fraction = 0.25;
+  service::QueryExecutor exec(store, opts);
+
+  const std::size_t kQueries = 30;
+  const auto workload = make_workload(kQueries);
+  std::vector<service::QueryResult> serial;
+  serial.reserve(kQueries);
+  for (const auto& req : workload)
+    serial.push_back(service::QueryExecutor::execute_serial(*store, req));
+
+  std::vector<std::future<service::QueryResult>> futures;
+  futures.reserve(kQueries);
+  for (const auto& req : workload) futures.push_back(exec.submit(req));
+
+  std::uint64_t sharded_kinds = 0;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto got = futures[i].get();
+    expect_bit_exact(got, serial[i], i);
+    const auto kind = workload[i].kind;
+    if (kind == service::QueryKind::kBfs ||
+        kind == service::QueryKind::kSssp ||
+        kind == service::QueryKind::kConnectedComponents) {
+      EXPECT_EQ(got.backend, "gpushard") << "query " << i;
+      ++sharded_kinds;
+    } else {
+      EXPECT_EQ(got.backend, "cpupar") << "query " << i;
+    }
+  }
+
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.ran_gpushard, sharded_kinds);
+  EXPECT_GE(stats.shards_active, 2u) << "oversized graphs must fan out";
+  EXPECT_GT(stats.halo_bytes_exchanged, 0u);
+  EXPECT_GT(stats.halo_seconds_hidden, 0.0)
+      << "halo uploads should overlap earlier shards' kernels";
 }
 
 }  // namespace
