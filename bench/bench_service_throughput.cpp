@@ -18,12 +18,20 @@
 ///    wall), two contexts serve the lighter-working-set kinds, four serve
 ///    everything; the halo_* counters show how much of the exchange hid
 ///    under shard kernels.
+///  - BM_service_mutation_stream/<edges_per_batch>: the mixed workload
+///    (with incremental PageRank / components) while a background mutator
+///    streams apply_edges batches of 0 / 10 / 100 edges — how much QPS the
+///    delta-overlay publish path costs, and how often incremental queries
+///    ride warm vs fall back cold (docs/streaming.md).
 
 #include "bench_common.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
+#include <random>
+#include <thread>
 #include <vector>
 
 #include "service/executor.hpp"
@@ -202,6 +210,119 @@ BENCHMARK(BM_service_sharded_capacity)
     ->Arg(1)  // capacity wall: whole graph in one shard cannot upload
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/// Mixed query stream with the even slots incremental: BFS keeps the
+/// workers busy on the merged path while incremental PageRank / components
+/// exercise replay, warm start, and cold fallback as versions advance
+/// underneath them.
+std::vector<service::QueryRequest> streaming_workload() {
+  const auto sources = benchx::batch_sources(
+      grb::IndexType{1} << kScale, static_cast<grb::IndexType>(kQueries));
+  std::vector<service::QueryRequest> reqs(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    auto& r = reqs[i];
+    r.graph = "stream";
+    switch (i % 3) {
+      case 0:
+        r.kind = service::QueryKind::kBfs;
+        r.source = sources[i];
+        break;
+      case 1:
+        r.kind = service::QueryKind::kPageRank;
+        r.max_iterations = 15;
+        r.incremental = true;
+        break;
+      default:
+        r.kind = service::QueryKind::kConnectedComponents;
+        r.incremental = true;
+        break;
+    }
+  }
+  return reqs;
+}
+
+void BM_service_mutation_stream(benchmark::State& state) {
+  const auto edges_per_batch = static_cast<std::size_t>(state.range(0));
+  const auto workload = streaming_workload();
+  const grb::IndexType n = grb::IndexType{1} << kScale;
+
+  service::ServiceStats last{};
+  double seconds = 0.0;
+  for (auto _ : state) {
+    // Private store per iteration: the mutator advances "stream"'s version
+    // chain, which must not leak into the other experiments' shared graph.
+    auto store = std::make_shared<service::GraphStore>();
+    store->add("stream", benchx::rmat_graph_sym(kScale, kEdgeFactor));
+    service::ExecutorOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = kQueries;  // closed loop: nothing sheds
+    service::QueryExecutor exec(store, opts);
+
+    std::atomic<bool> stop{false};
+    std::thread mutator;
+    if (edges_per_batch > 0) {
+      mutator = std::thread([&, edges_per_batch] {
+        std::mt19937 rng(424242);
+        std::uniform_int_distribution<grb::IndexType> vertex(0, n - 1);
+        const gbtl_graph::EdgeList none{n, {}, {}, {}};
+        while (!stop.load(std::memory_order_relaxed)) {
+          // Symmetric pairs: the components / triangle kinds assume an
+          // undirected graph, so mutations must preserve that.
+          gbtl_graph::EdgeList adds{n, {}, {}, {}};
+          for (std::size_t e = 0; e + 1 < edges_per_batch; e += 2) {
+            const grb::IndexType u = vertex(rng), v = vertex(rng);
+            adds.src.push_back(u);
+            adds.dst.push_back(v);
+            adds.src.push_back(v);
+            adds.dst.push_back(u);
+          }
+          store->apply_edges("stream", adds, none);
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      });
+    }
+
+    // Submit in waves rather than one burst: versions advance between
+    // waves, so later queries actually observe the mutation stream
+    // (replay misses, warm starts, cache invalidations) instead of all
+    // racing the first batch.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<service::QueryResult>> futures;
+    futures.reserve(workload.size());
+    constexpr std::size_t kWave = 8;
+    for (std::size_t i = 0; i < workload.size(); i += kWave) {
+      const std::size_t end = std::min(workload.size(), i + kWave);
+      for (std::size_t j = i; j < end; ++j)
+        futures.push_back(exec.submit(workload[j]));
+      for (std::size_t j = i; j < end; ++j) futures[j].get();
+    }
+    seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    stop.store(true, std::memory_order_relaxed);
+    if (mutator.joinable()) mutator.join();
+    last = exec.stats();
+  }
+  report_service_counters(state, last, seconds);
+  state.counters["mutations"] =
+      benchmark::Counter(static_cast<double>(last.mutations));
+  state.counters["compactions"] =
+      benchmark::Counter(static_cast<double>(last.compactions));
+  state.counters["warm_starts"] =
+      benchmark::Counter(static_cast<double>(last.warm_starts));
+  state.counters["cold_fallbacks"] =
+      benchmark::Counter(static_cast<double>(last.cold_fallbacks));
+  state.counters["replays"] =
+      benchmark::Counter(static_cast<double>(last.result_cache_hits));
+  state.counters["invalidations"] =
+      benchmark::Counter(static_cast<double>(last.cache_invalidations));
+}
+BENCHMARK(BM_service_mutation_stream)
+    ->Arg(0)    // quiescent baseline: same workload, no mutation stream
+    ->Arg(10)
+    ->Arg(100)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

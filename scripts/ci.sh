@@ -110,6 +110,16 @@ GBTL_FUSION_MODE=fuse "${TSAN_BUILD_DIR}/tests/test_service_stress" \
 # sharing of a context, staging buffer, or the stats block fires as a race.
 "${TSAN_BUILD_DIR}/tests/test_service_stress" --gtest_brief=1 \
   --gtest_filter='*OversizedGraphServedThroughShards*'
+# Streaming mutations under TSan: mutator threads publish delta-CSR
+# versions (apply_edges + compaction) while query clients bit-check every
+# result against a serial oracle on its stamped version. The store's
+# epoch counter, the executor-wide result cache (replay + warm-start
+# lineage), and the worker-side retired-entry sweep all cross threads
+# here (docs/streaming.md); run eager and fusion-forced.
+"${TSAN_BUILD_DIR}/tests/test_service_stress" --gtest_brief=1 \
+  --gtest_filter='*MutateUnderQuery*:*Incremental*'
+GBTL_FUSION_MODE=fuse "${TSAN_BUILD_DIR}/tests/test_service_stress" \
+  --gtest_brief=1 --gtest_filter='*MutateUnderQuery*:*Incremental*'
 
 echo "==> sanitizers: TSan CpuPar stage"
 # The CpuPar backend's whole safety story is "chunks own disjoint output

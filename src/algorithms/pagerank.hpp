@@ -2,7 +2,12 @@
 
 /// @file pagerank.hpp
 /// PageRank as iterated vxm over the arithmetic semiring, with row
-/// normalization, teleport, and dangling-mass redistribution.
+/// normalization, teleport, and dangling-mass redistribution. The
+/// iteration machinery is shared (detail::pagerank_run) between the cold
+/// solve here and the warm-started incremental variant
+/// (algorithms::pagerank_warm in incremental.hpp): the two differ only in
+/// how `rank` is seeded, so the cold path's op sequence — and therefore
+/// its bit pattern — is unchanged by the refactor.
 
 #include <cmath>
 
@@ -15,20 +20,18 @@ struct PageRankResult {
   double final_delta = 0.0;
 };
 
-/// Compute PageRank into @p rank (dense on return, sums to 1).
-///
-/// @param graph          n x n adjacency matrix (edge weights ignored
-///                       beyond structure).
-/// @param rank           output vector of size n.
-/// @param damping        damping factor (paper-standard 0.85).
-/// @param tol            L1 convergence threshold.
-/// @param max_iterations safety cap.
-template <typename T, typename Tag>
-PageRankResult pagerank(const grb::Matrix<T, Tag>& graph,
-                        grb::Vector<double, Tag>& rank,
-                        double damping = 0.85, double tol = 1e-9,
-                        grb::IndexType max_iterations = 100,
-                        const grb::ExecutionPolicy& policy = {}) {
+namespace detail {
+
+/// The full PageRank pipeline with a pluggable rank seed: normalization,
+/// then `init(rank, all)` at the exact point the cold solve assigned its
+/// uniform start, then the damped power iteration with teleport and
+/// dangling-mass redistribution until the L1 delta drops under tol.
+template <typename T, typename Tag, typename InitFn>
+PageRankResult pagerank_run(const grb::Matrix<T, Tag>& graph,
+                            grb::Vector<double, Tag>& rank, double damping,
+                            double tol, grb::IndexType max_iterations,
+                            const grb::ExecutionPolicy& policy,
+                            InitFn&& init) {
   using grb::IndexType;
   const IndexType n = graph.nrows();
   if (graph.ncols() != n)
@@ -51,11 +54,8 @@ PageRankResult pagerank(const grb::Matrix<T, Tag>& graph,
            grb::ArithmeticSemiring<double>{}, grb::diag(inv_degree),
            pattern);
 
-  // Dense uniform start.
   const grb::IndexArrayType all = grb::all_indices(n);
-  rank.clear();
-  grb::assign(rank, grb::NoMask{}, grb::NoAccumulate{},
-              1.0 / static_cast<double>(n), all);
+  init(rank, all);
 
   // Dangling-vertex indicator (no out edges): their rank mass teleports.
   grb::Vector<bool, Tag> dangling(n);
@@ -97,6 +97,32 @@ PageRankResult pagerank(const grb::Matrix<T, Tag>& graph,
     if (delta < tol) break;
   }
   return result;
+}
+
+}  // namespace detail
+
+/// Compute PageRank into @p rank (dense on return, sums to 1).
+///
+/// @param graph          n x n adjacency matrix (edge weights ignored
+///                       beyond structure).
+/// @param rank           output vector of size n.
+/// @param damping        damping factor (paper-standard 0.85).
+/// @param tol            L1 convergence threshold.
+/// @param max_iterations safety cap.
+template <typename T, typename Tag>
+PageRankResult pagerank(const grb::Matrix<T, Tag>& graph,
+                        grb::Vector<double, Tag>& rank,
+                        double damping = 0.85, double tol = 1e-9,
+                        grb::IndexType max_iterations = 100,
+                        const grb::ExecutionPolicy& policy = {}) {
+  return detail::pagerank_run(
+      graph, rank, damping, tol, max_iterations, policy,
+      [](grb::Vector<double, Tag>& r, const grb::IndexArrayType& all) {
+        // Dense uniform start.
+        r.clear();
+        grb::assign(r, grb::NoMask{}, grb::NoAccumulate{},
+                    1.0 / static_cast<double>(all.size()), all);
+      });
 }
 
 /// Personalized PageRank: teleport lands on the @p seeds set (uniformly)

@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file overlay.hpp
+/// Replacement-row overlay over an immutable base matrix — the vocabulary
+/// type of the streaming-mutation path (docs/streaming.md).
+///
+/// An overlay lists the rows that differ from the base ("dirty" rows) and
+/// stores each dirty row's FULL merged content (column-sorted, duplicates
+/// already resolved). Reading the overlaid matrix is therefore pure row
+/// substitution: a clean row streams from the base, a dirty row streams
+/// from its replacement — the element stream is identical to the stream a
+/// monolithically rebuilt matrix would produce, which is what makes the
+/// overlay-aware mxv/vxm kernels bit-exact against a rebuild for ANY
+/// semiring, mask, and accumulator.
+///
+/// The struct is a plain host-side container with no backend dependencies;
+/// each backend's overlay ops consume it directly (the GPU backend uploads
+/// the four arrays per call — O(overlay) traffic, accounted).
+
+#include <cstddef>
+#include <vector>
+
+#include "gbtl/types.hpp"
+
+namespace grb {
+
+template <typename T>
+struct MatrixOverlay {
+  /// Dirty row ids, strictly ascending.
+  IndexArrayType rows;
+  /// rows.size() + 1 offsets into `cols` / `vals`.
+  IndexArrayType offsets{0};
+  /// Replacement-row columns, ascending within each row.
+  IndexArrayType cols;
+  std::vector<T> vals;
+
+  std::size_t dirty_rows() const { return rows.size(); }
+  /// Stored entries across all replacement rows — the overlay's memory
+  /// footprint, and the quantity the compaction policy compares against
+  /// the base nnz.
+  std::size_t nnz() const { return cols.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Index into `rows` for row @p i, or dirty_rows() when i is clean.
+  std::size_t find_row(IndexType i) const {
+    std::size_t lo = 0, hi = rows.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (rows[mid] < i)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return (lo < rows.size() && rows[lo] == i) ? lo : rows.size();
+  }
+};
+
+}  // namespace grb

@@ -1,0 +1,236 @@
+#include "graph/delta_csr.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+namespace gbtl_graph {
+
+namespace {
+
+using RowEntries = std::vector<std::pair<grb::IndexType, double>>;
+
+/// Column-sort @p row stably and collapse duplicate columns last-wins.
+/// Stability makes "last in the sorted run" equal "last in input order",
+/// which is the grb::Second dup rule to_matrix applies.
+void canonicalize_row(RowEntries& row) {
+  std::stable_sort(row.begin(), row.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (out > 0 && row[out - 1].first == row[k].first)
+      row[out - 1] = row[k];
+    else
+      row[out++] = row[k];
+  }
+  row.resize(out);
+}
+
+/// The base's row @p i as (col, val) pairs.
+RowEntries base_row(const BaseCsr& base, Index i) {
+  RowEntries row;
+  const auto lo = base.row_offsets[i], hi = base.row_offsets[i + 1];
+  row.reserve(hi - lo);
+  for (auto k = lo; k < hi; ++k) row.emplace_back(base.cols[k], base.vals[k]);
+  return row;
+}
+
+/// An overlay replacement row as (col, val) pairs.
+RowEntries overlay_row(const DeltaOverlay& ov, std::size_t slot) {
+  RowEntries row;
+  const auto lo = ov.offsets[slot], hi = ov.offsets[slot + 1];
+  row.reserve(hi - lo);
+  for (auto k = lo; k < hi; ++k) row.emplace_back(ov.cols[k], ov.vals[k]);
+  return row;
+}
+
+/// Bitwise row equality (column ids and value bit patterns).
+bool rows_identical(const RowEntries& a, const RowEntries& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].first != b[k].first) return false;
+    if (std::memcmp(&a[k].second, &b[k].second, sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BaseCsrPtr build_base_csr(const EdgeList& g) {
+  auto base = std::make_shared<BaseCsr>();
+  base->num_vertices = g.num_vertices;
+  std::vector<RowEntries> rows(g.num_vertices);
+  const bool weighted = g.weighted();
+  for (std::size_t e = 0; e < g.src.size(); ++e)
+    rows[g.src[e]].emplace_back(g.dst[e], weighted ? g.weight[e] : 1.0);
+
+  std::size_t nnz = 0;
+  for (auto& row : rows) {
+    canonicalize_row(row);
+    nnz += row.size();
+  }
+  base->row_offsets.reserve(g.num_vertices + 1);
+  base->cols.reserve(nnz);
+  base->vals.reserve(nnz);
+  base->row_offsets.push_back(0);
+  for (const auto& row : rows) {
+    for (const auto& [c, v] : row) {
+      base->cols.push_back(c);
+      base->vals.push_back(v);
+    }
+    base->row_offsets.push_back(base->cols.size());
+  }
+  return base;
+}
+
+ApplyResult apply_updates(const BaseCsr& base, const DeltaOverlay* prev,
+                          std::size_t prev_live_nnz, const EdgeList& adds,
+                          const EdgeList& removes) {
+  ApplyResult res;
+
+  // Per-row batch ops, rows in ascending order. Removes land before adds
+  // inside each row; adds keep batch order so later upserts win.
+  struct RowOps {
+    std::vector<grb::IndexType> removes;
+    RowEntries adds;
+  };
+  std::map<Index, RowOps> touched;
+  grb::IndexArrayType affected;
+  const bool adds_weighted = adds.weighted();
+  for (std::size_t e = 0; e < removes.src.size(); ++e) {
+    touched[removes.src[e]].removes.push_back(removes.dst[e]);
+    affected.push_back(removes.src[e]);
+    affected.push_back(removes.dst[e]);
+  }
+  for (std::size_t e = 0; e < adds.src.size(); ++e) {
+    touched[adds.src[e]].adds.emplace_back(
+        adds.dst[e], adds_weighted ? adds.weight[e] : 1.0);
+    affected.push_back(adds.src[e]);
+    affected.push_back(adds.dst[e]);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  res.affected = std::move(affected);
+
+  // Rebuild each touched row from its current state (previous replacement
+  // row if dirty, base row otherwise). Untouched dirty rows carry over
+  // verbatim; a touched row that lands bitwise back on its base row drops
+  // out of the overlay.
+  auto next = std::make_shared<DeltaOverlay>();
+  std::size_t live = prev_live_nnz;
+  std::size_t prev_slot = 0;
+  const std::size_t prev_dirty = prev ? prev->dirty_rows() : 0;
+  auto it = touched.begin();
+
+  auto append_row = [&next](Index i, const RowEntries& row) {
+    next->rows.push_back(i);
+    for (const auto& [c, v] : row) {
+      next->cols.push_back(c);
+      next->vals.push_back(v);
+    }
+    next->offsets.push_back(next->cols.size());
+  };
+
+  while (prev_slot < prev_dirty || it != touched.end()) {
+    const Index prev_row =
+        prev_slot < prev_dirty ? prev->rows[prev_slot] : base.num_vertices;
+    const Index batch_row =
+        it != touched.end() ? it->first : base.num_vertices;
+
+    if (prev_row < batch_row) {
+      append_row(prev_row, overlay_row(*prev, prev_slot));
+      ++prev_slot;
+      continue;
+    }
+
+    const Index i = batch_row;
+    RowEntries row = prev_row == batch_row ? overlay_row(*prev, prev_slot)
+                                           : base_row(base, i);
+    if (prev_row == batch_row) ++prev_slot;
+
+    for (const auto col : it->second.removes) {
+      const auto pos = std::lower_bound(
+          row.begin(), row.end(), col,
+          [](const auto& e, grb::IndexType c) { return e.first < c; });
+      if (pos != row.end() && pos->first == col) {
+        row.erase(pos);
+        res.structural_removals = true;
+        ++res.edges_removed;
+        --live;
+      }
+    }
+    for (const auto& [col, val] : it->second.adds) {
+      const auto pos = std::lower_bound(
+          row.begin(), row.end(), col,
+          [](const auto& e, grb::IndexType c) { return e.first < c; });
+      if (pos != row.end() && pos->first == col) {
+        pos->second = val;
+      } else {
+        row.insert(pos, {col, val});
+        ++res.edges_added;
+        ++live;
+      }
+    }
+    if (!rows_identical(row, base_row(base, i))) append_row(i, row);
+    ++it;
+  }
+
+  res.live_nnz = live;
+  res.overlay = next->empty() ? nullptr : std::move(next);
+  return res;
+}
+
+BaseCsrPtr compact(const BaseCsr& base, const DeltaOverlay& overlay) {
+  auto fresh = std::make_shared<BaseCsr>();
+  fresh->num_vertices = base.num_vertices;
+  fresh->row_offsets.reserve(base.num_vertices + 1);
+  fresh->row_offsets.push_back(0);
+  for (Index i = 0; i < base.num_vertices; ++i) {
+    const auto slot = overlay.find_row(i);
+    if (slot < overlay.dirty_rows()) {
+      for (auto k = overlay.offsets[slot]; k < overlay.offsets[slot + 1];
+           ++k) {
+        fresh->cols.push_back(overlay.cols[k]);
+        fresh->vals.push_back(overlay.vals[k]);
+      }
+    } else {
+      for (auto k = base.row_offsets[i]; k < base.row_offsets[i + 1]; ++k) {
+        fresh->cols.push_back(base.cols[k]);
+        fresh->vals.push_back(base.vals[k]);
+      }
+    }
+    fresh->row_offsets.push_back(fresh->cols.size());
+  }
+  return fresh;
+}
+
+EdgeList materialize(const BaseCsr& base, const DeltaOverlay* overlay) {
+  EdgeList g;
+  g.num_vertices = base.num_vertices;
+  for (Index i = 0; i < base.num_vertices; ++i) {
+    const std::size_t slot =
+        overlay ? overlay->find_row(i) : std::size_t{0};
+    if (overlay && slot < overlay->dirty_rows()) {
+      for (auto k = overlay->offsets[slot]; k < overlay->offsets[slot + 1];
+           ++k) {
+        g.src.push_back(i);
+        g.dst.push_back(overlay->cols[k]);
+        g.weight.push_back(overlay->vals[k]);
+      }
+    } else {
+      for (auto k = base.row_offsets[i]; k < base.row_offsets[i + 1]; ++k) {
+        g.src.push_back(i);
+        g.dst.push_back(base.cols[k]);
+        g.weight.push_back(base.vals[k]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace gbtl_graph

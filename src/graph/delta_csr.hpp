@@ -1,0 +1,99 @@
+#pragma once
+
+/// @file delta_csr.hpp
+/// Immutable base CSR + replacement-row delta overlay: the storage layer
+/// behind streaming graph mutations (docs/streaming.md).
+///
+/// A published graph version is (base, overlay): `BaseCsr` is a canonical
+/// column-sorted CSR that never changes after construction, and the overlay
+/// (grb::MatrixOverlay<double>) carries the full merged content of every
+/// row an edge batch has touched since the base was built. Applying a batch
+/// costs O(previous overlay + batch + touched base rows) — the publish path
+/// never rebuilds the base. Once the overlay outgrows CompactionPolicy the
+/// caller folds it into a fresh base (compact(), O(n + nnz)) and starts a
+/// new base generation.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gbtl/overlay.hpp"
+#include "gbtl/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace gbtl_graph {
+
+/// The streaming layer's overlay is always double-valued (the serving
+/// stack's one scalar type).
+using DeltaOverlay = grb::MatrixOverlay<double>;
+using DeltaOverlayPtr = std::shared_ptr<const DeltaOverlay>;
+
+/// Immutable canonical CSR: rows in order, columns ascending within each
+/// row, duplicates already resolved. Built once (build_base_csr / compact)
+/// and shared read-only by every snapshot of its generation.
+struct BaseCsr {
+  Index num_vertices = 0;
+  grb::IndexArrayType row_offsets;  ///< num_vertices + 1
+  grb::IndexArrayType cols;
+  std::vector<double> vals;
+
+  Index num_edges() const { return static_cast<Index>(cols.size()); }
+  Index row_size(Index i) const {
+    return row_offsets[i + 1] - row_offsets[i];
+  }
+};
+
+using BaseCsrPtr = std::shared_ptr<const BaseCsr>;
+
+/// Canonicalize an edge list into a BaseCsr. Duplicate (src, dst) pairs
+/// resolve LAST-wins in input order — the same dup rule as
+/// gbtl_graph::to_matrix (grb::Second), so a matrix built from the result
+/// is bit-identical to one built from the raw list. Unweighted edges get
+/// value 1.
+BaseCsrPtr build_base_csr(const EdgeList& g);
+
+/// One edge batch's outcome, alongside the new overlay.
+struct ApplyResult {
+  DeltaOverlayPtr overlay;          ///< replaces the previous overlay
+  grb::IndexArrayType affected;     ///< endpoints of the batch, sorted unique
+  bool structural_removals = false; ///< a stored edge was actually deleted
+  std::uint64_t edges_added = 0;    ///< upserts that created a new entry
+  std::uint64_t edges_removed = 0;  ///< removes that deleted a stored entry
+  std::size_t live_nnz = 0;         ///< merged entry count after the batch
+};
+
+/// Apply one batch of removes-then-adds on top of (base, prev_overlay).
+/// Within the batch, every remove lands before every add, so an edge both
+/// removed and re-added survives with its new weight. Adds upsert
+/// (last-wins within the batch); removes of absent edges are no-ops. Rows
+/// whose merged content returns to the base row (bitwise, values included)
+/// drop out of the overlay — an add-then-remove round trip leaves a clean
+/// row behind. @p adds weights are optional (empty -> 1.0); @p removes
+/// weights are ignored.
+ApplyResult apply_updates(const BaseCsr& base, const DeltaOverlay* prev,
+                          std::size_t prev_live_nnz, const EdgeList& adds,
+                          const EdgeList& removes);
+
+/// Fold an overlay into a fresh base CSR (O(n + nnz) row substitution).
+BaseCsrPtr compact(const BaseCsr& base, const DeltaOverlay& overlay);
+
+/// Merge (base, overlay) back into a canonical edge list — the bridge to
+/// every monolithic-matrix consumer (device uploads, the serial oracle).
+EdgeList materialize(const BaseCsr& base, const DeltaOverlay* overlay);
+
+/// When to fold the overlay into a fresh base: once it holds more than
+/// max_overlay_ratio * base-nnz entries AND at least min_overlay_nnz (so
+/// tiny graphs don't compact on every batch).
+struct CompactionPolicy {
+  double max_overlay_ratio = 0.25;
+  std::size_t min_overlay_nnz = 64;
+
+  bool should_compact(std::size_t overlay_nnz, std::size_t base_nnz) const {
+    return overlay_nnz >= min_overlay_nnz &&
+           static_cast<double>(overlay_nnz) >
+               max_overlay_ratio * static_cast<double>(base_nnz);
+  }
+};
+
+}  // namespace gbtl_graph

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gbtl/gbtl.hpp"
+#include "graph/delta_csr.hpp"
 #include "graph/edge_list.hpp"
 
 namespace gbtl_graph {
@@ -21,6 +22,23 @@ grb::Matrix<T, Tag> to_matrix(const EdgeList& g) {
   for (Index e = 0; e < g.num_edges(); ++e)
     vals[e] = g.weighted() ? static_cast<T>(g.weight[e]) : T{1};
   a.build(g.src, g.dst, vals, grb::Second<T>{});
+  return a;
+}
+
+/// Build a matrix from a canonical base CSR (graph/delta_csr.hpp). The CSR
+/// is already column-sorted and duplicate-free, so the result is
+/// bit-identical to to_matrix() on the edge list the CSR was built from —
+/// the base side of the overlay-aware ops.
+template <typename T, typename Tag>
+grb::Matrix<T, Tag> base_to_matrix(const BaseCsr& base) {
+  grb::Matrix<T, Tag> a(base.num_vertices, base.num_vertices);
+  grb::IndexArrayType rows;
+  rows.reserve(base.cols.size());
+  for (Index i = 0; i < base.num_vertices; ++i)
+    for (auto k = base.row_offsets[i]; k < base.row_offsets[i + 1]; ++k)
+      rows.push_back(i);
+  std::vector<T> vals(base.vals.begin(), base.vals.end());
+  a.build(rows, base.cols, vals, grb::Second<T>{});
   return a;
 }
 

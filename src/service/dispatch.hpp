@@ -14,10 +14,13 @@
 #include "algorithms/bfs.hpp"
 #include "gbtl/backend_registry.hpp"
 #include "algorithms/connected_components.hpp"
+#include "algorithms/incremental.hpp"
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/triangle_count.hpp"
+#include "service/graph_store.hpp"
 #include "service/query.hpp"
+#include "service/result_cache.hpp"
 
 namespace service {
 
@@ -77,6 +80,119 @@ QueryResult run_query_on(const grb::Matrix<double, Tag>& graph,
   // catch blocks so failed/cancelled results carry it too.
   res.backend = grb::backend::backend_name<Tag>();
   return res;
+}
+
+/// Can @p req warm-start on @p snap from @p prev? The snapshot must be the
+/// direct successor of the cached version (lineage intact), and per kind:
+///  - ConnectedComponents: no structural removals (old labels must stay
+///    upper bounds) and an affected set small enough that frontier
+///    propagation beats a cold solve (<= n/4);
+///  - PageRank: identical solver knobs (a different damping/tol targets a
+///    different fixpoint) — trajectory-dependent, so warm results match
+///    cold ones only to tolerance, never bitwise.
+/// The payload must be a dense vector of the right size in both cases.
+inline bool warm_start_eligible(const GraphSnapshot& snap,
+                                const CachedQueryResult& prev,
+                                const QueryRequest& req) {
+  if (snap.prev_version == 0 || prev.version != snap.prev_version)
+    return false;
+  if (req.kind == QueryKind::kConnectedComponents) {
+    if (snap.structural_removals) return false;
+    if (snap.affected.size() > snap.num_vertices() / 4) return false;
+    return prev.ivals.size() == snap.num_vertices();
+  }
+  if (req.kind == QueryKind::kPageRank) {
+    if (prev.damping != req.damping || prev.tol != req.tol ||
+        prev.max_iterations != req.max_iterations)
+      return false;
+    return prev.dvals.size() == snap.num_vertices();
+  }
+  return false;
+}
+
+/// Incremental ConnectedComponents: seed labels from the previous version's
+/// cached result and propagate from the affected frontier through the
+/// overlay-aware vxm. Labels are bit-identical to a cold solve on the
+/// merged graph (min-label propagation has a unique fixpoint); the round
+/// count in `scalar` is the incremental pass's own and WILL differ from a
+/// cold solve's. @p base_matrix must be built from snap's BASE CSR.
+template <typename Tag>
+QueryResult run_incremental_cc(const grb::Matrix<double, Tag>& base_matrix,
+                               const GraphSnapshot& snap,
+                               const CachedQueryResult& prev,
+                               const grb::ExecutionPolicy& policy) {
+  QueryResult res;
+  try {
+    grb::Vector<grb::IndexType, Tag> labels(base_matrix.nrows());
+    labels.build(prev.indices, prev.ivals);
+    const gbtl_graph::DeltaOverlay empty;
+    res.scalar = algorithms::connected_components_incremental(
+        base_matrix, snap.overlay ? *snap.overlay : empty, snap.affected,
+        labels, policy);
+    labels.extractTuples(res.indices, res.ivals);
+    res.status = QueryStatus::kOk;
+    res.warm_start = true;
+  } catch (const grb::CancelledException& e) {
+    res = QueryResult{};
+    res.status = QueryStatus::kCancelled;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res = QueryResult{};
+    res.status = QueryStatus::kFailed;
+    res.error = e.what();
+  }
+  res.backend = grb::backend::backend_name<Tag>();
+  return res;
+}
+
+/// Warm-started PageRank: restart the power iteration from the previous
+/// version's ranks on the merged @p graph. Converges to the same fixpoint
+/// as a cold solve to solver tolerance — NOT bitwise (the trajectory, and
+/// so the stopping iterate, differs); deterministic given the same cached
+/// seed, which is what the stress suite bit-checks against a serial warm
+/// oracle.
+template <typename Tag>
+QueryResult run_warm_pagerank(const grb::Matrix<double, Tag>& graph,
+                              const CachedQueryResult& prev,
+                              const QueryRequest& req,
+                              const grb::ExecutionPolicy& policy) {
+  QueryResult res;
+  try {
+    grb::Vector<double, Tag> rank(graph.nrows());
+    rank.build(prev.indices, prev.dvals);
+    algorithms::pagerank_warm(graph, rank, req.damping, req.tol,
+                              req.max_iterations, policy);
+    rank.extractTuples(res.indices, res.dvals);
+    res.status = QueryStatus::kOk;
+    res.warm_start = true;
+  } catch (const grb::CancelledException& e) {
+    res = QueryResult{};
+    res.status = QueryStatus::kCancelled;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res = QueryResult{};
+    res.status = QueryStatus::kFailed;
+    res.error = e.what();
+  }
+  res.backend = grb::backend::backend_name<Tag>();
+  return res;
+}
+
+/// Package a kOk result for the ResultCache.
+inline CachedQueryResult to_cached(const QueryResult& res,
+                                   std::uint64_t version,
+                                   const QueryRequest& req) {
+  CachedQueryResult c;
+  c.version = version;
+  c.damping = req.damping;
+  c.tol = req.tol;
+  c.max_iterations = req.max_iterations;
+  c.warm_start = res.warm_start;
+  c.indices = res.indices;
+  c.ivals = res.ivals;
+  c.dvals = res.dvals;
+  c.scalar = res.scalar;
+  return c;
 }
 
 }  // namespace service

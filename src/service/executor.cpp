@@ -76,8 +76,21 @@ void QueryExecutor::shutdown(bool cancel_pending) {
 }
 
 ServiceStats QueryExecutor::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  // The store owns the mutation-side counters; merge them in here so one
+  // snapshot answers both "what did the workers do" and "what happened to
+  // the graphs they did it to". Taken outside stats_mutex_ — the store has
+  // its own lock and nesting the two would order them needlessly.
+  const StoreStats store = store_->stats();
+  snapshot.mutations = store.mutations;
+  snapshot.compactions = store.compactions;
+  snapshot.edges_added = store.edges_added;
+  snapshot.edges_removed = store.edges_removed;
+  return snapshot;
 }
 
 void QueryExecutor::resolve(Job& job, QueryResult res) {
@@ -134,7 +147,24 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
   grb::cpupar_backend::ScopedPool bind_pool(cpu_pool);
   HostGraphCache host_cache;
 
+  // Last store mutation epoch this worker swept its device cache at. The
+  // sweep (invalidate_retired) drops entries whose version/generation is no
+  // longer any graph's current one — LRU aging alone would keep a retired
+  // version resident (and billed against the budget) for as long as queries
+  // keep the cache warm.
+  std::uint64_t last_epoch = store_->mutation_epoch();
+
   while (auto job = queue_.pop()) {
+    const std::uint64_t epoch = store_->mutation_epoch();
+    if (epoch != last_epoch) {
+      const std::size_t dropped = cache.invalidate_retired(*store_);
+      last_epoch = epoch;
+      if (dropped != 0) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.cache_invalidations += dropped;
+      }
+    }
+
     QueryResult res;
     res.worker = worker_index;
 
@@ -180,7 +210,7 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
         !use_gpushard &&
         (options_.backend_mode == BackendMode::kForceCpuPar ||
          (options_.backend_mode == BackendMode::kAuto &&
-          snap->edges.num_edges() < options_.crossover_nnz));
+          snap->num_edges() < options_.crossover_nnz));
     {
       // The query is now mid-flight: it passed the queued-expiry checks and
       // is about to run. Tests event-wait on this counter.
@@ -189,25 +219,89 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
     }
     try {
       const std::size_t worker = res.worker;
-      if (use_gpushard) {
-        const auto before = ctx.stats();
-        const ShardedMatrixPtr graph = cache.get_or_upload_sharded(snap);
-        res = run_query_on<grb::GpuShard>(*graph, job->request, policy);
-        const auto delta = ctx.stats() - before;
+      // Incremental recompute applies to the two iterative kinds only, and
+      // never on the sharded path (GpuShard has no overlay kernels — an
+      // oversized graph always solves cold).
+      const bool incremental_kind =
+          job->request.kind == QueryKind::kPageRank ||
+          job->request.kind == QueryKind::kConnectedComponents;
+      std::optional<CachedQueryResult> prev;
+      if (job->request.incremental && incremental_kind && !use_gpushard)
+        prev = result_cache_.get(job->request.graph, job->request.kind);
+
+      const bool replay =
+          prev && prev->version == snap->version &&
+          (job->request.kind != QueryKind::kPageRank ||
+           (prev->damping == job->request.damping &&
+            prev->tol == job->request.tol &&
+            prev->max_iterations == job->request.max_iterations));
+      const bool warm =
+          !replay && prev && warm_start_eligible(*snap, *prev, job->request);
+
+      if (replay) {
+        // Exact-version hit: the cached payload IS this snapshot's answer.
+        // No backend runs; warm_start carries over so verifiers know which
+        // oracle (cold or warm) the replayed bits came from.
+        res.status = QueryStatus::kOk;
+        res.indices = prev->indices;
+        res.ivals = prev->ivals;
+        res.dvals = prev->dvals;
+        res.scalar = prev->scalar;
+        res.warm_start = prev->warm_start;
+        res.backend = "result-cache";
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.shards_active =
-            std::max(stats_.shards_active, delta.shards_active);
-        stats_.halo_bytes_exchanged += delta.halo_bytes_exchanged;
-        stats_.halo_seconds_hidden += delta.halo_seconds_hidden;
-      } else if (use_cpupar) {
-        const HostMatrixPtr graph = host_cache.get_or_build(snap);
-        res = run_query_on<grb::CpuPar>(*graph, job->request, policy);
+        ++stats_.result_cache_hits;
+      } else if (warm) {
+        if (job->request.kind == QueryKind::kConnectedComponents) {
+          // Overlay-aware: needs the BASE matrix (keyed by generation, so
+          // successive versions on one base share a single upload) plus the
+          // snapshot's delta overlay, streamed in by the overlay ops.
+          if (use_cpupar) {
+            const HostMatrixPtr base = host_cache.get_or_build_base(snap);
+            res = run_incremental_cc<grb::CpuPar>(*base, *snap, *prev,
+                                                  policy);
+          } else {
+            const DeviceMatrixPtr base = cache.get_or_upload_base(snap);
+            res = run_incremental_cc<grb::GpuSim>(*base, *snap, *prev,
+                                                  policy);
+          }
+        } else {
+          // Warm PageRank iterates the full merged operator — only the
+          // starting iterate changes, so it uses the merged matrix.
+          if (use_cpupar) {
+            const HostMatrixPtr graph = host_cache.get_or_build(snap);
+            res = run_warm_pagerank<grb::CpuPar>(*graph, *prev,
+                                                 job->request, policy);
+          } else {
+            const DeviceMatrixPtr graph = cache.get_or_upload(snap);
+            res = run_warm_pagerank<grb::GpuSim>(*graph, *prev,
+                                                 job->request, policy);
+          }
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        if (use_cpupar)
+          ++stats_.ran_cpupar;
+        else
+          ++stats_.ran_gpusim;
+        if (res.status == QueryStatus::kOk) ++stats_.warm_starts;
       } else {
-        const DeviceMatrixPtr graph = cache.get_or_upload(snap);
-        res = run_query_on<grb::GpuSim>(*graph, job->request, policy);
-      }
-      res.worker = worker;
-      {
+        if (use_gpushard) {
+          const auto before = ctx.stats();
+          const ShardedMatrixPtr graph = cache.get_or_upload_sharded(snap);
+          res = run_query_on<grb::GpuShard>(*graph, job->request, policy);
+          const auto delta = ctx.stats() - before;
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.shards_active =
+              std::max(stats_.shards_active, delta.shards_active);
+          stats_.halo_bytes_exchanged += delta.halo_bytes_exchanged;
+          stats_.halo_seconds_hidden += delta.halo_seconds_hidden;
+        } else if (use_cpupar) {
+          const HostMatrixPtr graph = host_cache.get_or_build(snap);
+          res = run_query_on<grb::CpuPar>(*graph, job->request, policy);
+        } else {
+          const DeviceMatrixPtr graph = cache.get_or_upload(snap);
+          res = run_query_on<grb::GpuSim>(*graph, job->request, policy);
+        }
         std::lock_guard<std::mutex> lock(stats_mutex_);
         if (use_gpushard)
           ++stats_.ran_gpushard;
@@ -215,11 +309,21 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
           ++stats_.ran_cpupar;
         else
           ++stats_.ran_gpusim;
+        // Incremental was requested but lineage / eligibility said no —
+        // count the cold solve so tests (and operators) can see fallbacks.
+        if (job->request.incremental && incremental_kind)
+          ++stats_.cold_fallbacks;
       }
+      res.worker = worker;
+      if (job->request.incremental && incremental_kind &&
+          res.status == QueryStatus::kOk)
+        result_cache_.put(job->request.graph, job->request.kind,
+                          to_cached(res, snap->version, job->request));
     } catch (const std::exception& e) {
       res.status = QueryStatus::kFailed;
       res.error = e.what();
     }
+    res.version = snap->version;
     // Backend boundary: drain this worker's lazy op-DAG and every context
     // of its placement before the result is published, so no recorded op
     // or in-flight shard transfer survives into the next query (or into
@@ -232,17 +336,28 @@ void QueryExecutor::worker_main(std::size_t worker_index) {
 
 QueryResult QueryExecutor::execute_serial(const GraphStore& store,
                                           const QueryRequest& req) {
-  QueryResult res;
   const SnapshotPtr snap = store.get(req.graph);
   if (snap == nullptr) {
+    QueryResult res;
     res.status = QueryStatus::kFailed;
     res.error = "unknown graph: " + req.graph;
     return res;
   }
+  return execute_serial_on(*snap, req);
+}
+
+QueryResult QueryExecutor::execute_serial_on(const GraphSnapshot& snap,
+                                             const QueryRequest& req) {
+  // The oracle always solves the MERGED graph monolithically — overlay and
+  // base folded back into one CSR — which is exactly what the overlay-aware
+  // paths must be bit-identical to.
   const auto graph =
-      gbtl_graph::to_matrix<double, grb::Sequential>(snap->edges);
+      gbtl_graph::to_matrix<double, grb::Sequential>(snap.materialize());
   // run_query_on stamps res.backend = "sequential".
-  return run_query_on<grb::Sequential>(graph, req, grb::ExecutionPolicy{});
+  QueryResult res =
+      run_query_on<grb::Sequential>(graph, req, grb::ExecutionPolicy{});
+  res.version = snap.version;
+  return res;
 }
 
 }  // namespace service

@@ -33,6 +33,7 @@
 #include "service/admission.hpp"
 #include "service/graph_store.hpp"
 #include "service/query.hpp"
+#include "service/result_cache.hpp"
 #include "service/stats.hpp"
 
 namespace service {
@@ -120,6 +121,12 @@ class QueryExecutor {
   static QueryResult execute_serial(const GraphStore& store,
                                     const QueryRequest& req);
 
+  /// Same oracle pinned to an explicit snapshot — under concurrent mutation
+  /// the store's head may have moved past the version a result was stamped
+  /// with, so the stress suite replays against the exact snapshot instead.
+  static QueryResult execute_serial_on(const GraphSnapshot& snap,
+                                       const QueryRequest& req);
+
  private:
   struct Job {
     QueryRequest request;
@@ -133,6 +140,12 @@ class QueryExecutor {
 
   const std::shared_ptr<GraphStore> store_;
   const ExecutorOptions options_;
+
+  /// Per-(graph, kind) incremental results, shared by ALL workers: the query
+  /// that produced version v's result and the one that warm-starts from it
+  /// on v+1 may land on different workers, so lineage cannot live in
+  /// worker-local state (unlike the matrix caches, which are placement).
+  ResultCache result_cache_;
 
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;

@@ -16,9 +16,54 @@ SnapshotPtr GraphStore::add(std::string name, gbtl_graph::EdgeList edges) {
   auto snap = std::make_shared<GraphSnapshot>();
   snap->name = std::move(name);
   snap->version = (slot != nullptr) ? slot->version + 1 : 1;
-  snap->edges = std::move(edges);
+  // A bulk load severs incremental lineage (prev_version 0) and starts a
+  // fresh base generation so base-keyed cache entries can't alias.
+  snap->base_generation =
+      (slot != nullptr) ? slot->base_generation + 1 : 1;
+  snap->base = gbtl_graph::build_base_csr(edges);
+  snap->live_nnz = snap->base->num_edges();
   slot = snap;  // the old snapshot lives on in whoever still holds it
+  mutation_epoch_.fetch_add(1, std::memory_order_release);
   return slot;
+}
+
+SnapshotPtr GraphStore::apply_edges(const std::string& name,
+                                    const gbtl_graph::EdgeList& adds,
+                                    const gbtl_graph::EdgeList& removes,
+                                    const gbtl_graph::CompactionPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = graphs_.find(name);
+  if (it == graphs_.end()) return nullptr;
+  const SnapshotPtr& prev = it->second;
+
+  auto applied = gbtl_graph::apply_updates(
+      *prev->base, prev->overlay.get(), prev->live_nnz, adds, removes);
+
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->name = name;
+  snap->version = prev->version + 1;
+  snap->prev_version = prev->version;
+  snap->base = prev->base;  // shared, not rebuilt: the O(delta) publish
+  snap->base_generation = prev->base_generation;
+  snap->overlay = applied.overlay;
+  snap->live_nnz = applied.live_nnz;
+  snap->affected = std::move(applied.affected);
+  snap->structural_removals = applied.structural_removals;
+
+  if (snap->overlay != nullptr &&
+      policy.should_compact(snap->overlay->nnz(), snap->base->num_edges())) {
+    snap->base = gbtl_graph::compact(*snap->base, *snap->overlay);
+    snap->overlay = nullptr;
+    ++snap->base_generation;
+    ++stats_.compactions;
+  }
+
+  ++stats_.mutations;
+  stats_.edges_added += applied.edges_added;
+  stats_.edges_removed += applied.edges_removed;
+  it->second = snap;
+  mutation_epoch_.fetch_add(1, std::memory_order_release);
+  return snap;
 }
 
 SnapshotPtr GraphStore::get(const std::string& name) const {
@@ -40,6 +85,11 @@ std::size_t GraphStore::size() const {
   return graphs_.size();
 }
 
+StoreStats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 // --- DeviceGraphCache ------------------------------------------------------
 
 DeviceGraphCache::DeviceGraphCache(gpu_sim::Context& ctx,
@@ -54,7 +104,7 @@ DeviceMatrixPtr DeviceGraphCache::get_or_upload(const SnapshotPtr& snap) {
     throw gpu_sim::DeviceError(
         "DeviceGraphCache used without its context bound (ScopedDevice)");
 
-  if (Entry* hit = find_mru(snap->name, snap->version, /*sharded=*/false)) {
+  if (Entry* hit = find_mru(snap->name, Kind::kMerged, snap->version)) {
     ++stats_.hits;
     return hit->matrix;
   }
@@ -66,20 +116,65 @@ DeviceMatrixPtr DeviceGraphCache::get_or_upload(const SnapshotPtr& snap) {
          stats_.resident_bytes + bytes > budget_bytes_)
     evict_lru();
 
+  auto do_upload = [&] {
+    return std::make_shared<const grb::Matrix<double, grb::GpuSim>>(
+        gbtl_graph::to_matrix<double, grb::GpuSim>(snap->materialize()));
+  };
   DeviceMatrixPtr matrix;
   try {
-    matrix = upload(*snap);
+    matrix = do_upload();
   } catch (const gpu_sim::DeviceBadAlloc&) {
     // The estimate undershot or non-cache allocations crowded us out: drop
     // everything cached, trim the pool's freelists, and retry once.
     evict_all();
     ctx_.trim();
-    matrix = upload(*snap);
+    matrix = do_upload();
   }
 
   Entry entry;
   entry.name = snap->name;
-  entry.version = snap->version;
+  entry.kind = Kind::kMerged;
+  entry.key = snap->version;
+  entry.matrix = matrix;
+  entry.bytes = bytes;
+  insert_within_budget(std::move(entry));
+  return matrix;
+}
+
+DeviceMatrixPtr DeviceGraphCache::get_or_upload_base(const SnapshotPtr& snap) {
+  if (&gpu_sim::device() != &ctx_)
+    throw gpu_sim::DeviceError(
+        "DeviceGraphCache used without its context bound (ScopedDevice)");
+
+  if (Entry* hit =
+          find_mru(snap->name, Kind::kBase, snap->base_generation)) {
+    ++stats_.hits;
+    return hit->matrix;
+  }
+  ++stats_.misses;
+
+  const std::size_t bytes = snap->device_base_bytes_estimate();
+  while (!entries_.empty() &&
+         stats_.resident_bytes + bytes > budget_bytes_)
+    evict_lru();
+
+  auto do_upload = [&] {
+    return std::make_shared<const grb::Matrix<double, grb::GpuSim>>(
+        gbtl_graph::base_to_matrix<double, grb::GpuSim>(*snap->base));
+  };
+  DeviceMatrixPtr matrix;
+  try {
+    matrix = do_upload();
+  } catch (const gpu_sim::DeviceBadAlloc&) {
+    evict_all();
+    ctx_.trim();
+    matrix = do_upload();
+  }
+
+  Entry entry;
+  entry.name = snap->name;
+  entry.kind = Kind::kBase;
+  entry.key = snap->base_generation;
   entry.matrix = matrix;
   entry.bytes = bytes;
   insert_within_budget(std::move(entry));
@@ -92,7 +187,7 @@ ShardedMatrixPtr DeviceGraphCache::get_or_upload_sharded(
     throw gpu_sim::DeviceError(
         "DeviceGraphCache used without its context bound (ScopedDevice)");
 
-  if (Entry* hit = find_mru(snap->name, snap->version, /*sharded=*/true)) {
+  if (Entry* hit = find_mru(snap->name, Kind::kSharded, snap->version)) {
     ++stats_.hits;
     return hit->sharded_matrix;
   }
@@ -112,24 +207,43 @@ ShardedMatrixPtr DeviceGraphCache::get_or_upload_sharded(
     evict_lru();
 
   auto matrix = std::make_shared<const grb::Matrix<double, grb::GpuShard>>(
-      gbtl_graph::to_matrix<double, grb::GpuShard>(snap->edges));
+      gbtl_graph::to_matrix<double, grb::GpuShard>(snap->materialize()));
 
   Entry entry;
   entry.name = snap->name;
-  entry.version = snap->version;
-  entry.sharded = true;
+  entry.kind = Kind::kSharded;
+  entry.key = snap->version;
   entry.sharded_matrix = matrix;
   entry.bytes = bytes;
   insert_within_budget(std::move(entry));
   return matrix;
 }
 
+std::size_t DeviceGraphCache::invalidate_retired(const GraphStore& store) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const SnapshotPtr current = store.get(it->name);
+    const bool live =
+        current != nullptr &&
+        it->key == (it->kind == Kind::kBase ? current->base_generation
+                                            : current->version);
+    if (live) {
+      ++it;
+      continue;
+    }
+    stats_.resident_bytes -= it->bytes;
+    ++stats_.invalidations;
+    ++dropped;
+    it = entries_.erase(it);  // in-use matrices survive via their shared_ptr
+  }
+  return dropped;
+}
+
 DeviceGraphCache::Entry* DeviceGraphCache::find_mru(const std::string& name,
-                                                    std::uint64_t version,
-                                                    bool sharded) {
+                                                    Kind kind,
+                                                    std::uint64_t key) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->name == name && it->version == version &&
-        it->sharded == sharded) {
+    if (it->name == name && it->kind == kind && it->key == key) {
       entries_.splice(entries_.begin(), entries_, it);  // mark MRU
       return &entries_.front();
     }
@@ -141,11 +255,6 @@ void DeviceGraphCache::insert_within_budget(Entry entry) {
   if (entry.bytes > budget_bytes_) return;  // never cached, handed out only
   stats_.resident_bytes += entry.bytes;
   entries_.push_front(std::move(entry));
-}
-
-DeviceMatrixPtr DeviceGraphCache::upload(const GraphSnapshot& snap) {
-  return std::make_shared<const grb::Matrix<double, grb::GpuSim>>(
-      gbtl_graph::to_matrix<double, grb::GpuSim>(snap.edges));
 }
 
 void DeviceGraphCache::evict_lru() {
@@ -163,14 +272,27 @@ void DeviceGraphCache::evict_all() {
 
 HostMatrixPtr HostGraphCache::get_or_build(const SnapshotPtr& snap) {
   auto& entry = entries_[snap->name];
-  if (entry.matrix != nullptr && entry.version == snap->version) {
+  if (entry.matrix != nullptr && entry.key == snap->version) {
     ++stats_.hits;
     return entry.matrix;
   }
   ++stats_.misses;
-  entry.version = snap->version;
+  entry.key = snap->version;
   entry.matrix = std::make_shared<const grb::Matrix<double, grb::CpuPar>>(
-      gbtl_graph::to_matrix<double, grb::CpuPar>(snap->edges));
+      gbtl_graph::to_matrix<double, grb::CpuPar>(snap->materialize()));
+  return entry.matrix;
+}
+
+HostMatrixPtr HostGraphCache::get_or_build_base(const SnapshotPtr& snap) {
+  auto& entry = base_entries_[snap->name];
+  if (entry.matrix != nullptr && entry.key == snap->base_generation) {
+    ++stats_.hits;
+    return entry.matrix;
+  }
+  ++stats_.misses;
+  entry.key = snap->base_generation;
+  entry.matrix = std::make_shared<const grb::Matrix<double, grb::CpuPar>>(
+      gbtl_graph::base_to_matrix<double, grb::CpuPar>(*snap->base));
   return entry.matrix;
 }
 

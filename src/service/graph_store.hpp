@@ -3,18 +3,26 @@
 /// @file graph_store.hpp
 /// Host-side graph catalog + per-worker device-side cache.
 ///
-/// The store owns named, versioned, *immutable* host snapshots (EdgeList
-/// form). Replacing a name bumps the version and publishes a new snapshot;
-/// snapshots already handed out stay alive (shared_ptr) so in-flight queries
-/// never observe a mutation — readers need no locks beyond the pointer swap.
+/// The store owns named, versioned, *immutable* host snapshots. A snapshot
+/// is (base CSR, delta overlay): add() bulk-loads a fresh base,
+/// apply_edges() publishes the next version in O(delta) by layering a new
+/// replacement-row overlay over the SAME base — the base shared_ptr is
+/// reused, never rebuilt, until the compaction policy folds the overlay
+/// into a fresh base and bumps the base generation. Snapshots already
+/// handed out stay alive (shared_ptr) so in-flight queries never observe a
+/// mutation — readers need no locks beyond the pointer swap.
 ///
 /// Each executor worker owns a DeviceGraphCache bound to its private
 /// gpu_sim::Context: the first query against a (name, version) pays the
 /// build + host->device upload, subsequent queries on that worker reuse the
 /// resident grb::Matrix. Under memory pressure the cache evicts in LRU
-/// order; evicted matrices handed out earlier stay valid until their last
-/// shared_ptr drops (eviction only forgets, it never frees in-use memory).
+/// order; on top of that, invalidate_retired() drops entries whose versions
+/// the store has since retired, so long-lived workers don't pin device
+/// memory for unreachable snapshots. Evicted matrices handed out earlier
+/// stay valid until their last shared_ptr drops (eviction only forgets, it
+/// never frees in-use memory).
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -25,23 +33,55 @@
 
 #include "gbtl/gbtl.hpp"
 #include "gpu_sim/context.hpp"
+#include "graph/delta_csr.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/graph_matrix.hpp"
 
 namespace service {
 
-/// One immutable, versioned host-side graph. Never modified after
-/// construction; shared by every worker and every in-flight query.
+/// One immutable, versioned host-side graph: a shared base CSR plus an
+/// optional delta overlay. Never modified after construction; shared by
+/// every worker and every in-flight query.
 struct GraphSnapshot {
   std::string name;
   std::uint64_t version = 0;
-  gbtl_graph::EdgeList edges;
+  /// Version this snapshot was derived from by apply_edges; 0 when the
+  /// snapshot came from a bulk add() (no incremental lineage).
+  std::uint64_t prev_version = 0;
+  /// Bumped whenever the base CSR is rebuilt (bulk add or compaction) —
+  /// the cache key for base-side matrices, which survive overlay-only
+  /// version bumps.
+  std::uint64_t base_generation = 1;
+
+  gbtl_graph::BaseCsrPtr base;
+  /// Replacement rows layered over `base`; nullptr when the snapshot is
+  /// compact (fresh base, no delta).
+  gbtl_graph::DeltaOverlayPtr overlay;
+  /// Merged (deduplicated) edge count of base+overlay.
+  std::size_t live_nnz = 0;
+
+  /// Endpoints touched by the batch that produced this version (sorted,
+  /// unique) — the incremental algorithms' seed frontier.
+  grb::IndexArrayType affected;
+  /// True when the producing batch actually deleted a stored edge, which
+  /// invalidates monotone warm starts (incremental CC falls back cold).
+  bool structural_removals = false;
+
+  std::uint64_t num_vertices() const { return base->num_vertices; }
+  std::uint64_t num_edges() const { return live_nnz; }
+  std::size_t overlay_nnz() const { return overlay ? overlay->nnz() : 0; }
+
+  /// Merge base + overlay into a canonical edge list (the monolithic-build
+  /// bridge: device uploads, serial oracles).
+  gbtl_graph::EdgeList materialize() const {
+    return gbtl_graph::materialize(*base, overlay.get());
+  }
 
   /// Rough CSR footprint on the device (row offsets + column ids + values).
   /// This is what the oversized-graph routing compares against one arena.
   std::size_t device_csr_bytes_estimate() const {
-    const std::size_t n = edges.num_vertices;
-    const std::size_t nnz = edges.num_edges();
+    const std::size_t n = num_vertices();
+    const std::size_t nnz = num_edges();
     return (n + 1) * sizeof(std::uint64_t) +
            nnz * (sizeof(std::uint64_t) + sizeof(double));
   }
@@ -53,19 +93,50 @@ struct GraphSnapshot {
   std::size_t device_bytes_estimate() const {
     return 2 * device_csr_bytes_estimate();
   }
+
+  /// Footprint of the base-only matrix (ignores the overlay, which is
+  /// uploaded per call by the overlay-aware ops).
+  std::size_t device_base_bytes_estimate() const {
+    const std::size_t n = base->num_vertices;
+    const std::size_t nnz = base->num_edges();
+    return 2 * ((n + 1) * sizeof(std::uint64_t) +
+                nnz * (sizeof(std::uint64_t) + sizeof(double)));
+  }
 };
 
 using SnapshotPtr = std::shared_ptr<const GraphSnapshot>;
 
-/// Thread-safe catalog of named graphs. add() publishes atomically; get()
-/// returns the current snapshot (or nullptr). All methods are safe to call
-/// concurrently from any thread.
+/// Store-level mutation counters (returned by value under the lock).
+struct StoreStats {
+  std::uint64_t mutations = 0;    ///< apply_edges batches published
+  std::uint64_t compactions = 0;  ///< overlay folds into a fresh base
+  std::uint64_t edges_added = 0;
+  std::uint64_t edges_removed = 0;
+};
+
+/// Thread-safe catalog of named graphs. add() and apply_edges() publish
+/// atomically; get() returns the current snapshot (or nullptr). All methods
+/// are safe to call concurrently from any thread.
 class GraphStore {
  public:
-  /// Insert or replace @p name. Replacement bumps the version so device
-  /// caches keyed on (name, version) miss and re-upload the new graph.
-  /// @returns the published snapshot.
+  /// Insert or replace @p name with a bulk-loaded graph (fresh base CSR, no
+  /// overlay). Replacement bumps the version AND the base generation so
+  /// device caches keyed on either miss and re-upload. @returns the
+  /// published snapshot.
   SnapshotPtr add(std::string name, gbtl_graph::EdgeList edges);
+
+  /// Apply one batch of edge mutations to @p name and publish the result as
+  /// a new version. Removes land before adds; adds upsert (last wins);
+  /// removes of absent edges are no-ops. The publish path is O(batch +
+  /// touched rows + previous overlay): the base CSR is reused by pointer.
+  /// When the merged overlay crosses @p policy (default CompactionPolicy),
+  /// it is folded into a fresh base (O(n + nnz)) and the base generation
+  /// bumps — the only time the publish path pays a full rebuild.
+  /// @returns the published snapshot, or nullptr if @p name is absent.
+  SnapshotPtr apply_edges(const std::string& name,
+                          const gbtl_graph::EdgeList& adds,
+                          const gbtl_graph::EdgeList& removes,
+                          const gbtl_graph::CompactionPolicy& policy = {});
 
   /// Current snapshot of @p name, or nullptr if absent.
   SnapshotPtr get(const std::string& name) const;
@@ -73,9 +144,20 @@ class GraphStore {
   std::vector<std::string> names() const;
   std::size_t size() const;
 
+  StoreStats stats() const;
+
+  /// Bumped on every publish (add or apply_edges). Workers compare against
+  /// their last-seen value to decide when a retired-version cache sweep is
+  /// due, without taking the store lock on the fast path.
+  std::uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, SnapshotPtr> graphs_;
+  StoreStats stats_;
+  std::atomic<std::uint64_t> mutation_epoch_{0};
 };
 
 /// Device matrices are shared so an evicted-but-in-use graph survives until
@@ -103,20 +185,28 @@ class HostGraphCache {
     std::uint64_t misses = 0;
   };
 
-  /// The host matrix for @p snap, building it on first use (or when the
-  /// store republished @p snap's name under a newer version).
+  /// The merged host matrix for @p snap, building it on first use (or when
+  /// the store republished @p snap's name under a newer version).
   HostMatrixPtr get_or_build(const SnapshotPtr& snap);
 
+  /// The BASE-ONLY host matrix for @p snap, keyed on the base generation:
+  /// overlay-only version bumps keep hitting the same entry, which is what
+  /// lets incremental queries skip the merged rebuild.
+  HostMatrixPtr get_or_build_base(const SnapshotPtr& snap);
+
   const CacheStats& stats() const { return stats_; }
-  std::size_t entries() const { return entries_.size(); }
+  std::size_t entries() const {
+    return entries_.size() + base_entries_.size();
+  }
 
  private:
   struct Entry {
-    std::uint64_t version = 0;
+    std::uint64_t key = 0;  ///< version (merged) or base generation (base)
     HostMatrixPtr matrix;
   };
 
   std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Entry> base_entries_;
   CacheStats stats_;
 };
 
@@ -134,6 +224,9 @@ class DeviceGraphCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Entries dropped because the store retired their version (distinct
+    /// from LRU evictions — these free memory nothing can reach again).
+    std::uint64_t invalidations = 0;
     std::size_t resident_bytes = 0;  ///< estimate of cached (not in-use) data
   };
 
@@ -141,11 +234,16 @@ class DeviceGraphCache {
   /// (every call uploads and nothing is retained).
   DeviceGraphCache(gpu_sim::Context& ctx, std::size_t budget_bytes);
 
-  /// The device matrix for @p snap, uploading on first use. LRU entries are
-  /// evicted until the estimate fits the budget; if the device itself
-  /// reports out-of-memory during the upload, the whole cache is dropped
-  /// and the upload retried once before the error propagates.
+  /// The merged device matrix for @p snap, uploading on first use. LRU
+  /// entries are evicted until the estimate fits the budget; if the device
+  /// itself reports out-of-memory during the upload, the whole cache is
+  /// dropped and the upload retried once before the error propagates.
   DeviceMatrixPtr get_or_upload(const SnapshotPtr& snap);
+
+  /// The BASE-ONLY device matrix for @p snap, keyed on (name, base
+  /// generation) — stable across overlay-only version bumps, so the
+  /// overlay-aware ops reuse it and pay only the O(delta) overlay upload.
+  DeviceMatrixPtr get_or_upload_base(const SnapshotPtr& snap);
 
   /// The sharded device matrix for @p snap, spread over the calling
   /// thread's gpu_sim placement (row-block shards built lazily on first
@@ -156,23 +254,31 @@ class DeviceGraphCache {
   /// slices fit their contexts.
   ShardedMatrixPtr get_or_upload_sharded(const SnapshotPtr& snap);
 
+  /// Drop every entry whose key the store has retired: merged/sharded
+  /// entries whose version is no longer @p store's current version for
+  /// that name, and base entries whose generation was compacted away.
+  /// @returns the number of entries dropped.
+  std::size_t invalidate_retired(const GraphStore& store);
+
   const CacheStats& stats() const { return stats_; }
   std::size_t budget_bytes() const { return budget_bytes_; }
   std::size_t entries() const { return entries_.size(); }
 
  private:
+  /// Monolithic merged matrix, base-only matrix, and sharded matrix entries
+  /// coexist in one list under one budget.
+  enum class Kind { kMerged, kBase, kSharded };
+
   struct Entry {
     std::string name;
-    std::uint64_t version = 0;
-    bool sharded = false;  ///< monolithic and sharded entries coexist
+    Kind kind = Kind::kMerged;
+    std::uint64_t key = 0;  ///< version, or base generation for kBase
     DeviceMatrixPtr matrix;
     ShardedMatrixPtr sharded_matrix;
     std::size_t bytes = 0;
   };
 
-  DeviceMatrixPtr upload(const GraphSnapshot& snap);
-  Entry* find_mru(const std::string& name, std::uint64_t version,
-                  bool sharded);
+  Entry* find_mru(const std::string& name, Kind kind, std::uint64_t key);
   void insert_within_budget(Entry entry);
   void evict_lru();
   void evict_all();

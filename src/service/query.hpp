@@ -61,6 +61,12 @@ struct QueryRequest {
   std::optional<std::chrono::milliseconds> timeout;
   /// Optional caller-held cooperative cancel (grb::make_cancel_token()).
   grb::CancelToken cancel;
+
+  /// Opt into incremental recompute (PageRank / ConnectedComponents only):
+  /// the executor caches this query's result per version and warm-starts
+  /// the next one from it when the snapshot lineage allows, falling back
+  /// to a cold solve otherwise (docs/streaming.md).
+  bool incremental = false;
 };
 
 enum class QueryStatus : unsigned {
@@ -100,6 +106,13 @@ struct QueryResult {
   std::string error;                      ///< kFailed / kCancelled detail
   std::chrono::microseconds latency{0};   ///< admission -> resolution
   std::size_t worker = 0;                 ///< executing worker index
+  /// GraphStore version of the snapshot this query ran against (0 when it
+  /// never reached one) — the key for replaying the query against its
+  /// exact graph state under concurrent mutation.
+  std::uint64_t version = 0;
+  /// True when the result came from an incremental warm start rather than
+  /// a cold solve.
+  bool warm_start = false;
   /// Registry name of the backend that ran the query ("sequential",
   /// "cpupar", "gpusim"); empty when the query never reached a backend
   /// (shed, or cancelled while queued).

@@ -1,0 +1,78 @@
+#pragma once
+
+/// @file result_cache.hpp
+/// Per-version query-result cache for incremental recompute — the result
+/// sibling of DeviceGraphCache's (name, version) keying. The executor
+/// stores each incremental PageRank / ConnectedComponents result under
+/// (graph, kind) with the version it ran against; the next incremental
+/// query on the same (graph, kind) either replays it verbatim (same
+/// version) or warm-starts from it (direct successor version, see
+/// dispatch.hpp). Shared by all workers — incremental lineage must survive
+/// whichever worker dequeues the next query — so access is mutexed; the
+/// payloads are copied in and out, never shared.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gbtl/types.hpp"
+#include "service/query.hpp"
+
+namespace service {
+
+/// A cached solve: the payload plus everything that must match for a warm
+/// start to be meaningful (version lineage, and for PageRank the solver
+/// knobs — warm-starting toward a different fixpoint would be wrong).
+struct CachedQueryResult {
+  std::uint64_t version = 0;
+  double damping = 0.85;
+  double tol = 1e-8;
+  grb::IndexType max_iterations = 100;
+  /// Whether the cached payload itself came from a warm start — replayed
+  /// results carry the flag forward so verifiers know which oracle to
+  /// compare against (warm PageRank is trajectory-dependent).
+  bool warm_start = false;
+
+  grb::IndexArrayType indices;
+  std::vector<grb::IndexType> ivals;
+  std::vector<double> dvals;
+  std::uint64_t scalar = 0;
+};
+
+class ResultCache {
+ public:
+  /// Latest cached result for (graph, kind), or nullopt.
+  std::optional<CachedQueryResult> get(const std::string& graph,
+                                       QueryKind kind) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find({graph, kind});
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Publish @p result as the latest for (graph, kind). Stale writers lose:
+  /// a result for an older version than the cached one is dropped, so
+  /// out-of-order worker completions can't roll lineage backwards.
+  void put(const std::string& graph, QueryKind kind,
+           CachedQueryResult result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[{graph, kind}];
+    if (slot.version > result.version) return;
+    slot = std::move(result);
+  }
+
+  std::size_t entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, QueryKind>, CachedQueryResult> entries_;
+};
+
+}  // namespace service

@@ -131,6 +131,17 @@ struct ServiceStats {
   std::uint64_t shards_active = 0;        ///< high-water mark across workers
   std::uint64_t halo_bytes_exchanged = 0;
   double halo_seconds_hidden = 0.0;
+  /// Streaming-mutation counters (docs/streaming.md). The store-side four
+  /// are merged from GraphStore::stats() when the executor snapshots; the
+  /// rest are executor-side.
+  std::uint64_t mutations = 0;         ///< apply_edges batches published
+  std::uint64_t compactions = 0;       ///< overlay folds into a fresh base
+  std::uint64_t edges_added = 0;
+  std::uint64_t edges_removed = 0;
+  std::uint64_t warm_starts = 0;       ///< incremental queries served warm
+  std::uint64_t cold_fallbacks = 0;    ///< incremental requested, ran cold
+  std::uint64_t result_cache_hits = 0; ///< exact-version result replays
+  std::uint64_t cache_invalidations = 0;  ///< retired entries dropped
   LatencyHistogram latency;      ///< admission -> resolution, executed only
 
   std::uint64_t resolved() const {

@@ -32,6 +32,8 @@
 #include "algorithms/sssp.hpp"
 #include "backend_cpupar/pool.hpp"
 #include "gbtl/gbtl.hpp"
+#include "gbtl/overlay.hpp"
+#include "gbtl/overlay_ops.hpp"
 #include "gpu_sim/placement.hpp"
 #include "gpu_sim/thread_pool.hpp"
 #include "sparse/fusion_plan.hpp"
@@ -1204,6 +1206,181 @@ TEST_P(DifferentialFuzz, Traversal) {
       algorithms::sssp(ga, source, gdist);
       expect_same_tuples(gdist, sdist, "gpu sssp");
     }
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "seed " << seed;
+      return;
+    }
+  }
+}
+
+/// Delta-overlay leg: mxv_overlay / vxm_overlay over (base, replacement-row
+/// overlay) pairs, zipped across three overlay regimes — {no overlay, a
+/// couple of dirty rows, dirty mass at the compaction threshold (~1/3 of
+/// rows, including rows replaced by EMPTY content)} — against the dense
+/// oracle run on the merged matrix. Same mask/accum/replace sweep and GPU
+/// dispatch-mode zip as the plain Mxv/Vxm legs: the overlay ops feed the
+/// same output pipeline, so they must honor every write-semantics variant
+/// bit-for-bit, under eager and fused execution alike.
+TEST_P(DifferentialFuzz, Overlay) {
+  for (unsigned c = 0; c < kCasesPerInstance; ++c) {
+    const unsigned seed = 7000 + GetParam() * kCasesPerInstance + c;
+    std::mt19937 rng(seed);
+    const IndexType m = dim(rng), n = dim(rng);
+    const MatTuples bt = gen_matrix(rng, m, n, family_of(rng));
+
+    // Overlay regime zipped over the cases.
+    std::size_t n_dirty = 0;
+    switch (c % 3) {
+      case 0: n_dirty = 0; break;                          // clean snapshot
+      case 1: n_dirty = 1 + rng() % 2; break;              // small delta
+      default: n_dirty = std::max<IndexType>(1, m / 3);    // near threshold
+    }
+    n_dirty = std::min<std::size_t>(n_dirty, m);
+    std::set<IndexType> dirty;
+    while (dirty.size() < n_dirty)
+      dirty.insert(std::uniform_int_distribution<IndexType>(0, m - 1)(rng));
+
+    // Replacement content per dirty row (possibly empty — a row deletion);
+    // merged = base with dirty rows substituted, in canonical order.
+    grb::MatrixOverlay<double> ov;
+    MatTuples merged{m, n, {}, {}, {}};
+    std::bernoulli_distribution keep(0.4);
+    for (IndexType i = 0; i < m; ++i) {
+      if (dirty.count(i)) {
+        ov.rows.push_back(i);
+        for (IndexType j = 0; j < n; ++j)
+          if (keep(rng)) {
+            const double v = int_value(rng);
+            ov.cols.push_back(j);
+            ov.vals.push_back(v);
+            merged.rows.push_back(i);
+            merged.cols.push_back(j);
+            merged.vals.push_back(v);
+          }
+        ov.offsets.push_back(ov.cols.size());
+      } else {
+        for (std::size_t k = 0; k < bt.vals.size(); ++k)
+          if (bt.rows[k] == i) {
+            merged.rows.push_back(i);
+            merged.cols.push_back(bt.cols[k]);
+            merged.vals.push_back(bt.vals[k]);
+          }
+      }
+    }
+
+    const auto ut = gen_vector(rng, n, 0.3 + 0.6 * (seed % 7) / 7.0);
+    const auto vt = gen_vector(rng, m, 0.3 + 0.6 * (seed % 5) / 5.0);
+    const auto wmt = gen_vector(rng, m, 0.5);
+    const auto wnt = gen_vector(rng, n, 0.5);
+    const auto mmt = gen_mask_vector(rng, m);
+    const auto mnt = gen_mask_vector(rng, n);
+    const bool replace = rng() % 2 == 0;
+    const unsigned sr_pick = rng(), acc_pick = rng();
+
+    const DenseMat dmerged = densify(merged);
+    const DenseVec du = densify(ut);
+    const DenseVec dv = densify(vt);
+    const DenseVec dmm = densify(mmt);
+    const DenseVec dmn = densify(mnt);
+
+    auto sb = to_backend<double, grb::Sequential>(bt);
+    auto pb = to_backend<double, grb::CpuPar>(bt);
+    auto gb = to_backend<double, grb::GpuSim>(bt);
+    auto su = to_backend<double, grb::Sequential>(ut);
+    auto pu = to_backend<double, grb::CpuPar>(ut);
+    auto gu = to_backend<double, grb::GpuSim>(ut);
+    auto sv = to_backend<double, grb::Sequential>(vt);
+    auto pv = to_backend<double, grb::CpuPar>(vt);
+    auto gv = to_backend<double, grb::GpuSim>(vt);
+    auto smm = to_backend<std::uint8_t, grb::Sequential>(mmt);
+    auto pmm = to_backend<std::uint8_t, grb::CpuPar>(mmt);
+    auto gmm = to_backend<std::uint8_t, grb::GpuSim>(mmt);
+    auto smn = to_backend<std::uint8_t, grb::Sequential>(mnt);
+    auto pmn = to_backend<std::uint8_t, grb::CpuPar>(mnt);
+    auto gmn = to_backend<std::uint8_t, grb::GpuSim>(mnt);
+
+    with_semiring(sr_pick, [&](auto sr) {
+      with_accum(acc_pick, [&](auto accum, const OracleAccum& oacc) {
+        // ---- mxv_overlay: w(m) = (base+ov)(m x n) . u(n)
+        {
+          const DenseVec t = oracle_mxv(dmerged, du, sr);
+          unsigned variant = 0;
+          for_each_mask_variant(smm, [&](auto sm, const MaskSpec& ms) {
+            DenseVec want = densify(wmt);
+            oracle_write(want, t, ms.has ? &dmm : nullptr, ms, oacc,
+                         replace);
+
+            auto sw = to_backend<double, grb::Sequential>(wmt);
+            grb::mxv_overlay(sw, sm, accum, sr, sb, ov, su,
+                             replace ? grb::Replace : grb::Merge);
+            expect_matches(sw, want, "seq mxv_overlay");
+
+            auto pw = to_backend<double, grb::CpuPar>(wmt);
+            unsigned pvariant = 0;
+            for_each_mask_variant(pmm, [&](auto pm, const MaskSpec&) {
+              if (pvariant++ != variant) return;
+              grb::mxv_overlay(pw, pm, accum, sr, pb, ov, pu,
+                               replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(pw, want, "cpupar mxv_overlay");
+
+            for (const auto& [mode, dmode, fmode] : kModePairs) {
+              sparse::SpmvModeGuard guard(mode);
+              sparse::DirectionModeGuard dguard(dmode);
+              sparse::FusionGuard fguard(fmode);
+              auto gw = to_backend<double, grb::GpuSim>(wmt);
+              unsigned gvariant = 0;
+              for_each_mask_variant(gmm, [&](auto gm, const MaskSpec&) {
+                if (gvariant++ != variant) return;
+                grb::mxv_overlay(gw, gm, accum, sr, gb, ov, gu,
+                                 replace ? grb::Replace : grb::Merge);
+              });
+              expect_matches(gw, want, "gpu mxv_overlay");
+            }
+            ++variant;
+          });
+        }
+        // ---- vxm_overlay: w(n) = v(m) . (base+ov)(m x n)
+        {
+          const DenseVec t = oracle_vxm(dv, dmerged, sr);
+          unsigned variant = 0;
+          for_each_mask_variant(smn, [&](auto sm, const MaskSpec& ms) {
+            DenseVec want = densify(wnt);
+            oracle_write(want, t, ms.has ? &dmn : nullptr, ms, oacc,
+                         replace);
+
+            auto sw = to_backend<double, grb::Sequential>(wnt);
+            grb::vxm_overlay(sw, sm, accum, sr, sv, sb, ov,
+                             replace ? grb::Replace : grb::Merge);
+            expect_matches(sw, want, "seq vxm_overlay");
+
+            auto pw = to_backend<double, grb::CpuPar>(wnt);
+            unsigned pvariant = 0;
+            for_each_mask_variant(pmn, [&](auto pm, const MaskSpec&) {
+              if (pvariant++ != variant) return;
+              grb::vxm_overlay(pw, pm, accum, sr, pv, pb, ov,
+                               replace ? grb::Replace : grb::Merge);
+            });
+            expect_matches(pw, want, "cpupar vxm_overlay");
+
+            for (const auto& [mode, dmode, fmode] : kModePairs) {
+              sparse::SpmvModeGuard guard(mode);
+              sparse::DirectionModeGuard dguard(dmode);
+              sparse::FusionGuard fguard(fmode);
+              auto gw = to_backend<double, grb::GpuSim>(wnt);
+              unsigned gvariant = 0;
+              for_each_mask_variant(gmn, [&](auto gm, const MaskSpec&) {
+                if (gvariant++ != variant) return;
+                grb::vxm_overlay(gw, gm, accum, sr, gv, gb, ov,
+                                 replace ? grb::Replace : grb::Merge);
+              });
+              expect_matches(gw, want, "gpu vxm_overlay");
+            }
+            ++variant;
+          });
+        }
+      });
+    });
     if (::testing::Test::HasFatalFailure()) {
       ADD_FAILURE() << "seed " << seed;
       return;

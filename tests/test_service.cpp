@@ -167,7 +167,7 @@ TEST(GraphStore, AddThenGetRoundTrips) {
   ASSERT_NE(snap, nullptr);
   EXPECT_EQ(snap->name, "g");
   EXPECT_EQ(snap->version, 1u);
-  EXPECT_EQ(snap->edges.num_vertices, 10u);
+  EXPECT_EQ(snap->num_vertices(), 10u);
   EXPECT_EQ(store.size(), 1u);
 }
 
@@ -179,11 +179,11 @@ TEST(GraphStore, ReplaceBumpsVersionAndPreservesOldSnapshot) {
   const auto new_snap = store.get("g");
 
   EXPECT_EQ(new_snap->version, 2u);
-  EXPECT_EQ(new_snap->edges.num_vertices, 20u);
+  EXPECT_EQ(new_snap->num_vertices(), 20u);
   // The snapshot handed out before the replace is untouched — in-flight
   // queries keep reading the graph they started with.
   EXPECT_EQ(old_snap->version, 1u);
-  EXPECT_EQ(old_snap->edges.num_vertices, 10u);
+  EXPECT_EQ(old_snap->num_vertices(), 10u);
 }
 
 TEST(GraphStore, NamesListsEveryGraph) {
@@ -573,7 +573,7 @@ TEST(QueryExecutor, AutoModePicksBackendAtTheCrossoverBoundary) {
   auto store = std::make_shared<service::GraphStore>();
   const auto small = store->add("small", gbtl_graph::path(64));
   const auto big = store->add("big", gbtl_graph::rmat(6, 8, /*seed=*/42));
-  ASSERT_LT(small->edges.num_edges(), big->edges.num_edges());
+  ASSERT_LT(small->num_edges(), big->num_edges());
 
   service::QueryRequest req;
   req.kind = service::QueryKind::kBfs;
@@ -583,7 +583,7 @@ TEST(QueryExecutor, AutoModePicksBackendAtTheCrossoverBoundary) {
     // at-or-above runs GpuSim.
     service::ExecutorOptions opts = small_options(1);
     opts.backend_mode = service::BackendMode::kAuto;
-    opts.crossover_nnz = big->edges.num_edges();
+    opts.crossover_nnz = big->num_edges();
     service::QueryExecutor exec(store, opts);
 
     req.graph = "small";
@@ -605,7 +605,7 @@ TEST(QueryExecutor, AutoModePicksBackendAtTheCrossoverBoundary) {
     // crossover and lands on CpuPar too.
     service::ExecutorOptions opts = small_options(1);
     opts.backend_mode = service::BackendMode::kAuto;
-    opts.crossover_nnz = big->edges.num_edges() + 1;
+    opts.crossover_nnz = big->num_edges() + 1;
     service::QueryExecutor exec(store, opts);
     req.graph = "big";
     const auto on_big = exec.submit(req).get();

@@ -13,14 +13,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <random>
 #include <thread>
 #include <vector>
 
+#include "algorithms/incremental.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_matrix.hpp"
 #include "service/executor.hpp"
 #include "service/graph_store.hpp"
 #include "service/query.hpp"
@@ -182,9 +187,9 @@ TEST(ServiceStress, RepeatedRoundsReuseTheDeviceCache) {
 /// still be bit-exact against the serial oracle.
 TEST(ServiceStress, MixedBackendWorkloadBitExactVsSerial) {
   auto store = make_store();
-  const std::size_t nnz_rmat = store->get("rmat")->edges.num_edges();
-  const std::size_t nnz_w = store->get("rmat-w")->edges.num_edges();
-  const std::size_t nnz_sym = store->get("rmat-sym")->edges.num_edges();
+  const std::size_t nnz_rmat = store->get("rmat")->num_edges();
+  const std::size_t nnz_w = store->get("rmat-w")->num_edges();
+  const std::size_t nnz_sym = store->get("rmat-sym")->num_edges();
   const std::size_t hi = std::max({nnz_rmat, nnz_w, nnz_sym});
   ASSERT_LT(std::min({nnz_rmat, nnz_w, nnz_sym}), hi)
       << "store graphs must straddle the crossover for a mixed run";
@@ -330,7 +335,19 @@ TEST(ServiceStress, CancelTokenStopsALongQueryMidFlight) {
 /// non-shardable kinds still complete (kAuto routes them to CpuPar below
 /// the crossover instead of failing on the monolithic upload).
 TEST(ServiceStress, OversizedGraphServedThroughShardsBitExactVsSerial) {
-  auto store = make_store();
+  // One scale up from make_store(): the arena below is sized just under the
+  // smallest graph's CSR, and at scale 7 the deduplicated CSR estimate
+  // leaves too little headroom for a query's dense working vectors. Scale 8
+  // keeps CSR >> working set, so "smaller than every CSR" still leaves
+  // room to actually run.
+  auto store = std::make_shared<service::GraphStore>();
+  store->add("rmat", gbtl_graph::rmat(8, 8, /*seed=*/11));
+  store->add("rmat-w",
+             gbtl_graph::with_random_weights(
+                 gbtl_graph::rmat(8, 8, /*seed=*/13), 1.0, 8.0, /*seed=*/17));
+  store->add("rmat-sym",
+             gbtl_graph::remove_self_loops(gbtl_graph::symmetrize(
+                 gbtl_graph::rmat(8, 6, /*seed=*/19))));
   std::size_t min_csr = ~std::size_t{0};
   for (const auto& name : store->names())
     min_csr = std::min(min_csr, store->get(name)->device_csr_bytes_estimate());
@@ -338,7 +355,11 @@ TEST(ServiceStress, OversizedGraphServedThroughShardsBitExactVsSerial) {
   service::ExecutorOptions opts;
   opts.workers = 2;
   opts.queue_capacity = 64;
-  opts.shard_contexts = 4;
+  // 8-way fan-out keeps the largest graph's per-context slice (plus a
+  // query's dense working vectors) inside an arena sized below the
+  // SMALLEST graph's whole CSR — the gap between those two footprints is
+  // what the shard count buys.
+  opts.shard_contexts = 8;
   // Every graph's CSR overflows one arena, so no monolithic device image
   // can exist; per-shard slices still fit. The margin below min_csr is
   // deliberately thin: the pool's power-of-two size classes round every
@@ -386,6 +407,299 @@ TEST(ServiceStress, OversizedGraphServedThroughShardsBitExactVsSerial) {
   EXPECT_GT(stats.halo_bytes_exchanged, 0u);
   EXPECT_GT(stats.halo_seconds_hidden, 0.0)
       << "halo uploads should overlap earlier shards' kernels";
+}
+
+// ---------------------------------------------------------------------------
+// Streaming mutations: mutate-under-query + incremental warm starts
+// ---------------------------------------------------------------------------
+
+/// A symmetric add batch (both directions of each pair) — keeps the stream
+/// graph valid for components / triangle count throughout the run.
+gbtl_graph::EdgeList symmetric_batch(
+    const std::vector<std::pair<gbtl_graph::Index, gbtl_graph::Index>>& pairs,
+    gbtl_graph::Index n, double w) {
+  gbtl_graph::EdgeList b;
+  b.num_vertices = n;
+  for (const auto& [u, v] : pairs) {
+    b.src.push_back(u);
+    b.dst.push_back(v);
+    b.weight.push_back(w);
+    b.src.push_back(v);
+    b.dst.push_back(u);
+    b.weight.push_back(w);
+  }
+  return b;
+}
+
+/// The mutate-under-query differential harness: 2 mutator threads stream
+/// add/remove batches through GraphStore::apply_edges (compaction forced to
+/// trigger mid-run) while 3 client threads hammer the executor with mixed
+/// queries. Every completed query carries the version it ran against; its
+/// payload must be BIT-EXACT against the serial oracle replayed on that
+/// exact snapshot — not on whatever version is current by the time the
+/// future resolves. This is the test scripts/ci.sh runs under TSan.
+TEST(ServiceStress, MutateUnderQueryBitExactVsSnapshotOracle) {
+  constexpr gbtl_graph::Index kN = 128;
+  auto store = std::make_shared<service::GraphStore>();
+  store->add("stream",
+             gbtl_graph::remove_self_loops(gbtl_graph::symmetrize(
+                 gbtl_graph::rmat(7, 6, /*seed=*/29))));
+
+  // Every published snapshot by version, including the initial one, so any
+  // stamped version can be replayed serially after the fact.
+  std::mutex published_mutex;
+  std::map<std::uint64_t, service::SnapshotPtr> published;
+  published[store->get("stream")->version] = store->get("stream");
+
+  // Aggressive policy so compaction fires while queries are in flight.
+  gbtl_graph::CompactionPolicy policy;
+  policy.min_overlay_nnz = 16;
+  policy.max_overlay_ratio = 0.02;
+
+  service::ExecutorOptions opts;
+  opts.workers = 3;
+  opts.queue_capacity = 256;
+  opts.cpupar_threads = 2;
+  service::QueryExecutor exec(store, opts);
+
+  constexpr std::size_t kMutators = 2;
+  constexpr std::size_t kBatchesPerMutator = 24;
+  std::vector<std::thread> mutators;
+  for (std::size_t m = 0; m < kMutators; ++m)
+    mutators.emplace_back([&, m] {
+      std::mt19937 rng(41 + static_cast<unsigned>(m));
+      std::uniform_int_distribution<gbtl_graph::Index> v(0, kN - 1);
+      std::vector<std::pair<gbtl_graph::Index, gbtl_graph::Index>> mine;
+      for (std::size_t b = 0; b < kBatchesPerMutator; ++b) {
+        std::vector<std::pair<gbtl_graph::Index, gbtl_graph::Index>> add;
+        for (std::size_t e = 0; e < 1 + rng() % 3; ++e) {
+          const auto u2 = v(rng), v2 = v(rng);
+          if (u2 != v2) add.emplace_back(u2, v2);
+        }
+        std::vector<std::pair<gbtl_graph::Index, gbtl_graph::Index>> rm;
+        if (!mine.empty() && rng() % 3 == 0) {
+          rm.push_back(mine[rng() % mine.size()]);
+        }
+        const auto snap = store->apply_edges(
+            "stream", symmetric_batch(add, kN, 2.0),
+            symmetric_batch(rm, kN, 0.0), policy);
+        ASSERT_NE(snap, nullptr);
+        mine.insert(mine.end(), add.begin(), add.end());
+        std::lock_guard<std::mutex> lock(published_mutex);
+        published[snap->version] = snap;
+      }
+    });
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kQueriesPerClient = 30;
+  std::vector<std::vector<service::QueryRequest>> reqs(kClients);
+  std::vector<std::vector<std::future<service::QueryResult>>> futs(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kQueriesPerClient; ++i) {
+        service::QueryRequest r;
+        r.graph = "stream";
+        switch ((c + i) % 4) {
+          case 0:
+            r.kind = service::QueryKind::kBfs;
+            r.source = (i * 37) % kN;
+            break;
+          case 1:
+            r.kind = service::QueryKind::kPageRank;
+            r.max_iterations = 15;
+            break;
+          case 2:
+            r.kind = service::QueryKind::kConnectedComponents;
+            break;
+          case 3:
+            r.kind = service::QueryKind::kTriangleCount;
+            break;
+        }
+        reqs[c].push_back(r);
+        futs[c].push_back(exec.submit(r));
+      }
+    });
+
+  for (auto& t : mutators) t.join();
+  for (auto& t : clients) t.join();
+
+  std::size_t checked = 0;
+  for (std::size_t c = 0; c < kClients; ++c)
+    for (std::size_t i = 0; i < futs[c].size(); ++i) {
+      const auto got = futs[c][i].get();
+      ASSERT_EQ(got.status, service::QueryStatus::kOk)
+          << "client " << c << " query " << i << ": " << got.error;
+      service::SnapshotPtr snap;
+      {
+        std::lock_guard<std::mutex> lock(published_mutex);
+        const auto it = published.find(got.version);
+        ASSERT_NE(it, published.end())
+            << "client " << c << " query " << i
+            << " stamped unknown version " << got.version;
+        snap = it->second;
+      }
+      const auto want =
+          service::QueryExecutor::execute_serial_on(*snap, reqs[c][i]);
+      expect_bit_exact(got, want, c * 1000 + i);
+      ++checked;
+    }
+  EXPECT_EQ(checked, kClients * kQueriesPerClient);
+
+  const auto stats = exec.stats();
+  EXPECT_EQ(stats.mutations, kMutators * kBatchesPerMutator);
+  EXPECT_GT(stats.compactions, 0u)
+      << "the policy was tuned to compact mid-run; it never fired";
+  EXPECT_GT(stats.edges_added, 0u);
+  EXPECT_EQ(stats.completed, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+/// Incremental ConnectedComponents, deterministic serial phases: labels of
+/// a warm-started solve must be BITWISE identical to the cold solve on the
+/// same version (min-label propagation has a unique fixpoint). Runs once
+/// forced onto CpuPar and once onto GpuSim, so both backends' overlay vxm
+/// paths serve a real warm start. Also pins the result-cache replay and the
+/// structural-removal cold fallback.
+TEST(ServiceStress, IncrementalComponentsWarmStartBitExactVsCold) {
+  for (const auto mode : {service::BackendMode::kForceCpuPar,
+                          service::BackendMode::kForceGpuSim}) {
+    constexpr gbtl_graph::Index kN = 128;
+    auto store = std::make_shared<service::GraphStore>();
+    store->add("inc",
+               gbtl_graph::remove_self_loops(gbtl_graph::symmetrize(
+                   gbtl_graph::rmat(7, 4, /*seed=*/31))));
+
+    service::ExecutorOptions opts;
+    opts.workers = 1;  // deterministic phase ordering
+    opts.backend_mode = mode;
+    opts.cpupar_threads = 2;
+    service::QueryExecutor exec(store, opts);
+
+    service::QueryRequest cc;
+    cc.kind = service::QueryKind::kConnectedComponents;
+    cc.graph = "inc";
+    cc.incremental = true;
+
+    // Phase 1: no lineage yet — cold fallback, bit-exact, result cached.
+    const auto r1 = exec.submit(cc).get();
+    ASSERT_EQ(r1.status, service::QueryStatus::kOk) << r1.error;
+    EXPECT_FALSE(r1.warm_start);
+    expect_bit_exact(r1, service::QueryExecutor::execute_serial(*store, cc),
+                     1);
+    EXPECT_EQ(exec.stats().cold_fallbacks, 1u);
+
+    // Phase 2: small adds-only symmetric batch -> eligible warm start.
+    gbtl_graph::CompactionPolicy lax;  // defaults: no compaction here
+    const auto v2 = store->apply_edges(
+        "inc", symmetric_batch({{3, 90}, {17, 64}}, kN, 1.0),
+        gbtl_graph::EdgeList{kN, {}, {}, {}}, lax);
+    ASSERT_NE(v2, nullptr);
+    ASSERT_FALSE(v2->structural_removals);
+
+    const auto r2 = exec.submit(cc).get();
+    ASSERT_EQ(r2.status, service::QueryStatus::kOk) << r2.error;
+    EXPECT_TRUE(r2.warm_start) << "adds-only batch should warm-start";
+    EXPECT_EQ(r2.version, v2->version);
+    const auto cold2 = service::QueryExecutor::execute_serial_on(*v2, cc);
+    // Labels bitwise; the round count in `scalar` is the incremental
+    // pass's own and is NOT part of the contract.
+    EXPECT_EQ(r2.indices, cold2.indices);
+    EXPECT_EQ(r2.ivals, cold2.ivals) << "warm labels differ from cold solve";
+    EXPECT_GE(exec.stats().warm_starts, 1u);
+
+    // Phase 3: same version again -> served from the result cache verbatim.
+    const auto r3 = exec.submit(cc).get();
+    ASSERT_EQ(r3.status, service::QueryStatus::kOk) << r3.error;
+    EXPECT_EQ(r3.backend, "result-cache");
+    EXPECT_EQ(r3.ivals, r2.ivals);
+    EXPECT_GE(exec.stats().result_cache_hits, 1u);
+
+    // Phase 4: a batch that REMOVES a stored edge severs monotonicity ->
+    // cold fallback, still bit-exact.
+    const auto v3 = store->apply_edges(
+        "inc", gbtl_graph::EdgeList{kN, {}, {}, {}},
+        symmetric_batch({{3, 90}}, kN, 0.0), lax);
+    ASSERT_NE(v3, nullptr);
+    ASSERT_TRUE(v3->structural_removals);
+    const auto r4 = exec.submit(cc).get();
+    ASSERT_EQ(r4.status, service::QueryStatus::kOk) << r4.error;
+    EXPECT_FALSE(r4.warm_start) << "removals must force a cold solve";
+    expect_bit_exact(r4, service::QueryExecutor::execute_serial_on(*v3, cc),
+                     4);
+  }
+}
+
+/// Incremental PageRank: trajectory-dependent, so a warm result matches a
+/// cold solve only to tolerance — but it is DETERMINISTIC given its seed.
+/// The executor's seed is its own cached v1 result (bit-equal to the serial
+/// cold solve at v1), so a serial pagerank_warm from that seed on v2's
+/// merged graph is an exact oracle: memcmp equality demanded.
+TEST(ServiceStress, IncrementalPageRankWarmMatchesSerialWarmOracle) {
+  constexpr gbtl_graph::Index kN = 128;
+  auto store = std::make_shared<service::GraphStore>();
+  store->add("pr",
+             gbtl_graph::remove_self_loops(gbtl_graph::symmetrize(
+                 gbtl_graph::rmat(7, 4, /*seed=*/37))));
+
+  service::ExecutorOptions opts;
+  opts.workers = 1;
+  opts.backend_mode = service::BackendMode::kForceGpuSim;
+  service::QueryExecutor exec(store, opts);
+
+  service::QueryRequest pr;
+  pr.kind = service::QueryKind::kPageRank;
+  pr.graph = "pr";
+  pr.incremental = true;
+  pr.max_iterations = 40;
+  pr.tol = 1e-10;
+
+  // Phase 1: cold, bit-exact vs serial, cached as the v1 seed.
+  const auto r1 = exec.submit(pr).get();
+  ASSERT_EQ(r1.status, service::QueryStatus::kOk) << r1.error;
+  EXPECT_FALSE(r1.warm_start);
+  const auto serial1 = service::QueryExecutor::execute_serial(*store, pr);
+  expect_bit_exact(r1, serial1, 1);
+
+  // Phase 2: publish v2, query warm.
+  gbtl_graph::CompactionPolicy lax;
+  const auto v2 = store->apply_edges(
+      "pr", symmetric_batch({{5, 99}, {40, 41}}, kN, 1.0),
+      gbtl_graph::EdgeList{kN, {}, {}, {}}, lax);
+  ASSERT_NE(v2, nullptr);
+  const auto r2 = exec.submit(pr).get();
+  ASSERT_EQ(r2.status, service::QueryStatus::kOk) << r2.error;
+  EXPECT_TRUE(r2.warm_start);
+  EXPECT_EQ(r2.version, v2->version);
+
+  // Serial warm oracle: seed = serial cold ranks at v1, iterate on v2's
+  // merged graph with the same knobs.
+  const auto merged =
+      gbtl_graph::to_matrix<double, grb::Sequential>(v2->materialize());
+  grb::Vector<double, grb::Sequential> rank(kN);
+  rank.build(serial1.indices, serial1.dvals);
+  algorithms::pagerank_warm(merged, rank, pr.damping, pr.tol,
+                            pr.max_iterations);
+  grb::IndexArrayType want_idx;
+  std::vector<double> want_vals;
+  rank.extractTuples(want_idx, want_vals);
+  ASSERT_EQ(r2.indices, want_idx);
+  ASSERT_EQ(r2.dvals.size(), want_vals.size());
+  EXPECT_EQ(std::memcmp(r2.dvals.data(), want_vals.data(),
+                        want_vals.size() * sizeof(double)),
+            0)
+      << "warm PageRank must be bit-identical to the serial warm oracle";
+
+  // And to tolerance against the cold solve on v2 (the documented limit of
+  // incremental PageRank — see docs/streaming.md).
+  const auto cold2 = service::QueryExecutor::execute_serial_on(*v2, pr);
+  ASSERT_EQ(cold2.dvals.size(), r2.dvals.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < r2.dvals.size(); ++i)
+    max_diff = std::max(max_diff, std::fabs(r2.dvals[i] - cold2.dvals[i]));
+  EXPECT_LT(max_diff, 1e-6)
+      << "warm and cold PageRank diverged beyond solver tolerance";
+  EXPECT_GE(exec.stats().warm_starts, 1u);
 }
 
 }  // namespace
