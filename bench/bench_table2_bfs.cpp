@@ -8,6 +8,7 @@
 #include "bench_common.hpp"
 
 #include "algorithms/bfs.hpp"
+#include "sparse/bitmap.hpp"
 #include "sparse/spmv_select.hpp"
 
 namespace {
@@ -64,6 +65,91 @@ void BM_bfs_gpu_auto(benchmark::State& state) {
   bfs_gpu_directed(state, sparse::DirectionMode::Auto);
 }
 
+/// Bit-format traffic row (Abl. on docs/spmv_adaptive.md's third format):
+/// dense R-MAT (edgefactor 256, density >= 1/64 — comfortably above the
+/// 1/128 word-payoff floor) traversed once with the Bit engine off
+/// (push-pinned CSR, the word-format's natural comparator) and once forced
+/// onto the word bitmap. Reports both modeled byte totals and their ratio;
+/// the levels must match exactly or the row is voided. Bit views are
+/// materialized untimed alongside the CSC build — Graph500 kernel-1 rules,
+/// same as the direction rows above.
+void BM_bfs_gpu_bit_traffic(benchmark::State& state) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 256);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  (void)a.impl().col_offsets();
+  (void)a.impl().bit_col_view();
+  auto& dev = gpu_sim::device();
+
+  grb::Vector<grb::IndexType, grb::GpuSim> levels_csr(a.nrows());
+  std::uint64_t csr_bytes = 0;
+  {
+    sparse::BitModeGuard off(sparse::BitMode::Off);
+    sparse::DirectionModeGuard push(sparse::DirectionMode::ForcePush);
+    algorithms::bfs_level(a, 0, levels_csr);  // warm-up, mirrors run_simulated
+    const auto before = dev.stats();
+    algorithms::bfs_level(a, 0, levels_csr);
+    const auto d = dev.stats() - before;
+    csr_bytes = d.kernel_bytes_read + d.kernel_bytes_written;
+  }
+
+  grb::Vector<grb::IndexType, grb::GpuSim> levels(a.nrows());
+  gpu_sim::DeviceStats delta;
+  {
+    sparse::BitModeGuard force(sparse::BitMode::Force);
+    delta = benchx::run_simulated(
+        state, [&] { algorithms::bfs_level(a, 0, levels); });
+  }
+
+  grb::IndexArrayType ic, ib;
+  std::vector<grb::IndexType> vc, vb;
+  levels_csr.extractTuples(ic, vc);
+  levels.extractTuples(ib, vb);
+  if (ic != ib || vc != vb) {
+    state.SkipWithError("bit BFS diverged from CSR BFS");
+    return;
+  }
+
+  const std::uint64_t bit_bytes =
+      delta.kernel_bytes_read + delta.kernel_bytes_written;
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+  state.counters["csr_bytes"] =
+      benchmark::Counter(static_cast<double>(csr_bytes));
+  state.counters["bit_bytes"] =
+      benchmark::Counter(static_cast<double>(bit_bytes));
+  state.counters["bytes_ratio"] = benchmark::Counter(
+      bit_bytes > 0 ? static_cast<double>(csr_bytes) /
+                          static_cast<double>(bit_bytes)
+                    : 0.0);
+  state.counters["bit_words_touched"] =
+      benchmark::Counter(static_cast<double>(delta.bit_words_touched));
+}
+
+/// Same dense workload with the selector left in Auto: the cost model is
+/// free to take or refuse the word path per level. `bit_selections` shows
+/// how many launches it ratified (dense mid-traversal frontiers should
+/// clear the bar; the thin first/last levels should not).
+void BM_bfs_gpu_bit_auto(benchmark::State& state) {
+  const unsigned scale = static_cast<unsigned>(state.range(0));
+  const auto& g = benchx::rmat_graph(scale, 256);
+  auto a = gbtl_graph::to_matrix<double, grb::GpuSim>(g);
+  (void)a.impl().col_offsets();
+  (void)a.impl().bit_col_view();
+  grb::Vector<grb::IndexType, grb::GpuSim> levels(a.nrows());
+  sparse::BitModeGuard mode(sparse::BitMode::Auto);
+  const auto delta = benchx::run_simulated(
+      state, [&] { algorithms::bfs_level(a, 0, levels); });
+  benchx::annotate(state, a.nrows(), a.nvals());
+  benchx::report_teps(state, a.nvals());
+  state.counters["reached"] =
+      benchmark::Counter(static_cast<double>(levels.nvals()));
+  state.counters["bit_selections"] =
+      benchmark::Counter(static_cast<double>(delta.bit_selections));
+  state.counters["bit_words_touched"] =
+      benchmark::Counter(static_cast<double>(delta.bit_words_touched));
+}
+
 }  // namespace
 
 BENCHMARK(BM_bfs_sequential)->DenseRange(8, 14, 2)->Iterations(1);
@@ -73,6 +159,16 @@ BENCHMARK(BM_bfs_gpu_push_only)
     ->UseManualTime();
 BENCHMARK(BM_bfs_gpu_auto)
     ->DenseRange(8, 16, 2)
+    ->Iterations(1)
+    ->UseManualTime();
+// Dense edgefactor-256 graphs get big fast; scales 12/14 are where the
+// word-format payoff is measured (the acceptance bar sits at 14).
+BENCHMARK(BM_bfs_gpu_bit_traffic)
+    ->DenseRange(12, 14, 2)
+    ->Iterations(1)
+    ->UseManualTime();
+BENCHMARK(BM_bfs_gpu_bit_auto)
+    ->DenseRange(12, 14, 2)
     ->Iterations(1)
     ->UseManualTime();
 

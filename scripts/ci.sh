@@ -83,6 +83,18 @@ echo "==> sanitizers: hash-forced SpGEMM sweep"
 GBTL_SPGEMM_MODE=hash "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
   --gtest_brief=1 --gtest_filter='Seeds/DifferentialFuzz.Mxm/*:ZPoolLeak.*'
 
+echo "==> sanitizers: bit-forced traversal sweep"
+# The BitTraversal leg forces the word-format engine itself, but Force mode
+# also reroutes every OTHER logical-semiring traversal and every
+# all-one-valued masked mxm in the binary through the bit gates. Run the
+# traversal and mxm sweeps with GBTL_BIT_MODE=force under ASan/UBSan: the
+# word-row pointer arithmetic, tail masks, and the popcount CSR emit are
+# where an off-by-one-word would hide. (Env reaches the binary directly;
+# ctest shards would not inherit it.)
+GBTL_BIT_MODE=force "${SAN_BUILD_DIR}/tests/test_differential_fuzz" \
+  --gtest_brief=1 \
+  --gtest_filter='Seeds/DifferentialFuzz.BitTraversal/*:Seeds/DifferentialFuzz.Mxv/*:Seeds/DifferentialFuzz.Vxm/*:Seeds/DifferentialFuzz.Mxm/*:Seeds/DifferentialFuzz.Traversal/*:ZPoolLeak.*'
+
 echo "==> sanitizers: TSan concurrency config (${TSAN_BUILD_DIR})"
 # Concurrency lives in two places now: the serving layer (worker contexts,
 # graph store, admission queue, stats block) and the CpuPar backend's

@@ -1,0 +1,178 @@
+#pragma once
+
+/// @file backend_cpupar/bit_ops.hpp
+/// Thread-pool word kernels over the Bit format: byte-identical to the
+/// Sequential reference (backend_sequential/bit_ops.hpp) under ANY worker
+/// count, by the pool's two determinism rules (pool.hpp):
+///
+///   - bit_mxv splits across output *rows*; chunk boundaries are 64-aligned,
+///     so two chunks never write into the same output word.
+///   - bit_vxm inverts the Sequential push loop into a pull over output
+///     *words*: out word w = OR over frontier rows of their word w. OR is
+///     order-independent, so regrouping by output word changes nothing, and
+///     each word is owned by exactly one chunk.
+///   - the popcount mxm splits across mask rows after a sequential sizing
+///     pass fixes each row's output offset.
+///
+/// No partial fold ever crosses a thread boundary.
+
+#include <cstdint>
+
+#include "backend_cpupar/pool.hpp"
+#include "backend_sequential/bit_ops.hpp"
+#include "sparse/bitmap.hpp"
+
+namespace grb::cpupar_backend {
+
+/// Row-parallel bit mxv: chunks of whole rows, each row's scan verbatim
+/// from the Sequential kernel (including the truth early exit).
+inline void bit_mxv(const sparse::BitMatrix& a,
+                    const sparse::BitVector& upres,
+                    const sparse::BitVector& utruth,
+                    sparse::BitVector& out_pres,
+                    sparse::BitVector& out_truth) {
+  const sparse::Index words = sparse::bit_words(a.ncols());
+  const std::uint64_t* pw = upres.words();
+  const std::uint64_t* tw = utruth.words();
+  std::uint64_t* op = out_pres.mutable_words();
+  std::uint64_t* ot = out_truth.mutable_words();
+  parallel_ranges(a.nrows(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::uint64_t* srow = a.structure_row(i);
+      const std::uint64_t* trow = a.truth_row(i);
+      bool pres = false, truth = false;
+      for (sparse::Index w = 0; w < words; ++w) {
+        if (pw[w] == 0) continue;  // empty frontier word, row unread
+        if (srow[w] & pw[w]) pres = true;
+        if (trow[w] & tw[w]) {
+          truth = true;
+          break;
+        }
+      }
+      const std::uint64_t bit = std::uint64_t{1}
+                                << (i % sparse::kBitWordBits);
+      if (pres) op[i / sparse::kBitWordBits] |= bit;
+      if (truth) ot[i / sparse::kBitWordBits] |= bit;
+    }
+  });
+}
+
+/// Output-word-parallel bit vxm: each chunk owns a disjoint range of output
+/// words and pulls them from every frontier row. Same total word traffic as
+/// the Sequential push, same result by OR's order-independence.
+inline void bit_vxm(const sparse::BitVector& upres,
+                    const sparse::BitVector& utruth,
+                    const sparse::BitMatrix& a,
+                    sparse::BitVector& out_pres,
+                    sparse::BitVector& out_truth) {
+  std::uint64_t* op = out_pres.mutable_words();
+  std::uint64_t* ot = out_truth.mutable_words();
+  const sparse::Index owords = sparse::bit_words(a.ncols());
+  parallel_ranges(owords, [&](std::size_t wb, std::size_t we) {
+    for (sparse::Index iw = 0; iw < upres.word_count(); ++iw) {
+      std::uint64_t word = upres.words()[iw];
+      while (word) {
+        const sparse::Index i =
+            iw * sparse::kBitWordBits + sparse::bit_ffs(word);
+        word &= word - 1;
+        const bool truthy = utruth.test(i);
+        const std::uint64_t* srow = a.structure_row(i);
+        const std::uint64_t* trow = a.truth_row(i);
+        for (std::size_t w = wb; w < we; ++w) {
+          op[w] |= srow[w];
+          if (truthy) ot[w] |= trow[w];
+        }
+      }
+    }
+  });
+}
+
+/// Word-parallel masked apply: trivially disjoint per word.
+inline void bit_masked_apply(const sparse::BitVector& src,
+                             const sparse::BitVector& mask, bool complement,
+                             sparse::BitVector& out) {
+  std::uint64_t* ow = out.mutable_words();
+  parallel_ranges(src.word_count(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t w = b; w < e; ++w) {
+      std::uint64_t m = mask.words()[w];
+      if (complement) {
+        m = ~m;
+        if (w + 1 == static_cast<std::size_t>(src.word_count()))
+          m &= sparse::bit_tail_mask(src.size());
+      }
+      ow[w] = src.words()[w] & m;
+    }
+  });
+}
+
+/// Row-parallel AND-popcount masked mxm: a sequential sizing pass counts
+/// each mask row's surviving entries (popcount > 0) and fixes the output
+/// offsets; the fill pass then writes disjoint row slices in parallel.
+template <typename T>
+sparse::Csr<T> bit_masked_mxm_popcount(const sparse::BitMatrix& a,
+                                       const sparse::BitMatrix& bt,
+                                       const sparse::BitMatrix& mask) {
+  const sparse::Index kwords = sparse::bit_words(a.ncols());
+  const sparse::Index mwords = sparse::bit_words(mask.ncols());
+  sparse::Csr<T> out;
+  out.nrows = mask.nrows();
+  out.ncols = mask.ncols();
+  out.row_offsets.assign(mask.nrows() + 1, 0);
+
+  // Sizing pass: surviving entries per mask row. Runs the same AND-popcount
+  // the fill pass repeats — two passes in exchange for exact offsets, the
+  // standard symbolic/numeric split.
+  std::vector<sparse::Index> row_counts(mask.nrows(), 0);
+  parallel_ranges(mask.nrows(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::uint64_t* mrow = mask.structure_row(i);
+      const std::uint64_t* arow = a.structure_row(i);
+      sparse::Index survivors = 0;
+      for (sparse::Index mw = 0; mw < mwords; ++mw) {
+        std::uint64_t word = mrow[mw];
+        while (word) {
+          const sparse::Index j =
+              mw * sparse::kBitWordBits + sparse::bit_ffs(word);
+          word &= word - 1;
+          const std::uint64_t* brow = bt.structure_row(j);
+          std::uint64_t count = 0;
+          for (sparse::Index w = 0; w < kwords; ++w)
+            count += sparse::bit_popcount(arow[w] & brow[w]);
+          if (count > 0) ++survivors;
+        }
+      }
+      row_counts[i] = survivors;
+    }
+  });
+  for (sparse::Index i = 0; i < mask.nrows(); ++i)
+    out.row_offsets[i + 1] = out.row_offsets[i] + row_counts[i];
+
+  out.col_indices.resize(out.row_offsets[mask.nrows()]);
+  out.values.resize(out.row_offsets[mask.nrows()]);
+  parallel_ranges(mask.nrows(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::uint64_t* mrow = mask.structure_row(i);
+      const std::uint64_t* arow = a.structure_row(i);
+      sparse::Index slot = out.row_offsets[i];
+      for (sparse::Index mw = 0; mw < mwords; ++mw) {
+        std::uint64_t word = mrow[mw];
+        while (word) {
+          const sparse::Index j =
+              mw * sparse::kBitWordBits + sparse::bit_ffs(word);
+          word &= word - 1;
+          const std::uint64_t* brow = bt.structure_row(j);
+          std::uint64_t count = 0;
+          for (sparse::Index w = 0; w < kwords; ++w)
+            count += sparse::bit_popcount(arow[w] & brow[w]);
+          if (count == 0) continue;
+          out.col_indices[slot] = j;
+          out.values[slot] = static_cast<T>(count);
+          ++slot;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace grb::cpupar_backend

@@ -16,6 +16,7 @@
 #include "gpu_sim/algorithms.hpp"
 #include "gpu_sim/context.hpp"
 #include "gpu_sim/device_vector.hpp"
+#include "sparse/bitmap.hpp"
 #include "sparse/fusion_plan.hpp"
 
 namespace grb::gpu_backend {
@@ -84,7 +85,9 @@ class Matrix {
         csc_valid_(other.csc_valid_),
         csc_offsets_(std::move(other.csc_offsets_)),
         csc_rows_(std::move(other.csc_rows_)),
-        csc_vals_(std::move(other.csc_vals_)) {}
+        csc_vals_(std::move(other.csc_vals_)),
+        bit_rows_(std::move(other.bit_rows_)),
+        bit_cols_(std::move(other.bit_cols_)) {}
   Matrix& operator=(Matrix&& other) noexcept {
     if (this != &other) {
       sparse::fusion_sync_if_touches(this);
@@ -99,6 +102,8 @@ class Matrix {
       csc_offsets_ = std::move(other.csc_offsets_);
       csc_rows_ = std::move(other.csc_rows_);
       csc_vals_ = std::move(other.csc_vals_);
+      bit_rows_ = std::move(other.bit_rows_);
+      bit_cols_ = std::move(other.bit_cols_);
     }
     return *this;
   }
@@ -300,6 +305,42 @@ class Matrix {
   }
   bool csc_cached() const { return csc_valid_; }
 
+  // --- Bit-format views (sparse/bitmap.hpp layout, device-resident) -------
+  // Two lazily-built orientations, each a row-major word bitmap with a
+  // cache-line-aligned stride: the ROW view packs the rows of A over ncols
+  // (serves the mxv gather and the mxm popcount's left operand), the COL
+  // view packs the rows of A^T over nrows (the CSC analog — serves the
+  // pull-direction vxm and the mxm popcount's right operand). Each carries
+  // a structure plane plus, when some stored value is falsy, a truth plane
+  // (otherwise truth aliases structure). Materialized on demand by an
+  // explicit, counted, pool-allocated conversion (note_bit_conversion),
+  // cached until any structural or value mutation.
+  struct BitView {
+    bool valid = false;
+    bool all_truthy = true;
+    IndexType stride = 0;  ///< words per row (sparse::bit_row_stride)
+    gpu_sim::device_vector<std::uint64_t> structure;
+    gpu_sim::device_vector<std::uint64_t> truth;  ///< empty when all_truthy
+
+    const std::uint64_t* structure_row(IndexType i) const {
+      return structure.data() + i * stride;
+    }
+    const std::uint64_t* truth_row(IndexType i) const {
+      return (all_truthy ? structure.data() : truth.data()) + i * stride;
+    }
+  };
+  const BitView& bit_row_view() const {
+    ensure_bits(bit_rows_, /*transpose=*/false);
+    return bit_rows_;
+  }
+  const BitView& bit_col_view() const {
+    ensure_bits(bit_cols_, /*transpose=*/true);
+    return bit_cols_;
+  }
+  bool bit_cached(bool transpose) const {
+    return transpose ? bit_cols_.valid : bit_rows_.valid;
+  }
+
   /// Adopt device CSR arrays produced by an operation pipeline.
   void adopt(gpu_sim::device_vector<IndexType>&& row_offsets,
              gpu_sim::device_vector<IndexType>&& col_indices,
@@ -351,11 +392,81 @@ class Matrix {
  private:
   static constexpr IndexType kNotFound = ~IndexType{0};
 
+  // Every mutation site funnels through here, so the bit views share the
+  // CSC cache's exact invalidation discipline (values matter to both: the
+  // truth plane mirrors value truthiness the way CSC mirrors values).
   void invalidate_csc() {
     csc_valid_ = false;
     csc_offsets_ = gpu_sim::device_vector<IndexType>();
     csc_rows_ = gpu_sim::device_vector<IndexType>();
     csc_vals_ = gpu_sim::device_vector<T>();
+    bit_rows_ = BitView{};
+    bit_cols_ = BitView{};
+  }
+
+  /// Materialize one bit-view orientation from CSR: a truthiness inspector
+  /// over the values, zero-filled word planes, then a per-row scatter that
+  /// ORs one bit per stored entry (random word writes in the transpose
+  /// orientation — the bitmap is random-access, so no sort is needed,
+  /// unlike the CSC build). Explicit, counted, pool-allocated.
+  void ensure_bits(BitView& view, bool transpose) const {
+    if (view.valid) return;
+    const IndexType rows = transpose ? ncols_ : nrows_;
+    const IndexType width = transpose ? nrows_ : ncols_;
+    const IndexType nnz = nvals();
+    view.stride = static_cast<IndexType>(sparse::bit_row_stride(width));
+
+    // Truthiness inspector: one streaming pass over the values.
+    view.all_truthy = true;
+    {
+      const T* vals = values_.data();
+      for (IndexType k = 0; k < nnz; ++k)
+        if (vals[k] == T{}) {
+          view.all_truthy = false;
+          break;
+        }
+      ctx_->account_kernel(
+          gpu_sim::LaunchStats{nnz, nnz * sizeof(T), 8});
+    }
+
+    const IndexType plane_words = rows * view.stride;
+    view.structure =
+        gpu_sim::device_vector<std::uint64_t>(plane_words, *ctx_);
+    gpu_sim::fill(view.structure, std::uint64_t{0});
+    if (!view.all_truthy) {
+      view.truth = gpu_sim::device_vector<std::uint64_t>(plane_words, *ctx_);
+      gpu_sim::fill(view.truth, std::uint64_t{0});
+    }
+
+    const IndexType* offs = row_offsets_.data();
+    const IndexType* cols = col_indices_.data();
+    const T* vals = values_.data();
+    std::uint64_t* splane = view.structure.data();
+    std::uint64_t* tplane =
+        view.all_truthy ? nullptr : view.truth.data();
+    const IndexType stride = view.stride;
+    const bool tr = transpose;
+    const std::uint64_t planes = view.all_truthy ? 1 : 2;
+    ctx_->launch_n(
+        nrows_,
+        gpu_sim::LaunchStats{
+            2 * nnz + nrows_,
+            (nrows_ + 1 + nnz) * sizeof(IndexType) + nnz * sizeof(T),
+            nnz * 8 * planes},
+        [=](std::size_t i) {
+          for (IndexType k = offs[i]; k < offs[i + 1]; ++k) {
+            const IndexType r = tr ? cols[k] : static_cast<IndexType>(i);
+            const IndexType c = tr ? static_cast<IndexType>(i) : cols[k];
+            const std::uint64_t bit = std::uint64_t{1}
+                                      << (c % sparse::kBitWordBits);
+            // atomicOr on real hardware; the simulation runs serially.
+            splane[r * stride + c / sparse::kBitWordBits] |= bit;
+            if (tplane && vals[k] != T{})
+              tplane[r * stride + c / sparse::kBitWordBits] |= bit;
+          }
+        });
+    view.valid = true;
+    ctx_->note_bit_conversion();
   }
 
   /// Materialize the CSC view from CSR: expand per-entry coordinates,
@@ -442,6 +553,11 @@ class Matrix {
   mutable gpu_sim::device_vector<IndexType> csc_offsets_;
   mutable gpu_sim::device_vector<IndexType> csc_rows_;
   mutable gpu_sim::device_vector<T> csc_vals_;
+
+  // Lazily-cached bit-format views (see ensure_bits()); both orientations
+  // share the CSC cache's invalidation sites and copy/move discipline.
+  mutable BitView bit_rows_;
+  mutable BitView bit_cols_;
 };
 
 }  // namespace grb::gpu_backend

@@ -21,6 +21,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "backend_gpu/bit_ops.hpp"
 #include "backend_gpu/matrix.hpp"
 #include "backend_gpu/vector.hpp"
 #include "backend_sequential/ops.hpp"
@@ -611,7 +612,60 @@ void mxm(Matrix<CT>& C, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
 
   gpu_sim::device_vector<IndexType> u_keys(ctx);
   gpu_sim::device_vector<ZT> u_vals(ctx);
-  if (sel.strategy() == gpu_sim::SpgemmStrategy::kHash) {
+
+  // Bit-format bypass: when a non-complemented mask seeds the output, both
+  // operands carry only 1-valued entries (the structure-only case — charged
+  // inspector below) and the semiring is plus-times, every allowed C(i, j)
+  // is exactly popcount(rowbits_A(i) & rowbits_Bᵀ(j)). The masked-triangle
+  // workload (tril(A)·tril(A)ᵀ under mask A) hits this shape. The strategy
+  // selection above still runs and is still counted — the Bit path competes
+  // against (and is ratified by) its estimate.
+  bool bit_done = false;
+  if constexpr (std::is_same_v<SR, grb::ArithmeticSemiring<ZT>> &&
+                !std::is_same_v<MObj, EmptyMaskObj>) {
+    const auto bmode = sparse::bit_mode();
+    if (bmode != sparse::BitMode::Off && seeded && nnz_a > 0 &&
+        B.nvals() > 0) {
+      const IndexType nnz_b = B.nvals();
+      // All-values-one inspector over both operands: one streaming pass
+      // each, same charging as the selector's symbolic fold.
+      bool all_one = true;
+      const AT* av = A.values().data();
+      for (IndexType k = 0; k < nnz_a && all_one; ++k)
+        if (av[k] != AT(1)) all_one = false;
+      const BT* bv = B.values().data();
+      for (IndexType k = 0; k < nnz_b && all_one; ++k)
+        if (bv[k] != BT(1)) all_one = false;
+      ctx.account_kernel(LaunchStats{
+          nnz_a + nnz_b, nnz_a * sizeof(AT) + nnz_b * sizeof(BT), 64});
+      if (all_one) {
+        const std::uint64_t allowed = gpu_sim::reduce_sum(row_caps);
+        const bool views_cached =
+            A.bit_cached(/*transpose=*/false) && B.bit_cached(/*transpose=*/true);
+        const double csr_time = sparse::estimated_spgemm_time(
+            sel.strategy(), sel.symbolic(), sizeof(ZT), ctx.properties());
+        if (sparse::select_bit_mxm(bmode, allowed, A.ncols(), nnz_a, nnz_b,
+                                   nrows, c_ncols, views_cached, csr_time,
+                                   ctx.properties())) {
+          const auto& aview = A.bit_row_view();
+          const auto& bview = B.bit_col_view();
+          using MV = typename MObj::ScalarType;
+          detail::bit_mxm_popcount<ZT, MV>(
+              ctx, aview.structure.data(), aview.stride,
+              bview.structure.data(), bview.stride, A.ncols(),
+              out.mask.mask->row_offsets().data(),
+              out.mask.mask->col_indices().data(),
+              out.mask.mask->values().data(), out.mask.structural, nrows,
+              c_ncols, u_keys, u_vals);
+          bit_done = true;
+        }
+      }
+    }
+  }
+
+  if (bit_done) {
+    // handled above
+  } else if (sel.strategy() == gpu_sim::SpgemmStrategy::kHash) {
     detail::mxm_hash<ZT, MObj, SR, AT, BT>(ctx, A, B, c_ncols, out, sr,
                                            row_flops, row_caps, seeded,
                                            u_keys, u_vals);
@@ -682,14 +736,15 @@ void mxv(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
   // ratifies it against the gather kernel the selector would run.
   auto direction = gpu_sim::TraversalDirection::kPull;
   const auto dmode = sparse::direction_mode();
+  const double gather_time =
+      sparse::estimated_spmv_time(kind, deg, sizeof(ZT), ctx.properties());
+  double csr_time = gather_time;  // whichever CSR engine the dispatch runs
   if (dmode == sparse::DirectionMode::ForcePush) {
     direction = gpu_sim::TraversalDirection::kPush;
   } else if (dmode == sparse::DirectionMode::Auto && nnz > 0) {
     // Probing u's sparsity may cost a (cached) presence recount, so only
     // consider push at all when the gather is heavy enough that a
     // frontier-sized alternative could amortize those fixed launches.
-    const double gather_time =
-        sparse::estimated_spmv_time(kind, deg, sizeof(ZT), ctx.properties());
     if (gather_time > 8 * ctx.properties().kernel_launch_overhead_s) {
       sparse::TraversalShape shape;
       shape.frontier_rows = u.nvals();
@@ -709,11 +764,47 @@ void mxv(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
             n, nnz, sizeof(ZT), ctx.properties());
       if (static_cast<double>(shape.frontier_edges) * sparse::kPullAlpha <
               static_cast<double>(nnz) &&
-          push_time < gather_time)
+          push_time < gather_time) {
         direction = gpu_sim::TraversalDirection::kPush;
+        csr_time = push_time;
+      }
     }
   }
   ctx.note_direction_selection(direction);
+
+  // Bit-format bypass: on the logical semiring the whole fold is a word
+  // AND/OR over the row bit view against the input's presence/truth
+  // bitmaps — exact for every mask/accum combination because it produces
+  // the same T̃ (present iff any stored entry meets a present u entry,
+  // valued by whether any *truthy* pair met) and hands it to the same
+  // write_vector epilogue. Auto prices it against the CSR engine chosen
+  // above; Force takes it wherever it is exact.
+  if constexpr (detail::is_logical_semiring_v<SR>) {
+    const auto bmode = sparse::bit_mode();
+    if (bmode != sparse::BitMode::Off) {
+      sparse::BitTraversalShape bshape;
+      bshape.dest_rows = n;  // the gather computes every row, mask at write
+      bshape.n = A.ncols();
+      bshape.nnz = nnz;
+      bshape.frontier_rows = u.nvals();
+      bshape.view_cached = A.bit_cached(/*transpose=*/false);
+      bshape.planes =
+          bshape.view_cached && A.bit_row_view().all_truthy ? 1 : 2;
+      if (sparse::select_bit_traversal(bmode, bshape, csr_time,
+                                       ctx.properties())) {
+        const auto& view = A.bit_row_view();
+        gpu_sim::device_vector<std::uint64_t> upres(ctx), utruth(ctx);
+        detail::build_vector_bits(ctx, u, upres, utruth);
+        detail::bit_gather<ZT>(
+            ctx, view.structure.data(),
+            view.all_truthy ? view.structure.data() : view.truth.data(),
+            view.stride, view.all_truthy, n, A.ncols(), upres.data(),
+            utruth.data(), /*dwords=*/nullptr, tv, tp);
+        pipeline::write_vector(w, t_vals, t_pres, out, accum);
+        return;
+      }
+    }
+  }
 
   if (direction == gpu_sim::TraversalDirection::kPush) {
     // Push: scatter each present u entry down its CSC column. Contributions
@@ -979,6 +1070,43 @@ void vxm(Vector<WT>& w, const OutputDescriptor<MObj>& out, Accum accum, SR sr,
   const auto direction = sparse::select_direction(
       shape, sparse::direction_mode(), &ctx.properties(), sizeof(ZT));
   ctx.note_direction_selection(direction);
+
+  // Bit-format bypass: vxm on the logical semiring is the pull gather with
+  // words for edges — each mask-allowed destination ANDs its transpose bit
+  // row against the frontier's presence/truth bitmaps, early-exiting on the
+  // first truthy hit exactly where the CSR pull's annihilator exit fires.
+  // T̃ is identical to both CSR directions', so any mask/accum epilogue
+  // composes unchanged. Auto prices it against the direction chosen above
+  // (including that direction's cold-transpose bill); Force always takes it.
+  if constexpr (detail::is_logical_semiring_v<SR>) {
+    const auto bmode = sparse::bit_mode();
+    if (bmode != sparse::BitMode::Off) {
+      const double csr_time = sparse::estimated_traversal_time(
+          direction, shape, sizeof(ZT), ctx.properties());
+      sparse::BitTraversalShape bshape;
+      bshape.dest_rows = shape.dest_rows;
+      bshape.n = A.nrows();
+      bshape.nnz = nnz;
+      bshape.frontier_rows = frontier_rows;
+      bshape.view_cached = A.bit_cached(/*transpose=*/true);
+      bshape.planes =
+          bshape.view_cached && A.bit_col_view().all_truthy ? 1 : 2;
+      if (sparse::select_bit_traversal(bmode, bshape, csr_time,
+                                       ctx.properties())) {
+        const auto& view = A.bit_col_view();
+        gpu_sim::device_vector<std::uint64_t> upres(ctx), utruth(ctx);
+        detail::build_vector_bits(ctx, u, upres, utruth);
+        auto dwords = detail::build_mask_bits(ctx, out, w.size());
+        detail::bit_gather<ZT>(
+            ctx, view.structure.data(),
+            view.all_truthy ? view.structure.data() : view.truth.data(),
+            view.stride, view.all_truthy, w.size(), A.nrows(), upres.data(),
+            utruth.data(), dwords.data(), tv, tp);
+        pipeline::write_vector(w, t_vals, t_pres, out, accum);
+        return;
+      }
+    }
+  }
 
   if (direction == gpu_sim::TraversalDirection::kPush) {
     // Push-style scatter with atomics on real hardware; simulated serially.

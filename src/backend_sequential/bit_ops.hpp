@@ -1,0 +1,139 @@
+#pragma once
+
+/// @file backend_sequential/bit_ops.hpp
+/// Host reference kernels over the Bit format (sparse/bitmap.hpp): the
+/// word-granularity counterparts of the simulated-device kernels in
+/// backend_gpu/bit_ops.hpp, written as the plainest possible loops. These
+/// are the oracle the CpuPar word kernels (backend_cpupar/bit_ops.hpp)
+/// must match byte for byte, and the reference the property tests compare
+/// the GPU path's outputs against after unpacking.
+///
+/// Conventions shared by all three backends:
+///   - presence bit j of a product = some stored entry met a present input,
+///   - truth bit j = some *truthy* entry met a *truthy* input (truth ⊆
+///     presence, always),
+///   - tail bits past the logical length are zero on entry and stay zero.
+
+#include <cstdint>
+
+#include "sparse/bitmap.hpp"
+
+namespace grb::seq_backend {
+
+/// mxv over the row bit view: out bit i = fold of row i of @p a against the
+/// input bitmaps. Row-parallel shape (one output bit per row); the truth
+/// scan stops at its first hit — presence must still complete the row
+/// unless already established.
+inline void bit_mxv(const sparse::BitMatrix& a,
+                    const sparse::BitVector& upres,
+                    const sparse::BitVector& utruth,
+                    sparse::BitVector& out_pres,
+                    sparse::BitVector& out_truth) {
+  const sparse::Index words = sparse::bit_words(a.ncols());
+  const std::uint64_t* pw = upres.words();
+  const std::uint64_t* tw = utruth.words();
+  for (sparse::Index i = 0; i < a.nrows(); ++i) {
+    const std::uint64_t* srow = a.structure_row(i);
+    const std::uint64_t* trow = a.truth_row(i);
+    bool pres = false, truth = false;
+    for (sparse::Index w = 0; w < words; ++w) {
+      // Empty frontier word: neither plane can hit, matrix row stays unread
+      // (the thin-frontier economy the GPU gather's accounting models).
+      if (pw[w] == 0) continue;
+      if (srow[w] & pw[w]) pres = true;
+      if (trow[w] & tw[w]) {
+        // A truth hit implies a structure hit in the same word (truth ⊆
+        // structure, both for the matrix plane and the input bitmap), so
+        // presence is already established and the scan may stop.
+        truth = true;
+        break;
+      }
+    }
+    if (pres) out_pres.set(i);
+    if (truth) out_truth.set(i);
+  }
+}
+
+/// vxm as the push-style word OR: every frontier row ORs its word row into
+/// the output planes. OR is order-independent, so this matches the
+/// pull-style per-destination fold bit for bit — the same equivalence the
+/// CSR push/pull pair maintains.
+inline void bit_vxm(const sparse::BitVector& upres,
+                    const sparse::BitVector& utruth,
+                    const sparse::BitMatrix& a,
+                    sparse::BitVector& out_pres,
+                    sparse::BitVector& out_truth) {
+  const sparse::Index words = sparse::bit_words(a.ncols());
+  std::uint64_t* op = out_pres.mutable_words();
+  std::uint64_t* ot = out_truth.mutable_words();
+  for (sparse::Index iw = 0; iw < upres.word_count(); ++iw) {
+    std::uint64_t word = upres.words()[iw];
+    while (word) {
+      const sparse::Index i =
+          iw * sparse::kBitWordBits + sparse::bit_ffs(word);
+      word &= word - 1;
+      const bool truthy = utruth.test(i);
+      const std::uint64_t* srow = a.structure_row(i);
+      const std::uint64_t* trow = a.truth_row(i);
+      for (sparse::Index w = 0; w < words; ++w) {
+        op[w] |= srow[w];
+        if (truthy) ot[w] |= trow[w];
+      }
+    }
+  }
+}
+
+/// Masked apply as a word op: out = src AND mask (or AND NOT mask). The
+/// complemented mask is tail-masked so phantom bits past n never appear.
+inline void bit_masked_apply(const sparse::BitVector& src,
+                             const sparse::BitVector& mask, bool complement,
+                             sparse::BitVector& out) {
+  std::uint64_t* ow = out.mutable_words();
+  for (sparse::Index w = 0; w < src.word_count(); ++w) {
+    std::uint64_t m = mask.words()[w];
+    if (complement) {
+      m = ~m;
+      if (w + 1 == src.word_count()) m &= sparse::bit_tail_mask(src.size());
+    }
+    ow[w] = src.words()[w] & m;
+  }
+}
+
+/// Masked mxm as AND-popcount: for every structure bit (i, j) of @p mask,
+/// count the shared neighbours popcount(row_a(i) & row_bt(j)) — @p bt holds
+/// Bᵀ row-major, so both word rows span the inner dimension. Zero counts
+/// are dropped (no overlap ⇒ no product ⇒ absent entry). Emits CSR in
+/// ascending (i, j) order.
+template <typename T>
+sparse::Csr<T> bit_masked_mxm_popcount(const sparse::BitMatrix& a,
+                                       const sparse::BitMatrix& bt,
+                                       const sparse::BitMatrix& mask) {
+  const sparse::Index kwords = sparse::bit_words(a.ncols());
+  sparse::Csr<T> out;
+  out.nrows = mask.nrows();
+  out.ncols = mask.ncols();
+  out.row_offsets.assign(mask.nrows() + 1, 0);
+  for (sparse::Index i = 0; i < mask.nrows(); ++i) {
+    const std::uint64_t* mrow = mask.structure_row(i);
+    const std::uint64_t* arow = a.structure_row(i);
+    for (sparse::Index mw = 0; mw < sparse::bit_words(mask.ncols()); ++mw) {
+      std::uint64_t word = mrow[mw];
+      while (word) {
+        const sparse::Index j =
+            mw * sparse::kBitWordBits + sparse::bit_ffs(word);
+        word &= word - 1;
+        const std::uint64_t* brow = bt.structure_row(j);
+        std::uint64_t count = 0;
+        for (sparse::Index w = 0; w < kwords; ++w)
+          count += sparse::bit_popcount(arow[w] & brow[w]);
+        if (count == 0) continue;
+        out.col_indices.push_back(j);
+        out.values.push_back(static_cast<T>(count));
+      }
+    }
+    out.row_offsets[i + 1] = static_cast<sparse::Index>(out.col_indices.size());
+  }
+  return out;
+}
+
+}  // namespace grb::seq_backend

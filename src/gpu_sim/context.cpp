@@ -382,6 +382,17 @@ void Context::note_halo_exchange(std::uint64_t shards, std::uint64_t bytes,
   stats_.halo_seconds_hidden += seconds_hidden;
 }
 
+void Context::note_bit_selection(std::uint64_t words_touched) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.bit_selections;
+  stats_.bit_words_touched += words_touched;
+}
+
+void Context::note_bit_conversion() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.bit_conversions;
+}
+
 void Context::account_launch(const LaunchStats& stats) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.kernel_launches;

@@ -243,6 +243,17 @@ class Context {
   void note_halo_exchange(std::uint64_t shards, std::uint64_t bytes,
                           double seconds_hidden);
 
+  /// Record one op the selectors routed onto the Bit-format word kernels
+  /// (sparse/bitmap.hpp) and the 64-bit words that kernel actually touched.
+  /// Pure bookkeeping — the word traffic itself is charged via
+  /// account_kernel by the bit kernels.
+  void note_bit_selection(std::uint64_t words_touched);
+
+  /// Record one explicit CSR -> bitmap conversion (a cold bit-view
+  /// orientation materialized). Pure bookkeeping — the conversion pipeline
+  /// charges its own launches.
+  void note_bit_conversion();
+
   /// Process-wide materialization hook installed by the lazy-fusion layer
   /// (sparse/fusion_plan.hpp): called before any host read of the clock or
   /// stats and on context destruction, so pending recorded ops execute

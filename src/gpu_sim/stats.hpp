@@ -179,6 +179,15 @@ struct DeviceStats {
   std::uint64_t halo_bytes_exchanged = 0;
   double halo_seconds_hidden = 0.0;
 
+  // Bit-format engine activity (sparse/bitmap.hpp, backend_gpu/bit_ops.hpp):
+  // how many ops the selectors routed onto the word-granularity bitmap
+  // kernels, the 64-bit words those kernels actually touched (the Bit
+  // analog of scanned edges — multiply by 8 for bytes), and explicit
+  // CSR -> bitmap conversions materialized (one per cold view orientation).
+  std::uint64_t bit_selections = 0;
+  std::uint64_t bit_words_touched = 0;
+  std::uint64_t bit_conversions = 0;
+
   /// Total simulated device-side time: the number the GPU columns of every
   /// table/figure report. This is the *serial* sum of modeled durations;
   /// subtract overlap_seconds_hidden for the multi-stream makespan.
@@ -239,6 +248,9 @@ inline DeviceStats operator-(const DeviceStats& a, const DeviceStats& b) {
   d.shards_active = a.shards_active;  // high-water mark, not differenced
   d.halo_bytes_exchanged = a.halo_bytes_exchanged - b.halo_bytes_exchanged;
   d.halo_seconds_hidden = a.halo_seconds_hidden - b.halo_seconds_hidden;
+  d.bit_selections = a.bit_selections - b.bit_selections;
+  d.bit_words_touched = a.bit_words_touched - b.bit_words_touched;
+  d.bit_conversions = a.bit_conversions - b.bit_conversions;
   return d;
 }
 

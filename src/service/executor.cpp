@@ -90,6 +90,9 @@ ServiceStats QueryExecutor::stats() const {
   snapshot.compactions = store.compactions;
   snapshot.edges_added = store.edges_added;
   snapshot.edges_removed = store.edges_removed;
+  // The result cache counts its own evictions (it owns the LRU policy);
+  // merged here for the same one-snapshot reason.
+  snapshot.result_cache_evictions = result_cache_.evictions();
   return snapshot;
 }
 

@@ -10,8 +10,16 @@
 /// dispatch.hpp). Shared by all workers — incremental lineage must survive
 /// whichever worker dequeues the next query — so access is mutexed; the
 /// payloads are copied in and out, never shared.
+///
+/// The cache is bounded: at most @p max_entries (graph, kind) slots live at
+/// once, evicted least-recently-used. Payloads hold full per-vertex result
+/// vectors, so an unbounded map would grow with every graph a long-lived
+/// service ever touched; LRU keeps the live working set (hot graphs keep
+/// their lineage, idle ones age out and simply cold-start on return).
 
+#include <cstddef>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -45,24 +53,45 @@ struct CachedQueryResult {
 
 class ResultCache {
  public:
-  /// Latest cached result for (graph, kind), or nullopt.
+  /// Default slot bound: generous for the test/bench graph counts, small
+  /// against the per-slot payload (two per-vertex vectors).
+  static constexpr std::size_t kDefaultMaxEntries = 128;
+
+  explicit ResultCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries > 0 ? max_entries : 1) {}
+
+  /// Latest cached result for (graph, kind), or nullopt. A hit refreshes
+  /// the slot's recency.
   std::optional<CachedQueryResult> get(const std::string& graph,
                                        QueryKind kind) const {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find({graph, kind});
     if (it == entries_.end()) return std::nullopt;
-    return it->second;
+    touch(it->second);
+    return it->second.result;
   }
 
   /// Publish @p result as the latest for (graph, kind). Stale writers lose:
   /// a result for an older version than the cached one is dropped, so
-  /// out-of-order worker completions can't roll lineage backwards.
+  /// out-of-order worker completions can't roll lineage backwards. (A
+  /// dropped stale write still counts as a use of the slot — the lineage it
+  /// raced with is demonstrably live.)
   void put(const std::string& graph, QueryKind kind,
            CachedQueryResult result) {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto& slot = entries_[{graph, kind}];
-    if (slot.version > result.version) return;
-    slot = std::move(result);
+    const Key key{graph, kind};
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      touch(it->second);
+      if (it->second.result.version > result.version) return;
+      it->second.result = std::move(result);
+      return;
+    }
+    if (entries_.size() >= max_entries_) evict_lru();
+    auto& slot = entries_[key];
+    slot.result = std::move(result);
+    lru_.push_front(key);
+    slot.lru_pos = lru_.begin();
   }
 
   std::size_t entries() const {
@@ -70,9 +99,38 @@ class ResultCache {
     return entries_.size();
   }
 
+  std::size_t max_entries() const { return max_entries_; }
+
+  /// Slots dropped by the LRU bound since construction.
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+
  private:
+  using Key = std::pair<std::string, QueryKind>;
+
+  struct Slot {
+    CachedQueryResult result;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  /// Move a slot to the recency front (callers hold the mutex).
+  void touch(const Slot& slot) const {
+    lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+  }
+
+  void evict_lru() {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+
+  const std::size_t max_entries_;
   mutable std::mutex mutex_;
-  std::map<std::pair<std::string, QueryKind>, CachedQueryResult> entries_;
+  std::map<Key, Slot> entries_;
+  mutable std::list<Key> lru_;  ///< front = most recently used
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace service

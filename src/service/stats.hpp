@@ -141,6 +141,7 @@ struct ServiceStats {
   std::uint64_t warm_starts = 0;       ///< incremental queries served warm
   std::uint64_t cold_fallbacks = 0;    ///< incremental requested, ran cold
   std::uint64_t result_cache_hits = 0; ///< exact-version result replays
+  std::uint64_t result_cache_evictions = 0;  ///< LRU slots dropped at bound
   std::uint64_t cache_invalidations = 0;  ///< retired entries dropped
   LatencyHistogram latency;      ///< admission -> resolution, executed only
 
